@@ -1,0 +1,82 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 6), one per figure, plus the ablation studies called
+// out in DESIGN.md. Each benchmark iteration runs the full parameter sweep
+// of its figure and reports the paper-style series through -v output of
+// cmd/experiments; here the aggregate wall time is what testing.B records.
+//
+// Dataset scale is controlled by REGRAPH_BENCH_SCALE (default 0.25 of the
+// paper's sizes — every curve's shape is preserved; see EXPERIMENTS.md)
+// and the per-point query count by REGRAPH_BENCH_QUERIES.
+package regraph_test
+
+import (
+	"sync"
+	"testing"
+
+	"regraph/internal/bench"
+)
+
+var (
+	envOnce  sync.Once
+	sharedEn *bench.Env
+)
+
+// benchEnv shares datasets and distance matrices across benchmarks, as
+// cmd/experiments does (the paper likewise amortizes its M-Index across
+// queries).
+func benchEnv() *bench.Env {
+	envOnce.Do(func() {
+		sharedEn = bench.NewEnv(bench.DefaultConfig())
+	})
+	return sharedEn
+}
+
+func runDriver(b *testing.B, fn func(*bench.Env) *bench.Table) {
+	b.Helper()
+	env := benchEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := fn(env)
+		if len(tab.Rows) == 0 {
+			b.Fatal("driver produced no rows")
+		}
+	}
+}
+
+// Exp-1: effectiveness (Fig. 9).
+
+func BenchmarkFig9aRealLifeQueries(b *testing.B)   { runDriver(b, bench.Fig9a) }
+func BenchmarkFig9bFMeasure(b *testing.B)          { runDriver(b, bench.Fig9b) }
+func BenchmarkFig9cEffectivenessTime(b *testing.B) { runDriver(b, bench.Fig9c) }
+
+// Exp-2: minimization (Fig. 10a).
+
+func BenchmarkFig10aMinimization(b *testing.B) { runDriver(b, bench.Fig10a) }
+
+// Exp-3: RQ evaluation methods (Fig. 10b).
+
+func BenchmarkFig10bRQ(b *testing.B) { runDriver(b, bench.Fig10b) }
+
+// Exp-4: PQ efficiency on YouTube (Fig. 11).
+
+func BenchmarkFig11aVaryVp(b *testing.B)    { runDriver(b, bench.Fig11a) }
+func BenchmarkFig11bVaryEp(b *testing.B)    { runDriver(b, bench.Fig11b) }
+func BenchmarkFig11cVaryPred(b *testing.B)  { runDriver(b, bench.Fig11c) }
+func BenchmarkFig11dVaryBound(b *testing.B) { runDriver(b, bench.Fig11d) }
+
+// Exp-4: PQ scalability on synthetic graphs (Fig. 12).
+
+func BenchmarkFig12aVaryV(b *testing.B)    { runDriver(b, bench.Fig12a) }
+func BenchmarkFig12bVaryE(b *testing.B)    { runDriver(b, bench.Fig12b) }
+func BenchmarkFig12cVaryVp(b *testing.B)   { runDriver(b, bench.Fig12c) }
+func BenchmarkFig12dVaryEp(b *testing.B)   { runDriver(b, bench.Fig12d) }
+func BenchmarkFig12eVaryPred(b *testing.B) { runDriver(b, bench.Fig12e) }
+func BenchmarkFig12fSubIso(b *testing.B)   { runDriver(b, bench.Fig12f) }
+
+// Ablations (DESIGN.md §5).
+
+func BenchmarkAblationContainment(b *testing.B) { runDriver(b, bench.AblationContainment) }
+func BenchmarkAblationTopoOrder(b *testing.B)   { runDriver(b, bench.AblationTopoOrder) }
+func BenchmarkAblationCache(b *testing.B)       { runDriver(b, bench.AblationCache) }
+func BenchmarkAblationFilter(b *testing.B)      { runDriver(b, bench.AblationFilter) }
+func BenchmarkAblationIncremental(b *testing.B) { runDriver(b, bench.AblationIncremental) }

@@ -1,0 +1,141 @@
+// Command rgquery loads a data graph and evaluates a reachability query
+// or a graph pattern query against it.
+//
+// The graph file uses the TSV format of graph.WriteTSV:
+//
+//	node <name> [attr=value]...
+//	edge <from> <to> <color>
+//
+// A reachability query is given with -from, -to and -expr:
+//
+//	rgquery -graph g.tsv -from 'job = biologist' -to 'job = doctor' -expr 'fa{2} fn'
+//
+// A pattern query is given with -pattern, one line per node or edge:
+//
+//	node <name> <predicate or *>
+//	edge <from> <to> <regex>
+//
+// With -demo the built-in Fig. 1 Essembly graph is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regraph"
+	"regraph/internal/graph"
+	"regraph/internal/qlang"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file (TSV)")
+		demo      = flag.Bool("demo", false, "use the built-in Fig. 1 Essembly graph")
+		from      = flag.String("from", "", "RQ: source predicate")
+		to        = flag.String("to", "", "RQ: destination predicate")
+		expr      = flag.String("expr", "", "RQ: path regular expression (subclass F)")
+		patPath   = flag.String("pattern", "", "PQ: pattern file")
+		useMatrix = flag.Bool("matrix", true, "precompute the distance matrix")
+		minimize  = flag.Bool("minimize", false, "PQ: minimize before evaluating")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *demo)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges, colors %v\n", g.NumNodes(), g.NumEdges(), g.Colors())
+
+	var mx *regraph.Matrix
+	if *useMatrix {
+		mx = regraph.NewMatrix(g)
+	}
+	switch {
+	case *expr != "":
+		if err := runRQ(g, mx, *from, *to, *expr); err != nil {
+			fatal(err)
+		}
+	case *patPath != "":
+		if err := runPQ(g, mx, *patPath, *minimize); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("nothing to do: give -expr (RQ) or -pattern (PQ)"))
+	}
+}
+
+func loadGraph(path string, demo bool) (*regraph.Graph, error) {
+	if demo {
+		return regraph.Essembly(), nil
+	}
+	if path == "" {
+		return nil, fmt.Errorf("need -graph FILE or -demo")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadTSV(f)
+}
+
+func runRQ(g *regraph.Graph, mx *regraph.Matrix, from, to, expr string) error {
+	fp, err := regraph.ParsePredicate(from)
+	if err != nil {
+		return fmt.Errorf("-from: %w", err)
+	}
+	tp, err := regraph.ParsePredicate(to)
+	if err != nil {
+		return fmt.Errorf("-to: %w", err)
+	}
+	re, err := regraph.ParseRegex(expr)
+	if err != nil {
+		return fmt.Errorf("-expr: %w", err)
+	}
+	q := regraph.RQ{From: fp, To: tp, Expr: re}
+	var pairs []regraph.Pair
+	if mx != nil {
+		pairs = q.EvalMatrix(g, mx)
+	} else {
+		pairs = q.EvalBiBFS(g, regraph.NewCache(g, 1<<16))
+	}
+	fmt.Printf("%s: %d pairs\n", q, len(pairs))
+	for _, p := range pairs {
+		fmt.Printf("  %s -> %s\n", g.Node(p.From).Name, g.Node(p.To).Name)
+	}
+	return nil
+}
+
+func runPQ(g *regraph.Graph, mx *regraph.Matrix, path string, minimize bool) error {
+	q, err := loadPattern(path)
+	if err != nil {
+		return err
+	}
+	if minimize {
+		before := q.Size()
+		q = regraph.Minimize(q)
+		fmt.Printf("minimized: size %d -> %d\n", before, q.Size())
+	}
+	res := regraph.JoinMatch(g, q, regraph.EvalOptions{Matrix: mx})
+	if res.Empty() {
+		fmt.Println("no matches")
+		return nil
+	}
+	fmt.Print(res.String(g))
+	return nil
+}
+
+func loadPattern(path string) (*regraph.PQ, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return qlang.ParsePattern(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rgquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+package regraph_test
+
+import (
+	"fmt"
+
+	"regraph"
+)
+
+// The package-level example: the paper's Fig. 1 reachability query Q1
+// (Example 2.2), evaluated with the precomputed distance matrix.
+func Example() {
+	g := regraph.Essembly()
+	mx := regraph.NewMatrix(g)
+
+	q := regraph.RQ{
+		From: regraph.MustPredicate("job = biologist, sp = cloning"),
+		To:   regraph.MustPredicate("job = doctor"),
+		Expr: regraph.MustRegex("fa{2} fn"),
+	}
+	for _, p := range q.EvalMatrix(g, mx) {
+		fmt.Println(g.Node(p.From).Name, "->", g.Node(p.To).Name)
+	}
+	// Output:
+	// C1 -> B1
+	// C1 -> B2
+	// C2 -> B1
+	// C2 -> B2
+}
+
+// A pattern query under the revised graph simulation: Alice's doctor
+// friends-nemeses and the biologists against them (a fragment of the
+// paper's Q2).
+func ExampleJoinMatch() {
+	g := regraph.Essembly()
+	q := regraph.NewPQ()
+	c := q.AddNode("C", regraph.MustPredicate("job = biologist"))
+	b := q.AddNode("B", regraph.MustPredicate("job = doctor"))
+	d := q.AddNode("D", regraph.MustPredicate("uid = Alice001"))
+	q.AddEdge(c, b, regraph.MustRegex("fn"))
+	q.AddEdge(b, d, regraph.MustRegex("fn"))
+
+	res := regraph.JoinMatch(g, q, regraph.EvalOptions{})
+	fmt.Print(res.String(g))
+	// Output:
+	// (C,B): {(C3,B1), (C3,B2)}
+	// (B,D): {(B1,D1), (B2,D1)}
+}
+
+// Minimization merges simulation-equivalent pattern nodes and removes
+// redundant edges (algorithm minPQs, Theorem 3.4).
+func ExampleMinimize() {
+	q := regraph.NewPQ()
+	root := q.AddNode("R", regraph.MustPredicate("t = r"))
+	c1 := q.AddNode("C1", regraph.MustPredicate("t = c"))
+	c2 := q.AddNode("C2", regraph.MustPredicate("t = c"))
+	q.AddEdge(root, c1, regraph.MustRegex("a"))
+	q.AddEdge(root, c2, regraph.MustRegex("a"))
+
+	m := regraph.Minimize(q)
+	fmt.Println("size:", q.Size(), "->", m.Size())
+	fmt.Println("equivalent:", regraph.PQEquivalent(q, m))
+	// Output:
+	// size: 5 -> 3
+	// equivalent: true
+}
+
+// Containment of pattern queries is decided in cubic time through the
+// revised graph similarity (Lemma 3.1): a one-edge pattern with a weaker
+// expression contains a stricter one.
+func ExamplePQContains() {
+	strict := regraph.NewPQ()
+	a := strict.AddNode("A", regraph.MustPredicate("t = x"))
+	b := strict.AddNode("B", regraph.MustPredicate("t = y"))
+	strict.AddEdge(a, b, regraph.MustRegex("e"))
+
+	loose := regraph.NewPQ()
+	a2 := loose.AddNode("A", regraph.MustPredicate("t = x"))
+	b2 := loose.AddNode("B", regraph.MustPredicate("t = y"))
+	loose.AddEdge(a2, b2, regraph.MustRegex("e{3}"))
+
+	fmt.Println(regraph.PQContains(strict, loose))
+	fmt.Println(regraph.PQContains(loose, strict))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyEnv keeps smoke tests fast: minute graph scales, one query per
+// point.
+func tinyEnv() *Env {
+	return NewEnv(Config{
+		Seed:            1,
+		YouTubeScale:    0.03,
+		SyntheticScale:  0.03,
+		QueriesPerPoint: 1,
+		CacheSize:       1024,
+	})
+}
+
+// TestAllDriversRun smoke-tests every experiment driver end to end: each
+// must produce a table with its declared series populated in every row.
+func TestAllDriversRun(t *testing.T) {
+	env := tinyEnv()
+	for _, d := range All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			tab := d.Run(env)
+			if tab == nil || len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", d.Name)
+			}
+			if tab.ID == "" || tab.XLabel == "" {
+				t.Errorf("%s missing ID or XLabel", d.Name)
+			}
+			for _, row := range tab.Rows {
+				for _, s := range tab.Series {
+					if _, ok := row.Values[s]; !ok {
+						t.Errorf("%s row %q missing series %q", d.Name, row.Label, s)
+					}
+				}
+			}
+			out := tab.Format()
+			if !strings.Contains(out, tab.ID) {
+				t.Errorf("Format() does not include the table ID")
+			}
+		})
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := &Table{
+		ID: "Fig. X", Title: "demo", XLabel: "x", Unit: "s",
+		Series: []string{"A", "B"},
+	}
+	tab.Add("1", map[string]float64{"A": 0.5})
+	out := tab.Format()
+	if !strings.Contains(out, "Fig. X — demo [s]") {
+		t.Errorf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing value should render as '-': %q", out)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) != len(All()) {
+		t.Fatalf("Names() has %d entries, All() has %d", len(names), len(All()))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Errorf("Names() not sorted at %d: %q < %q", i, names[i], names[i-1])
+		}
+	}
+}
+
+func TestDefaultConfigEnvOverride(t *testing.T) {
+	t.Setenv("REGRAPH_BENCH_SCALE", "0.5")
+	t.Setenv("REGRAPH_BENCH_QUERIES", "7")
+	cfg := DefaultConfig()
+	if cfg.YouTubeScale != 0.5 || cfg.SyntheticScale != 0.5 {
+		t.Errorf("scale override not applied: %+v", cfg)
+	}
+	if cfg.QueriesPerPoint != 7 {
+		t.Errorf("queries override not applied: %+v", cfg)
+	}
+}

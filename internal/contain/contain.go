@@ -1,0 +1,221 @@
+// Package contain implements the static analyses of Section 3 of the
+// paper: containment, equivalence and minimization of reachability queries
+// (RQs) and graph pattern queries (PQs).
+//
+// Containment of PQs is decided through the paper's revised graph
+// similarity (Lemma 3.1): Q1 ⊑ Q2 iff Q2 is similar to Q1. The similarity
+// relation combines predicate implication on nodes with language
+// containment of the subclass-F regular expressions on edges, and is
+// computed as a fixpoint in O(|Q|^3) (Theorem 3.2). RQ containment is the
+// two-node special case and runs in quadratic time (Proposition 3.3).
+//
+// Minimization (Theorem 3.4) follows algorithm minPQs (Fig. 6):
+// simulation-equivalent nodes are merged, redundant edges removed, and
+// isolated nodes dropped, yielding a minimum equivalent query in cubic
+// time.
+package contain
+
+import (
+	"regraph/internal/pattern"
+	"regraph/internal/reach"
+	"regraph/internal/rex"
+)
+
+// ---- reachability queries --------------------------------------------------
+
+// RQContains reports whether Q1 ⊑ Q2 for reachability queries: every
+// answer pair of Q1 on any graph is an answer pair of Q2. By
+// Proposition 3.3 this holds iff u1 ⊢ w1, u2 ⊢ w2 and L(fe1) ⊆ L(fe2).
+func RQContains(q1, q2 reach.Query) bool {
+	return q1.From.Implies(q2.From) &&
+		q1.To.Implies(q2.To) &&
+		rex.Contains(q1.Expr, q2.Expr)
+}
+
+// RQEquivalent reports whether two RQs have identical answers on every
+// graph.
+func RQEquivalent(q1, q2 reach.Query) bool {
+	return RQContains(q1, q2) && RQContains(q2, q1)
+}
+
+// ---- revised graph similarity (Section 3.1) ---------------------------------
+
+// maxSimulation computes the maximum relation Sr ⊆ Va × Vb satisfying
+// condition (1) of the revised similarity: (u, w) ∈ Sr requires
+//
+//	(a) w ⊢ u — every node matching w's predicate matches u's; and
+//	(b) for each edge e = (u, u2) of qa there is an edge e' = (w, w2) of
+//	    qb with (u2, w2) ∈ Sr and L(f_e') ⊆ L(f_e).
+//
+// Computed by fixpoint refinement, as in the standard simulation algorithm
+// the paper builds on (Henzinger, Henzinger & Kopke).
+func maxSimulation(qa, qb *pattern.Query) [][]bool {
+	na, nb := qa.NumNodes(), qb.NumNodes()
+	sr := make([][]bool, na)
+	for u := 0; u < na; u++ {
+		sr[u] = make([]bool, nb)
+		for w := 0; w < nb; w++ {
+			sr[u][w] = qb.Node(w).Pred.Implies(qa.Node(u).Pred)
+		}
+	}
+	// Pre-compute edge-language containment: edgeOK[e][e'] = L(f_e') ⊆ L(f_e).
+	edgeOK := make([][]bool, qa.NumEdges())
+	for e := range edgeOK {
+		edgeOK[e] = make([]bool, qb.NumEdges())
+		for e2 := range edgeOK[e] {
+			edgeOK[e][e2] = rex.Contains(qb.Edge(e2).Expr, qa.Edge(e).Expr)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < na; u++ {
+			for w := 0; w < nb; w++ {
+				if !sr[u][w] {
+					continue
+				}
+				ok := true
+				for _, ei := range qa.Out(u) {
+					found := false
+					for _, ei2 := range qb.Out(w) {
+						if edgeOK[ei][ei2] && sr[qa.Edge(ei).To][qb.Edge(ei2).To] {
+							found = true
+							break
+						}
+					}
+					if !found {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					sr[u][w] = false
+					changed = true
+				}
+			}
+		}
+	}
+	return sr
+}
+
+// Similar reports whether qb is similar to qa (the paper's "qa E qb"):
+// the maximum condition-(1) relation also satisfies condition (2), i.e.
+// every edge of qb is covered by some edge of qa under Sr.
+//
+// Deviation from the paper (documented in DESIGN.md): we additionally
+// require Sr to be total on qa's nodes — every node of qa must have some
+// partner in qb. Without this, Lemma 3.1 is unsound in combination with
+// the PQ semantics' global-emptiness rule: qa may carry an edge no part of
+// qb accounts for, and on graphs where that edge has no matches qa's whole
+// answer is empty while qb's is not, refuting the claimed containment.
+// Totality closes exactly that hole (its proof sketch: a total Sr lets
+// every qa match set inherit non-emptiness from the corresponding qb match
+// set, so the emptiness rule can never fire for qa alone).
+func Similar(qa, qb *pattern.Query) bool {
+	sr := maxSimulation(qa, qb)
+	for u := 0; u < qa.NumNodes(); u++ {
+		total := false
+		for w := 0; w < qb.NumNodes() && !total; w++ {
+			total = sr[u][w]
+		}
+		if !total {
+			return false
+		}
+	}
+	return coverCondition(qa, qb, sr)
+}
+
+// coverCondition checks condition (2) of the revised similarity.
+func coverCondition(qa, qb *pattern.Query, sr [][]bool) bool {
+	for ei2 := 0; ei2 < qb.NumEdges(); ei2++ {
+		e2 := qb.Edge(ei2)
+		found := false
+		for ei := 0; ei < qa.NumEdges() && !found; ei++ {
+			e := qa.Edge(ei)
+			if sr[e.From][e2.From] && sr[e.To][e2.To] &&
+				rex.Contains(e2.Expr, e.Expr) {
+				found = true
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether Q1 ⊑ Q2: on every data graph, Q1's answer maps
+// into Q2's (there is a renaming λ of Q1's edges to Q2's edges with
+// Se ⊆ S_λ(e)). By Lemma 3.1 this holds iff Q2 is similar to Q1.
+func Contains(q1, q2 *pattern.Query) bool {
+	return Similar(q2, q1)
+}
+
+// ContainsMapping is Contains but also returns the witness edge mapping
+// λ: E1 → E2 (indexed by Q1 edge, value is a Q2 edge index) when
+// containment holds. The mapping realizes Se ⊆ S_λ(e) on every graph.
+func ContainsMapping(q1, q2 *pattern.Query) ([]int, bool) {
+	sr := maxSimulation(q2, q1)
+	for u := 0; u < q2.NumNodes(); u++ {
+		total := false
+		for w := 0; w < q1.NumNodes() && !total; w++ {
+			total = sr[u][w]
+		}
+		if !total {
+			return nil, false
+		}
+	}
+	lambda := make([]int, q1.NumEdges())
+	for ei1 := 0; ei1 < q1.NumEdges(); ei1++ {
+		e1 := q1.Edge(ei1)
+		found := -1
+		for ei2 := 0; ei2 < q2.NumEdges(); ei2++ {
+			e2 := q2.Edge(ei2)
+			if sr[e2.From][e1.From] && sr[e2.To][e1.To] &&
+				rex.Contains(e1.Expr, e2.Expr) {
+				found = ei2
+				break
+			}
+		}
+		if found < 0 {
+			return nil, false
+		}
+		lambda[ei1] = found
+	}
+	return lambda, true
+}
+
+// Equivalent reports whether Q1 ≡ Q2 (mutual containment).
+func Equivalent(q1, q2 *pattern.Query) bool {
+	return Contains(q1, q2) && Contains(q2, q1)
+}
+
+// SimulationEquivalentNodes returns the equivalence classes EQ of the
+// query's nodes under self-similarity: u and w are simulation equivalent
+// iff (u, w) and (w, u) both belong to the maximum revised similarity of Q
+// with itself. Classes are returned with node indices ascending and
+// classes ordered by their smallest member.
+func SimulationEquivalentNodes(q *pattern.Query) [][]int {
+	sr := maxSimulation(q, q)
+	n := q.NumNodes()
+	classOf := make([]int, n)
+	for i := range classOf {
+		classOf[i] = -1
+	}
+	var classes [][]int
+	for u := 0; u < n; u++ {
+		if classOf[u] >= 0 {
+			continue
+		}
+		id := len(classes)
+		classOf[u] = id
+		members := []int{u}
+		for w := u + 1; w < n; w++ {
+			if classOf[w] < 0 && sr[u][w] && sr[w][u] {
+				classOf[w] = id
+				members = append(members, w)
+			}
+		}
+		classes = append(classes, members)
+	}
+	return classes
+}

@@ -1,0 +1,244 @@
+package contain
+
+import (
+	"fmt"
+
+	"regraph/internal/pattern"
+	"regraph/internal/rex"
+)
+
+// Minimize computes a minimum equivalent pattern query with algorithm
+// minPQs (Fig. 6, Theorem 3.4):
+//
+//  1. compute the maximum revised similarity of Q with itself and the
+//     induced simulation-equivalence classes EQ;
+//  2. merge each class into a single node, deduplicate and prune
+//     redundant class-level edges, and expand nodes into the number of
+//     copies needed to turn the class multigraph into a simple graph;
+//  3. remove redundant edges (those sandwiched between two other edges
+//     under the recomputed similarity) and isolated nodes.
+//
+// The result is equivalent to the input (Q ≡ Qm) and no larger; edge
+// removals are applied one at a time with re-verification, which keeps the
+// procedure unconditionally sound. Runs in O(|Q|^3) for query-sized
+// inputs.
+func Minimize(q *pattern.Query) *pattern.Query {
+	if q.NumNodes() == 0 {
+		return q.Clone()
+	}
+	// Step 1: equivalence classes under self-similarity.
+	classes := SimulationEquivalentNodes(q)
+	classOf := make([]int, q.NumNodes())
+	for ci, members := range classes {
+		for _, u := range members {
+			classOf[u] = ci
+		}
+	}
+	if q.NumEdges() == 0 {
+		// Degenerate: merging classes is all there is to do.
+		m := pattern.New()
+		for _, members := range classes {
+			n := q.Node(members[0])
+			m.AddNode(n.Name, n.Pred)
+		}
+		return m
+	}
+
+	// Step 2: class-level edge sets with redundant edges removed.
+	type classPair struct{ from, to int }
+	edgeSets := map[classPair][]rex.Expr{}
+	for ei := 0; ei < q.NumEdges(); ei++ {
+		e := q.Edge(ei)
+		cp := classPair{classOf[e.From], classOf[e.To]}
+		edgeSets[cp] = append(edgeSets[cp], e.Expr)
+	}
+	for cp, exprs := range edgeSets {
+		edgeSets[cp] = pruneExprs(exprs)
+	}
+
+	// Copies per class: the largest non-redundant in-edge set from any
+	// single source class (at least one copy).
+	copies := make([]int, len(classes))
+	for ci := range copies {
+		copies[ci] = 1
+	}
+	for cp, exprs := range edgeSets {
+		if len(exprs) > copies[cp.to] {
+			copies[cp.to] = len(exprs)
+		}
+	}
+
+	// Assemble the equivalent query Qm: copies of every class, and from
+	// every copy of a source class one edge per distinct expression, each
+	// into a distinct copy of the target class.
+	qm := pattern.New()
+	copyIdx := make([][]int, len(classes)) // class -> node indices of copies
+	for ci, members := range classes {
+		rep := q.Node(members[0])
+		copyIdx[ci] = make([]int, copies[ci])
+		for k := 0; k < copies[ci]; k++ {
+			name := rep.Name
+			if k > 0 {
+				name = fmt.Sprintf("%s#%d", rep.Name, k+1)
+			}
+			copyIdx[ci][k] = qm.AddNode(name, rep.Pred)
+		}
+	}
+	for cp, exprs := range edgeSets {
+		for _, srcCopy := range copyIdx[cp.from] {
+			for j, expr := range exprs {
+				qm.AddEdge(srcCopy, copyIdx[cp.to][j], expr)
+			}
+		}
+	}
+
+	// Step 3: drop redundant edges one at a time (re-deriving the
+	// similarity after each removal), then drop isolated nodes. Each
+	// removal is verified to preserve equivalence with the original
+	// query, which keeps the procedure sound even for patterns where the
+	// batch rule would over-remove mutually redundant edges.
+	for {
+		ei := findRedundantEdge(qm)
+		if ei < 0 {
+			break
+		}
+		candidate := removeEdge(qm, ei)
+		if !Equivalent(candidate, q) {
+			break
+		}
+		qm = candidate
+	}
+	qm = dropIsolated(qm)
+	if qm.NumNodes() == 0 || qm.Size() >= q.Size() || !Equivalent(qm, q) {
+		// Never return a larger or non-equivalent query; the copy
+		// expansion of step 2 can transiently grow already-minimal inputs,
+		// in which case the input itself is the minimum (this also makes
+		// minimization idempotent).
+		return q.Clone()
+	}
+	return qm
+}
+
+// pruneExprs deduplicates a class-level edge set by language equivalence
+// and removes expressions sandwiched between two other distinct
+// expressions (the step-2 redundancy rule: e is redundant when
+// L(f_e1) ⊆ L(f_e) ⊆ L(f_e2) for other edges e1, e2 of the same set).
+func pruneExprs(exprs []rex.Expr) []rex.Expr {
+	// Deduplicate by equivalence.
+	var uniq []rex.Expr
+	for _, e := range exprs {
+		dup := false
+		for _, u := range uniq {
+			if rex.Equivalent(e, u) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			uniq = append(uniq, e)
+		}
+	}
+	// Remove middles.
+	var out []rex.Expr
+	for i, e := range uniq {
+		middle := false
+		for j, lo := range uniq {
+			if j == i || !rex.Contains(lo, e) {
+				continue
+			}
+			for k, hi := range uniq {
+				if k == i || k == j {
+					continue
+				}
+				if rex.Contains(e, hi) {
+					middle = true
+					break
+				}
+			}
+			if middle {
+				break
+			}
+		}
+		if !middle {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// findRedundantEdge returns the index of an edge e = (u, u') for which
+// there are edges e1 = (u1, u1') and e2 = (u2, u2'), both different from
+// e, with (u, u1), (u2, u), (u', u1'), (u2', u') in the self-similarity
+// and L(f_e1) ⊆ L(f_e) ⊆ L(f_e2); -1 if none.
+func findRedundantEdge(q *pattern.Query) int {
+	sr := maxSimulation(q, q)
+	for ei := 0; ei < q.NumEdges(); ei++ {
+		e := q.Edge(ei)
+		lower, upper := false, false
+		for ej := 0; ej < q.NumEdges() && !(lower && upper); ej++ {
+			if ej == ei {
+				continue
+			}
+			o := q.Edge(ej)
+			// e1 role: o's endpoints simulate e's (λ can send e to o).
+			if !lower && sr[e.From][o.From] && sr[e.To][o.To] && rex.Contains(o.Expr, e.Expr) {
+				lower = true
+			}
+			// e2 role: e's endpoints simulate o's.
+			if !upper && sr[o.From][e.From] && sr[o.To][e.To] && rex.Contains(e.Expr, o.Expr) {
+				upper = true
+			}
+		}
+		if lower && upper {
+			return ei
+		}
+	}
+	return -1
+}
+
+// removeEdge returns a copy of q without its i-th edge.
+func removeEdge(q *pattern.Query, drop int) *pattern.Query {
+	out := pattern.New()
+	for i := 0; i < q.NumNodes(); i++ {
+		n := q.Node(i)
+		out.AddNode(n.Name, n.Pred)
+	}
+	for ei := 0; ei < q.NumEdges(); ei++ {
+		if ei == drop {
+			continue
+		}
+		e := q.Edge(ei)
+		out.AddEdge(e.From, e.To, e.Expr)
+	}
+	return out
+}
+
+// dropIsolated removes nodes with no incident edges. If every node is
+// isolated the query is returned unchanged (an edgeless query's nodes are
+// all it has).
+func dropIsolated(q *pattern.Query) *pattern.Query {
+	keep := make([]bool, q.NumNodes())
+	any := false
+	for u := 0; u < q.NumNodes(); u++ {
+		if len(q.Out(u)) > 0 || len(q.In(u)) > 0 {
+			keep[u] = true
+			any = true
+		}
+	}
+	if !any {
+		return q
+	}
+	out := pattern.New()
+	remap := make([]int, q.NumNodes())
+	for u := 0; u < q.NumNodes(); u++ {
+		if keep[u] {
+			n := q.Node(u)
+			remap[u] = out.AddNode(n.Name, n.Pred)
+		}
+	}
+	for ei := 0; ei < q.NumEdges(); ei++ {
+		e := q.Edge(ei)
+		out.AddEdge(remap[e.From], remap[e.To], e.Expr)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+// Package gen builds the data graphs used by the paper's examples and
+// experiments: the Fig. 1 Essembly network, synthetic random graphs, and
+// the two "real-life" datasets of Section 6 (a YouTube-like video network
+// and a terrorist-organization collaboration network). The paper's actual
+// crawls are not redistributable, so the latter two are seeded synthetic
+// graphs with the same node/edge counts, edge-type alphabets and attribute
+// schemas; see DESIGN.md ("Substitutions") for why this preserves the
+// evaluated behaviour. It also provides the paper's five-parameter query
+// generator.
+package gen
+
+import "regraph/internal/graph"
+
+// Essembly reconstructs the data graph G of Fig. 1: an Essembly debate
+// network about cloning research. Node names follow the paper (B1, B2 are
+// doctors against cloning; C1..C3 are biologists supporting cloning; D1 is
+// the user "Alice001"; H1 is a physician). Edge colors are the four
+// relationship types fa (friends-allies), fn (friends-nemeses), sa
+// (strangers-allies) and sn (strangers-nemeses).
+//
+// The edge set is reconstructed from the worked examples: it reproduces
+// exactly the query answers reported for Q1 (Example 2.2) and Q2
+// (Example 2.3), including the negative cases the paper calls out (no
+// fn-path from C1 to B1; the fa{2}sa{2} path from C1 to D1 that does not
+// make C1 a match).
+func Essembly() *graph.Graph {
+	g := graph.New()
+	b1 := g.AddNode("B1", map[string]string{"job": "doctor", "dsp": "cloning"})
+	b2 := g.AddNode("B2", map[string]string{"job": "doctor", "dsp": "cloning"})
+	c1 := g.AddNode("C1", map[string]string{"job": "biologist", "sp": "cloning"})
+	c2 := g.AddNode("C2", map[string]string{"job": "biologist", "sp": "cloning"})
+	c3 := g.AddNode("C3", map[string]string{"job": "biologist", "sp": "cloning"})
+	d1 := g.AddNode("D1", map[string]string{"uid": "Alice001", "sp": "cloning"})
+	h1 := g.AddNode("H1", map[string]string{"job": "physician"})
+
+	// Friends-allies cycle among the biologists.
+	g.AddEdge(c1, c2, "fa")
+	g.AddEdge(c2, c1, "fa")
+	g.AddEdge(c2, c3, "fa")
+	g.AddEdge(c3, c1, "fa")
+	// C3 is friends-nemeses with both doctors.
+	g.AddEdge(c3, b1, "fn")
+	g.AddEdge(c3, b2, "fn")
+	// The doctors are Alice's friends-nemeses.
+	g.AddEdge(b1, d1, "fn")
+	g.AddEdge(b2, d1, "fn")
+	// The doctors disagree with the supportive biologist C3 as strangers.
+	g.AddEdge(b1, c3, "sn")
+	g.AddEdge(b2, c3, "sn")
+	// C1 agrees with Alice as strangers.
+	g.AddEdge(c1, d1, "sa")
+	// Peripheral physician.
+	g.AddEdge(h1, c1, "sa")
+	g.AddEdge(d1, h1, "fa")
+	return g
+}

@@ -1,0 +1,212 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"regraph/internal/graph"
+	"regraph/internal/pattern"
+	"regraph/internal/predicate"
+	"regraph/internal/reach"
+	"regraph/internal/rex"
+)
+
+// Spec carries the five parameters of the paper's query generator
+// (Section 6, "Query generator"): |Vp| pattern nodes, |Ep| pattern edges,
+// |pred| predicates per node, and the bounds b and c such that every edge
+// is constrained by a regular expression c1{b} ... ck{b} with 1 <= k <= c.
+type Spec struct {
+	Nodes  int // |Vp|
+	Edges  int // |Ep| (at least Nodes-1 to keep the pattern connected)
+	Preds  int // |pred| predicates per pattern node
+	Bound  int // b: per-atom occurrence bound
+	Colors int // c: maximum number of atoms per edge expression
+}
+
+// Query produces a "meaningful" pattern query for the data graph: the
+// pattern is anchored on an actual random walk of the graph, so node
+// predicates are satisfiable and edge expressions correspond to real
+// paths, as the paper's generator arranges. Deterministic for a given
+// rand source.
+func Query(g *graph.Graph, spec Spec, r *rand.Rand) *pattern.Query {
+	if spec.Nodes < 2 {
+		spec.Nodes = 2
+	}
+	if spec.Edges < spec.Nodes-1 {
+		spec.Edges = spec.Nodes - 1
+	}
+	if spec.Bound < 1 {
+		spec.Bound = 1
+	}
+	if spec.Colors < 1 {
+		spec.Colors = 1
+	}
+	q := pattern.New()
+	anchors := make([]graph.NodeID, 0, spec.Nodes)
+
+	addPatternNode := func(anchor graph.NodeID) int {
+		name := fmt.Sprintf("u%d", q.NumNodes())
+		idx := q.AddNode(name, anchorPred(g, anchor, spec.Preds, r))
+		anchors = append(anchors, anchor)
+		return idx
+	}
+	// Root anchor: prefer a node with outgoing edges.
+	root := randomSource(g, r)
+	addPatternNode(root)
+
+	// Grow a tree: each new pattern node is the endpoint of a walk from an
+	// existing one; the walk's colors become the edge expression.
+	edgesLeft := spec.Edges
+	for q.NumNodes() < spec.Nodes && edgesLeft > 0 {
+		from := r.Intn(q.NumNodes())
+		end, expr, ok := walkExpr(g, anchors[from], spec, r)
+		if !ok {
+			// Anchor is a sink; fall back to a fresh root with a wildcard
+			// edge if anything is reachable, else retry another node.
+			end = randomSource(g, r)
+			if end == anchors[from] {
+				break
+			}
+			expr = rex.MustNew(rex.Atom{Color: rex.Wildcard, Max: spec.Bound})
+		}
+		to := addPatternNode(end)
+		q.AddEdge(from, to, expr)
+		edgesLeft--
+	}
+	// Extra edges between existing pattern nodes. To keep the anchor
+	// assignment a valid simulation witness (so the query stays
+	// "meaningful"), an extra edge from u is only added when a walk from
+	// u's anchor ends at some other pattern node's anchor; that node
+	// becomes the edge target.
+	anchorIdx := map[graph.NodeID]int{}
+	for i, a := range anchors {
+		if _, seen := anchorIdx[a]; !seen {
+			anchorIdx[a] = i
+		}
+	}
+	for edgesLeft > 0 && q.NumNodes() >= 2 {
+		added := false
+		for try := 0; try < 24 && !added; try++ {
+			from := r.Intn(q.NumNodes())
+			end, expr, ok := walkExpr(g, anchors[from], spec, r)
+			if !ok {
+				continue
+			}
+			if to, hit := anchorIdx[end]; hit {
+				q.AddEdge(from, to, expr)
+				added = true
+			}
+		}
+		if !added {
+			// No walk lands on an anchor; duplicate an existing edge's
+			// constraint (trivially satisfiable) rather than fabricate an
+			// unsatisfiable one.
+			ei := r.Intn(q.NumEdges())
+			e := q.Edge(ei)
+			q.AddEdge(e.From, e.To, e.Expr)
+		}
+		edgesLeft--
+	}
+	return q
+}
+
+// RQ produces a reachability query whose expression has exactly `colors`
+// atoms with bound b, anchored on a walk of the graph (Exp-3's workload).
+func RQ(g *graph.Graph, preds, bound, colors int, r *rand.Rand) reach.Query {
+	src := randomSource(g, r)
+	spec := Spec{Preds: preds, Bound: bound, Colors: colors}
+	end, expr, ok := walkExprN(g, src, spec, colors, r)
+	if !ok {
+		expr = rex.MustNew(rex.Atom{Color: rex.Wildcard, Max: bound})
+		end = src
+	}
+	return reach.New(
+		anchorPred(g, src, preds, r),
+		anchorPred(g, end, preds, r),
+		expr,
+	)
+}
+
+// anchorPred builds a predicate with up to n equality clauses sampled from
+// the anchor node's attributes, so the predicate is satisfiable by
+// construction.
+func anchorPred(g *graph.Graph, anchor graph.NodeID, n int, r *rand.Rand) predicate.Pred {
+	attrs := g.Attrs(anchor)
+	if n <= 0 || len(attrs) == 0 {
+		return predicate.Pred{}
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	r.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	if n > len(keys) {
+		n = len(keys)
+	}
+	clauses := make([]predicate.Clause, n)
+	for i := 0; i < n; i++ {
+		clauses[i] = predicate.Clause{Attr: keys[i], Op: predicate.Eq, Value: attrs[keys[i]]}
+	}
+	return predicate.New(clauses...)
+}
+
+// walkExpr performs a random walk from the anchor with 1..spec.Colors
+// color segments and returns the endpoint plus the induced expression
+// c1{b} c2{b} ... (consecutive equal colors merged into one atom).
+func walkExpr(g *graph.Graph, anchor graph.NodeID, spec Spec, r *rand.Rand) (graph.NodeID, rex.Expr, bool) {
+	return walkExprN(g, anchor, spec, 1+r.Intn(spec.Colors), r)
+}
+
+func walkExprN(g *graph.Graph, anchor graph.NodeID, spec Spec, segments int, r *rand.Rand) (graph.NodeID, rex.Expr, bool) {
+	cur := anchor
+	var atoms []rex.Atom
+	segCount := 0 // steps taken within the current (last) segment
+	for {
+		out := g.Out(cur)
+		if len(out) == 0 {
+			break
+		}
+		e := out[r.Intn(len(out))]
+		color := g.ColorName(e.Color)
+		switch {
+		case len(atoms) > 0 && atoms[len(atoms)-1].Color == color:
+			if segCount >= spec.Bound {
+				// The segment's bound is exhausted and the walk would
+				// repeat its color; the path would leave L(expr), so stop.
+				goto done
+			}
+			segCount++
+		case len(atoms) == segments:
+			goto done // would start one segment too many
+		default:
+			atoms = append(atoms, rex.Atom{Color: color, Max: spec.Bound})
+			segCount = 1
+		}
+		cur = e.To
+		// Randomly stop early so endpoints vary (but only once every
+		// segment has at least begun or the walk cannot be required to
+		// cover all segments anyway).
+		if r.Intn(4) == 0 {
+			break
+		}
+	}
+done:
+	if len(atoms) == 0 {
+		return anchor, rex.Expr{}, false
+	}
+	return cur, rex.MustNew(atoms...), true
+}
+
+// randomSource picks a random node, preferring ones with outgoing edges.
+func randomSource(g *graph.Graph, r *rand.Rand) graph.NodeID {
+	n := g.NumNodes()
+	for try := 0; try < 32; try++ {
+		v := graph.NodeID(r.Intn(n))
+		if len(g.Out(v)) > 0 {
+			return v
+		}
+	}
+	return graph.NodeID(r.Intn(n))
+}

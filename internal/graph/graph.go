@@ -1,0 +1,468 @@
+// Package graph implements the paper's data graphs: directed graphs whose
+// nodes carry attribute tuples (the function f_A of Section 2) and whose
+// edges carry a color from a finite alphabet of edge types (the function
+// f_C). It also provides the graph-algorithm substrate used by the query
+// evaluation algorithms: per-color breadth-first search, Tarjan's strongly
+// connected components, and topological orders over condensations.
+//
+// Colors are interned to small integers; all per-color operations take a
+// ColorID. The special AnyColor stands for the wildcard "_" (a path via
+// edges of arbitrary colors).
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node; IDs are dense, starting at 0.
+type NodeID int
+
+// ColorID identifies an interned edge color.
+type ColorID int
+
+// AnyColor is the ColorID of the wildcard: it matches every edge color.
+const AnyColor ColorID = -1
+
+// Edge is one directed, colored edge endpoint as seen from a node's
+// adjacency list.
+type Edge struct {
+	To    NodeID
+	Color ColorID
+}
+
+// Node is a data-graph node: a stable name plus an attribute tuple.
+type Node struct {
+	Name  string
+	Attrs map[string]string
+}
+
+// Graph is a directed graph with typed edges and attributed nodes. The
+// zero value is not usable; create graphs with New.
+type Graph struct {
+	nodes    []Node
+	byName   map[string]NodeID
+	colors   []string
+	colorIdx map[string]ColorID
+	out      [][]Edge
+	in       [][]Edge
+	numEdges int
+
+	// Per-color adjacency, built on demand by colorIndex.
+	outByColor [][][]NodeID // [color][node] -> successors
+	inByColor  [][][]NodeID
+	indexed    bool
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		byName:   map[string]NodeID{},
+		colorIdx: map[string]ColorID{},
+	}
+}
+
+// AddNode adds a node with the given unique name and attributes and
+// returns its ID. Adding a duplicate name returns the existing node's ID
+// with attributes left unchanged.
+func (g *Graph) AddNode(name string, attrs map[string]string) NodeID {
+	if id, ok := g.byName[name]; ok {
+		return id
+	}
+	id := NodeID(len(g.nodes))
+	if attrs == nil {
+		attrs = map[string]string{}
+	}
+	g.nodes = append(g.nodes, Node{Name: name, Attrs: attrs})
+	g.byName[name] = id
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.indexed = false
+	return id
+}
+
+// InternColor returns the ColorID for a color name, creating it if new.
+// The wildcard "_" always maps to AnyColor.
+func (g *Graph) InternColor(color string) ColorID {
+	if color == "_" {
+		return AnyColor
+	}
+	if id, ok := g.colorIdx[color]; ok {
+		return id
+	}
+	id := ColorID(len(g.colors))
+	g.colors = append(g.colors, color)
+	g.colorIdx[color] = id
+	g.indexed = false
+	return id
+}
+
+// ColorID looks up an existing color without interning it. The wildcard
+// returns (AnyColor, true).
+func (g *Graph) ColorID(color string) (ColorID, bool) {
+	if color == "_" {
+		return AnyColor, true
+	}
+	id, ok := g.colorIdx[color]
+	return id, ok
+}
+
+// ColorName returns the name of a color; AnyColor renders as "_".
+func (g *Graph) ColorName(c ColorID) string {
+	if c == AnyColor {
+		return "_"
+	}
+	return g.colors[c]
+}
+
+// Colors returns the interned color names in ID order.
+func (g *Graph) Colors() []string { return g.colors }
+
+// NumColors returns the number of distinct edge colors (m in the paper's
+// complexity bounds).
+func (g *Graph) NumColors() int { return len(g.colors) }
+
+// AddEdge adds a directed edge with the given color. It panics on invalid
+// node IDs (a programming error, not a data error).
+func (g *Graph) AddEdge(from, to NodeID, color string) {
+	if int(from) >= len(g.nodes) || int(to) >= len(g.nodes) || from < 0 || to < 0 {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range (n=%d)", from, to, len(g.nodes)))
+	}
+	c := g.InternColor(color)
+	if c == AnyColor {
+		panic("graph: the wildcard \"_\" is not a valid concrete edge color")
+	}
+	g.out[from] = append(g.out[from], Edge{To: to, Color: c})
+	g.in[to] = append(g.in[to], Edge{To: from, Color: c})
+	g.numEdges++
+	g.indexed = false
+}
+
+// RemoveEdge removes one edge from `from` to `to` with the given color,
+// reporting whether such an edge existed. Used by the incremental
+// evaluation engine; the per-color index is rebuilt lazily.
+func (g *Graph) RemoveEdge(from, to NodeID, color string) bool {
+	c, ok := g.colorIdx[color]
+	if !ok {
+		return false
+	}
+	idx := -1
+	for i, e := range g.out[from] {
+		if e.To == to && e.Color == c {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	g.out[from] = append(g.out[from][:idx], g.out[from][idx+1:]...)
+	for i, e := range g.in[to] {
+		if e.To == from && e.Color == c {
+			g.in[to] = append(g.in[to][:i], g.in[to][i+1:]...)
+			break
+		}
+	}
+	g.numEdges--
+	g.indexed = false
+	return true
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Node returns the node record for an ID.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Attrs returns a node's attribute tuple.
+func (g *Graph) Attrs(id NodeID) map[string]string { return g.nodes[id].Attrs }
+
+// NodeByName returns the ID of the named node.
+func (g *Graph) NodeByName(name string) (NodeID, bool) {
+	id, ok := g.byName[name]
+	return id, ok
+}
+
+// Out returns the outgoing adjacency of a node (edges point to
+// successors). The slice must not be modified.
+func (g *Graph) Out(id NodeID) []Edge { return g.out[id] }
+
+// In returns the incoming adjacency of a node (Edge.To holds the
+// predecessor). The slice must not be modified.
+func (g *Graph) In(id NodeID) []Edge { return g.in[id] }
+
+// colorIndex builds (once) per-color adjacency lists used by the BFS
+// routines. Mutating the graph invalidates the index; it is rebuilt on the
+// next call.
+func (g *Graph) colorIndex() {
+	if g.indexed {
+		return
+	}
+	m := len(g.colors)
+	g.outByColor = make([][][]NodeID, m)
+	g.inByColor = make([][][]NodeID, m)
+	for c := 0; c < m; c++ {
+		g.outByColor[c] = make([][]NodeID, len(g.nodes))
+		g.inByColor[c] = make([][]NodeID, len(g.nodes))
+	}
+	for v := range g.nodes {
+		for _, e := range g.out[v] {
+			g.outByColor[e.Color][v] = append(g.outByColor[e.Color][v], e.To)
+		}
+		for _, e := range g.in[v] {
+			g.inByColor[e.Color][v] = append(g.inByColor[e.Color][v], e.To)
+		}
+	}
+	g.indexed = true
+}
+
+// Succ returns the successors of v via edges of color c (all colors when c
+// is AnyColor).
+func (g *Graph) Succ(v NodeID, c ColorID) []NodeID {
+	if c == AnyColor {
+		out := make([]NodeID, len(g.out[v]))
+		for i, e := range g.out[v] {
+			out[i] = e.To
+		}
+		return out
+	}
+	g.colorIndex()
+	return g.outByColor[c][v]
+}
+
+// Pred returns the predecessors of v via edges of color c (all colors when
+// c is AnyColor).
+func (g *Graph) Pred(v NodeID, c ColorID) []NodeID {
+	if c == AnyColor {
+		out := make([]NodeID, len(g.in[v]))
+		for i, e := range g.in[v] {
+			out[i] = e.To
+		}
+		return out
+	}
+	g.colorIndex()
+	return g.inByColor[c][v]
+}
+
+// Unreachable is the distance reported by BFS for unreachable nodes.
+const Unreachable = int32(-1)
+
+// BFS computes single-source shortest hop counts from src using only edges
+// of color c (every edge when c is AnyColor). dist[src] is 0 even if src
+// has a self-loop; the paper's path semantics require non-empty paths, so
+// callers needing "src reaches itself" must inspect edges explicitly (see
+// BFSNonEmpty).
+func (g *Graph) BFS(src NodeID, c ColorID) []int32 {
+	dist := make([]int32, len(g.nodes))
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Succ(v, c) {
+			if dist[w] == Unreachable {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSNonEmpty computes the length of the shortest non-empty path from src
+// to every node via edges of color c. It differs from BFS only at src
+// itself: dist[src] is the shortest cycle through src (or Unreachable).
+func (g *Graph) BFSNonEmpty(src NodeID, c ColorID) []int32 {
+	dist := g.BFS(src, c)
+	// Shortest non-empty path back to src: 1 + min over predecessors' dist.
+	best := Unreachable
+	for _, p := range g.Pred(src, c) {
+		if d := dist[p]; d != Unreachable {
+			if best == Unreachable || d+1 < best {
+				best = d + 1
+			}
+		}
+	}
+	dist[src] = best
+	return dist
+}
+
+// ---- strongly connected components --------------------------------------
+
+// SCC computes the strongly connected components of an arbitrary directed
+// graph given as a successor function, using Tarjan's algorithm
+// (iterative). Components are returned in reverse topological order of the
+// condensation (every edge goes from a later component to an earlier one),
+// which is exactly the order JoinMatch processes them in.
+func SCC(n int, succ func(int) []int) [][]int {
+	const undef = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = undef
+	}
+	var (
+		counter int
+		stack   []int
+		comps   [][]int
+	)
+	type frame struct {
+		v, i int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != undef {
+			continue
+		}
+		frames := []frame{{root, 0}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			ss := succ(f.v)
+			if f.i < len(ss) {
+				w := ss[f.i]
+				f.i++
+				if index[w] == undef {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			// Post-visit.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// ---- import/export -------------------------------------------------------
+
+// WriteTSV serializes the graph in a simple line format:
+//
+//	node <name> [attr=value]...
+//	edge <from> <to> <color>
+//
+// Attribute values with spaces are written with %q quoting.
+func (g *Graph) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for id, n := range g.nodes {
+		fmt.Fprintf(bw, "node\t%s", n.Name)
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v := n.Attrs[k]
+			if strings.ContainsAny(v, " \t") {
+				fmt.Fprintf(bw, "\t%s=%q", k, v)
+			} else {
+				fmt.Fprintf(bw, "\t%s=%s", k, v)
+			}
+		}
+		fmt.Fprintln(bw)
+		_ = id
+	}
+	for v := range g.nodes {
+		for _, e := range g.out[v] {
+			fmt.Fprintf(bw, "edge\t%s\t%s\t%s\n", g.nodes[v].Name, g.nodes[e.To].Name, g.colors[e.Color])
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses the format written by WriteTSV.
+func ReadTSV(r io.Reader) (*Graph, error) {
+	g := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		switch fields[0] {
+		case "node":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("graph: line %d: node needs a name", lineNo)
+			}
+			attrs := map[string]string{}
+			for _, f := range fields[2:] {
+				eq := strings.IndexByte(f, '=')
+				if eq < 0 {
+					return nil, fmt.Errorf("graph: line %d: bad attribute %q", lineNo, f)
+				}
+				k, v := f[:eq], f[eq+1:]
+				if len(v) >= 2 && v[0] == '"' {
+					unq := v[1 : len(v)-1]
+					v = unq
+				}
+				attrs[k] = v
+			}
+			g.AddNode(fields[1], attrs)
+		case "edge":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: edge needs from, to, color", lineNo)
+			}
+			from, ok := g.NodeByName(fields[1])
+			if !ok {
+				return nil, fmt.Errorf("graph: line %d: unknown node %q", lineNo, fields[1])
+			}
+			to, ok := g.NodeByName(fields[2])
+			if !ok {
+				return nil, fmt.Errorf("graph: line %d: unknown node %q", lineNo, fields[2])
+			}
+			g.AddEdge(from, to, fields[3])
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

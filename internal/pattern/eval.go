@@ -1,0 +1,413 @@
+package pattern
+
+import (
+	"regraph/internal/dist"
+	"regraph/internal/graph"
+	"regraph/internal/predicate"
+	"regraph/internal/reach"
+)
+
+// Options selects how edge constraints are checked, mirroring the "flag"
+// argument of the paper's algorithms.
+//
+// With a Matrix, the query is normalized (every multi-atom edge is split
+// into single-atom edges through dummy nodes) and each pair check is an
+// O(1) matrix lookup — the JoinMatchM / SplitMatchM configurations of the
+// experiments. Without a Matrix the algorithms run the bi-directional
+// runtime search, optionally through an LRU distance Cache — the
+// JoinMatchC / SplitMatchC configurations.
+type Options struct {
+	Matrix *dist.Matrix
+	Cache  *dist.Cache
+
+	// DisableTopoOrder makes JoinMatch run a plain global fixpoint instead
+	// of processing SCCs in reverse topological order. The answers are
+	// identical (the fixpoint is unique); exposed for the ablation
+	// benchmark quantifying what the ordering buys.
+	DisableTopoOrder bool
+}
+
+// ---- normalized form -------------------------------------------------------
+
+// normEdge is a single-atom edge of the normalized pattern.
+type normEdge struct {
+	from, to int
+	atom     dist.CAtom
+}
+
+// normQuery is the paper's Normalize(Qp): every edge of the original
+// pattern is decomposed into a chain of single-atom edges through fresh
+// dummy nodes that carry no condition.
+type normQuery struct {
+	preds   []predicate.Pred // per normalized node; dummies are empty
+	orig    []int            // original node index, -1 for dummies
+	ofNode  []int            // original node -> normalized node
+	edges   []normEdge
+	out, in [][]int // edge indices per normalized node
+
+	// For dummy nodes, the colors of the chain atoms ending and starting
+	// at them. A data node can only stand at that chain position if it
+	// has an incoming edge of inColor and an outgoing edge of outColor
+	// (AnyColor matches every edge), which initialMats uses to seed dummy
+	// match sets far below |V|.
+	dummyIn, dummyOut []graph.ColorID
+}
+
+// normalize builds the normalized pattern. ok is false when some edge
+// mentions a color absent from the graph, in which case the answer is
+// empty. When split is false, edges are kept whole (one normEdge carries
+// the full atom chain via atoms table) — used by the runtime-search mode,
+// which can evaluate whole expressions directly.
+func normalize(g *graph.Graph, q *Query, split bool) (*normQuery, [][]dist.CAtom, bool) {
+	nq := &normQuery{}
+	addNode := func(p predicate.Pred, orig int) int {
+		id := len(nq.preds)
+		nq.preds = append(nq.preds, p)
+		nq.orig = append(nq.orig, orig)
+		nq.out = append(nq.out, nil)
+		nq.in = append(nq.in, nil)
+		nq.dummyIn = append(nq.dummyIn, graph.AnyColor)
+		nq.dummyOut = append(nq.dummyOut, graph.AnyColor)
+		return id
+	}
+	nq.ofNode = make([]int, q.NumNodes())
+	for i := 0; i < q.NumNodes(); i++ {
+		nq.ofNode[i] = addNode(q.Node(i).Pred, i)
+	}
+	addEdge := func(from, to int, a dist.CAtom) {
+		id := len(nq.edges)
+		nq.edges = append(nq.edges, normEdge{from, to, a})
+		nq.out[from] = append(nq.out[from], id)
+		nq.in[to] = append(nq.in[to], id)
+	}
+	chains := make([][]dist.CAtom, q.NumEdges())
+	for ei := 0; ei < q.NumEdges(); ei++ {
+		e := q.Edge(ei)
+		atoms, ok := dist.Compile(g, e.Expr)
+		if !ok {
+			return nil, nil, false
+		}
+		chains[ei] = atoms
+		if !split || len(atoms) == 1 {
+			// Single edge; in unsplit mode the atom field is unused when
+			// the chain has several atoms (the chain table is consulted).
+			addEdge(nq.ofNode[e.From], nq.ofNode[e.To], atoms[0])
+			continue
+		}
+		prev := nq.ofNode[e.From]
+		for i := 0; i < len(atoms)-1; i++ {
+			d := addNode(predicate.Pred{}, -1)
+			nq.dummyIn[d] = atoms[i].Color
+			nq.dummyOut[d] = atoms[i+1].Color
+			addEdge(prev, d, atoms[i])
+			prev = d
+		}
+		addEdge(prev, nq.ofNode[e.To], atoms[len(atoms)-1])
+	}
+	return nq, chains, true
+}
+
+// checker abstracts the Join procedure of Fig. 7: prune from src every
+// node with no edge-satisfying successor in tgt. Implementations differ
+// between matrix mode (O(1) pair lookups) and runtime-search mode
+// (multi-source bounded BFS). Both report whether src changed and whether
+// it stayed non-empty.
+type checker interface {
+	refineSrc(ei int, src, tgt []bool) (changed, nonEmpty bool)
+}
+
+// matrixChecker: every normalized edge is a single atom; each pair check
+// is an O(1) matrix lookup, so the Join is O(|mat(u')|·|mat(u)|).
+type matrixChecker struct {
+	mx    *dist.Matrix
+	edges []normEdge
+}
+
+func (c *matrixChecker) refineSrc(ei int, src, tgt []bool) (changed, nonEmpty bool) {
+	a := c.edges[ei].atom
+	for x := range src {
+		if !src[x] {
+			continue
+		}
+		keep := false
+		for y := range tgt {
+			if tgt[y] && a.SatMatrix(c.mx, graph.NodeID(x), graph.NodeID(y)) {
+				keep = true
+				break
+			}
+		}
+		if keep {
+			nonEmpty = true
+		} else {
+			src[x] = false
+			changed = true
+		}
+	}
+	return changed, nonEmpty
+}
+
+// searchChecker: edges keep their whole atom chains. Single-atom edges
+// are checked pair by pair through the LRU distance cache, exactly the
+// paper's cache configuration (a miss recomputes the distance from
+// scratch with bi-directional BFS). Multi-atom edges use the paper's
+// multi-color runtime evaluation: the whole target set's backward image
+// under the expression, by multi-source bounded BFS, intersected with the
+// source set.
+type searchChecker struct {
+	g      *graph.Graph
+	cache  *dist.Cache
+	chains [][]dist.CAtom // per normalized edge (== original edge here)
+}
+
+func (c *searchChecker) refineSrc(ei int, src, tgt []bool) (changed, nonEmpty bool) {
+	atoms := c.chains[ei]
+	if len(atoms) == 1 && c.cache != nil {
+		a := atoms[0]
+		for x := range src {
+			if !src[x] {
+				continue
+			}
+			keep := false
+			for y := range tgt {
+				if tgt[y] && a.Sat(c.cache.Dist(a.Color, graph.NodeID(x), graph.NodeID(y))) {
+					keep = true
+					break
+				}
+			}
+			if keep {
+				nonEmpty = true
+			} else {
+				src[x] = false
+				changed = true
+			}
+		}
+		return changed, nonEmpty
+	}
+	img := dist.BackwardClosure(c.g, tgt, atoms)
+	for x := range src {
+		if !src[x] {
+			continue
+		}
+		if img[x] {
+			nonEmpty = true
+		} else {
+			src[x] = false
+			changed = true
+		}
+	}
+	return changed, nonEmpty
+}
+
+// ---- JoinMatch --------------------------------------------------------------
+
+// JoinMatch evaluates the pattern with the join-based algorithm of
+// Section 5.1 (Fig. 7): initial match sets are refined edge by edge, the
+// strongly connected components of the (normalized) pattern are processed
+// in reverse topological order, and within each component refinement
+// iterates to a fixpoint. Runs in O(|E'p| |V|^2) after preprocessing when
+// a distance matrix is used.
+func JoinMatch(g *graph.Graph, q *Query, opts Options) *Result {
+	if q.NumEdges() == 0 {
+		// Degenerate pattern: only node conditions; the answer has no edge
+		// sets, so it is empty unless we report node matches — the paper
+		// defines answers per edge, so an edgeless pattern yields the
+		// empty answer.
+		return &Result{}
+	}
+	useMatrix := opts.Matrix != nil
+	nq, chains, ok := normalize(g, q, useMatrix)
+	if !ok {
+		return &Result{}
+	}
+	var ck checker
+	if useMatrix {
+		ck = &matrixChecker{mx: opts.Matrix, edges: nq.edges}
+	} else {
+		ck = &searchChecker{g: g, cache: opts.Cache, chains: chains}
+	}
+	mats := initialMats(g, nq)
+	if mats == nil {
+		return &Result{}
+	}
+	if !refine(g, nq, ck, mats, opts.DisableTopoOrder) {
+		return &Result{}
+	}
+	return collect(g, q, nq, chains, mats, opts)
+}
+
+// initialMats computes mat(u) = {x | x matches fv(u)} as bitsets; nil if
+// some edge-incident pattern node has no candidates at all. Isolated
+// pattern nodes do not influence the answer (the answer is defined per
+// edge; the paper assumes connected patterns and its minimization drops
+// isolated nodes), so their emptiness is not fatal.
+func initialMats(g *graph.Graph, nq *normQuery) [][]bool {
+	n := g.NumNodes()
+	mats := make([][]bool, len(nq.preds))
+	for u, p := range nq.preds {
+		m := make([]bool, n)
+		any := false
+		if nq.orig[u] < 0 {
+			// Dummy node: no predicate, but a witness at this chain
+			// position must have an incoming edge of the preceding atom's
+			// color and an outgoing edge of the following atom's color.
+			hasIn := func(v graph.NodeID) bool {
+				if c := nq.dummyIn[u]; c != graph.AnyColor {
+					return len(g.Pred(v, c)) > 0
+				}
+				return len(g.In(v)) > 0
+			}
+			hasOut := func(v graph.NodeID) bool {
+				if c := nq.dummyOut[u]; c != graph.AnyColor {
+					return len(g.Succ(v, c)) > 0
+				}
+				return len(g.Out(v)) > 0
+			}
+			for v := 0; v < n; v++ {
+				if hasIn(graph.NodeID(v)) && hasOut(graph.NodeID(v)) {
+					m[v] = true
+					any = true
+				}
+			}
+		} else if p.IsTrue() {
+			for v := range m {
+				m[v] = true
+			}
+			any = n > 0
+		} else {
+			for v := 0; v < n; v++ {
+				if p.Eval(g.Attrs(graph.NodeID(v))) {
+					m[v] = true
+					any = true
+				}
+			}
+		}
+		if !any && (len(nq.out[u]) > 0 || len(nq.in[u]) > 0) {
+			return nil
+		}
+		mats[u] = m
+	}
+	return mats
+}
+
+// refine runs the fixpoint of Fig. 7 (lines 6-14): components of the
+// pattern in reverse topological order; within each component, every edge
+// whose target lost matches re-triggers its sources. Returns false when
+// some match set empties.
+func refine(g *graph.Graph, nq *normQuery, ck checker, mats [][]bool, noOrder bool) bool {
+	var comps [][]int
+	if noOrder {
+		// Ablation mode: one flat "component" holding every node, i.e. a
+		// plain chaotic fixpoint without the reverse topological sweep.
+		all := make([]int, len(nq.preds))
+		for i := range all {
+			all[i] = i
+		}
+		comps = [][]int{all}
+	} else {
+		comps = graph.SCC(len(nq.preds), func(u int) []int {
+			succs := make([]int, 0, len(nq.out[u]))
+			for _, ei := range nq.out[u] {
+				succs = append(succs, nq.edges[ei].to)
+			}
+			return succs
+		})
+	}
+	// Process components in the order SCC returned them (reverse
+	// topological: every successor of a component comes earlier, so its
+	// match sets are already final when the component is processed — the
+	// DAG part of the pattern needs a single bottom-up sweep, and only
+	// cyclic components iterate). Refinement in any order converges to the
+	// same maximum fixpoint; the order matters for work, not correctness.
+	queued := make([]bool, len(nq.edges))
+	for _, comp := range comps {
+		var queue []int
+		for _, u := range comp {
+			for _, ei := range nq.in[u] {
+				if !queued[ei] {
+					queue = append(queue, ei)
+					queued[ei] = true
+				}
+			}
+		}
+		for len(queue) > 0 {
+			ei := queue[0]
+			queue = queue[1:]
+			queued[ei] = false
+			e := nq.edges[ei]
+			changed, nonEmpty := ck.refineSrc(ei, mats[e.from], mats[e.to])
+			if changed && !nonEmpty {
+				return false
+			}
+			if changed {
+				// The source node shrank; its own incoming edges must be
+				// re-checked (their sources may lose matches in turn).
+				for _, ei2 := range nq.in[e.from] {
+					if !queued[ei2] {
+						queue = append(queue, ei2)
+						queued[ei2] = true
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// collect builds the final Se sets (Fig. 7 lines 15-17) from the match
+// sets of the original nodes.
+func collect(g *graph.Graph, q *Query, nq *normQuery, chains [][]dist.CAtom, mats [][]bool, opts Options) *Result {
+	res := &Result{q: q, Sets: make([][]reach.Pair, q.NumEdges())}
+	for ei := 0; ei < q.NumEdges(); ei++ {
+		e := q.Edge(ei)
+		from := mats[nq.ofNode[e.From]]
+		to := mats[nq.ofNode[e.To]]
+		atoms := chains[ei]
+		var pairs []reach.Pair
+		if len(atoms) == 1 {
+			a := atoms[0]
+			for x := range from {
+				if !from[x] {
+					continue
+				}
+				for y := range to {
+					if !to[y] {
+						continue
+					}
+					sat := false
+					if opts.Matrix != nil {
+						sat = a.SatMatrix(opts.Matrix, graph.NodeID(x), graph.NodeID(y))
+					} else if opts.Cache != nil {
+						sat = a.Sat(opts.Cache.Dist(a.Color, graph.NodeID(x), graph.NodeID(y)))
+					} else {
+						sat = a.Sat(dist.BiDist(g, a.Color, graph.NodeID(x), graph.NodeID(y)))
+					}
+					if sat {
+						pairs = append(pairs, reach.Pair{From: graph.NodeID(x), To: graph.NodeID(y)})
+					}
+				}
+			}
+		} else {
+			// Multi-atom edge: one backward closure from the target set
+			// per source candidate would be wasteful; instead compute the
+			// forward closure per source and intersect with targets.
+			for x := range from {
+				if !from[x] {
+					continue
+				}
+				src := make([]bool, g.NumNodes())
+				src[x] = true
+				fc := dist.ForwardClosure(g, src, atoms)
+				for y := range to {
+					if to[y] && fc[y] {
+						pairs = append(pairs, reach.Pair{From: graph.NodeID(x), To: graph.NodeID(y)})
+					}
+				}
+			}
+		}
+		if len(pairs) == 0 {
+			return &Result{}
+		}
+		res.Sets[ei] = pairs
+	}
+	return res
+}

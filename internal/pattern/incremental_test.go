@@ -1,0 +1,227 @@
+package pattern_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regraph/internal/gen"
+	"regraph/internal/graph"
+	"regraph/internal/pattern"
+	"regraph/internal/predicate"
+	"regraph/internal/rex"
+)
+
+func TestIncrementalBasicFlow(t *testing.T) {
+	g := gen.Essembly()
+	q := essemblyQ2()
+	inc, err := pattern.NewIncremental(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := inc.Result()
+	if res.Size() != 8 {
+		t.Fatalf("initial size = %d, want 8 (Example 2.3)", res.Size())
+	}
+	// Delete the fn edge C3 -> B1: the (C,B) edge loses (C3,B1).
+	c3, _ := g.NodeByName("C3")
+	b1, _ := g.NodeByName("B1")
+	if err := inc.DeleteEdge(c3, b1, "fn"); err != nil {
+		t.Fatal(err)
+	}
+	fresh := pattern.JoinMatch(g, q, pattern.Options{})
+	if !inc.Result().Equal(fresh) {
+		t.Errorf("after deletion: incremental %s != fresh %s", inc.Result().String(g), fresh.String(g))
+	}
+	// Re-insert it: the full answer returns.
+	inc.InsertEdge(c3, b1, "fn")
+	fresh = pattern.JoinMatch(g, q, pattern.Options{})
+	if !inc.Result().Equal(fresh) || inc.Result().Size() != 8 {
+		t.Errorf("after re-insertion: size %d, want 8", inc.Result().Size())
+	}
+}
+
+func TestIncrementalIrrelevantColorIsNoOp(t *testing.T) {
+	g := gen.Essembly()
+	q := pattern.New()
+	c := q.AddNode("C", predicate.MustParse("job = biologist"))
+	b := q.AddNode("B", predicate.MustParse("job = doctor"))
+	q.AddEdge(c, b, rex.MustParse("fn"))
+	inc, err := pattern.NewIncremental(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := inc.Result()
+	// sa edges never appear in the pattern: inserting them cannot change
+	// the answer.
+	c1, _ := g.NodeByName("C1")
+	b2, _ := g.NodeByName("B2")
+	inc.InsertEdge(c1, b2, "sa")
+	if !inc.Result().Equal(before) {
+		t.Error("irrelevant-color insertion changed the answer")
+	}
+	fresh := pattern.JoinMatch(g, q, pattern.Options{})
+	if !inc.Result().Equal(fresh) {
+		t.Error("incremental answer diverged from fresh evaluation")
+	}
+}
+
+func TestIncrementalEmptyToNonEmpty(t *testing.T) {
+	g := graph.New()
+	x := g.AddNode("x", map[string]string{"t": "a"})
+	y := g.AddNode("y", map[string]string{"t": "b"})
+	g.AddEdge(y, x, "back") // some edge so colors exist; a->b missing
+	q := pattern.New()
+	a := q.AddNode("A", predicate.MustParse("t = a"))
+	b := q.AddNode("B", predicate.MustParse("t = b"))
+	q.AddEdge(a, b, rex.MustParse("e{2}"))
+	if _, err := pattern.NewIncremental(g, q); err == nil {
+		t.Fatal("color e does not exist yet; construction should fail")
+	}
+	// Add one e edge elsewhere so the color exists, then build.
+	g.AddEdge(y, y, "e")
+	inc, err := pattern.NewIncremental(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Result().Empty() {
+		t.Fatal("no a->b path yet; answer should be empty")
+	}
+	inc.InsertEdge(x, y, "e")
+	if inc.Result().Empty() {
+		t.Fatal("x -e-> y should produce a match")
+	}
+	fresh := pattern.JoinMatch(g, q, pattern.Options{})
+	if !inc.Result().Equal(fresh) {
+		t.Error("incremental != fresh after empty-to-nonempty transition")
+	}
+}
+
+func TestIncrementalInsertNode(t *testing.T) {
+	g := graph.New()
+	x := g.AddNode("x", map[string]string{"t": "a"})
+	y := g.AddNode("y", map[string]string{"t": "b"})
+	g.AddEdge(x, y, "e")
+	q := pattern.New()
+	a := q.AddNode("A", predicate.MustParse("t = a"))
+	b := q.AddNode("B", predicate.MustParse("t = b"))
+	q.AddEdge(a, b, rex.MustParse("e"))
+	inc, err := pattern.NewIncremental(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new isolated t=b node matches B (no outgoing pattern edges) but
+	// creates no pairs until an edge reaches it.
+	z := inc.InsertNode("z", map[string]string{"t": "b"})
+	fresh := pattern.JoinMatch(g, q, pattern.Options{})
+	if !inc.Result().Equal(fresh) {
+		t.Errorf("after node insertion: %s != %s", inc.Result().String(g), fresh.String(g))
+	}
+	inc.InsertEdge(x, z, "e")
+	fresh = pattern.JoinMatch(g, q, pattern.Options{})
+	if !inc.Result().Equal(fresh) {
+		t.Error("after connecting the new node: incremental != fresh")
+	}
+	if len(inc.Result().EdgePairs(0)) != 2 {
+		t.Errorf("expected 2 pairs, got %d", len(inc.Result().EdgePairs(0)))
+	}
+}
+
+func TestIncrementalDeleteMissingEdge(t *testing.T) {
+	g := gen.Essembly()
+	q := pattern.New()
+	c := q.AddNode("C", predicate.MustParse("job = biologist"))
+	b := q.AddNode("B", predicate.MustParse("job = doctor"))
+	q.AddEdge(c, b, rex.MustParse("fn"))
+	inc, _ := pattern.NewIncremental(g, q)
+	c1, _ := g.NodeByName("C1")
+	b1, _ := g.NodeByName("B1")
+	if err := inc.DeleteEdge(c1, b1, "fn"); err == nil {
+		t.Error("deleting a non-existent edge should error")
+	}
+}
+
+// TestIncrementalMatchesFreshUnderChurn is the central property: after an
+// arbitrary interleaving of relevant/irrelevant edge insertions and
+// deletions (on cyclic and acyclic patterns, bounded and unbounded
+// atoms), the maintained answer equals a from-scratch evaluation.
+func TestIncrementalMatchesFreshUnderChurn(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomAttrGraph(r, 4+r.Intn(8), 6+r.Intn(20))
+		q := randomPattern(r)
+		inc, err := pattern.NewIncremental(g, q)
+		if err != nil {
+			return true // pattern color absent from graph; nothing to test
+		}
+		type edge struct {
+			from, to graph.NodeID
+			color    string
+		}
+		var inserted []edge
+		colors := []string{"a", "b", "c"} // includes a color new to the graph
+		for step := 0; step < 12; step++ {
+			if r.Intn(3) > 0 || len(inserted) == 0 {
+				e := edge{
+					from:  graph.NodeID(r.Intn(g.NumNodes())),
+					to:    graph.NodeID(r.Intn(g.NumNodes())),
+					color: colors[r.Intn(len(colors))],
+				}
+				inc.InsertEdge(e.from, e.to, e.color)
+				inserted = append(inserted, e)
+			} else {
+				i := r.Intn(len(inserted))
+				e := inserted[i]
+				if err := inc.DeleteEdge(e.from, e.to, e.color); err != nil {
+					t.Logf("seed %d: delete failed: %v", seed, err)
+					return false
+				}
+				inserted = append(inserted[:i], inserted[i+1:]...)
+			}
+			fresh := pattern.JoinMatch(g, q, pattern.Options{})
+			if !inc.Result().Equal(fresh) {
+				t.Logf("seed %d step %d: incremental diverged\npattern %v\ninc   %s\nfresh %s",
+					seed, step, q, inc.Result().String(g), fresh.String(g))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIncrementalNodeChurn mixes node insertions into the churn.
+func TestIncrementalNodeChurn(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomAttrGraph(r, 4+r.Intn(6), 5+r.Intn(12))
+		q := randomPattern(r)
+		inc, err := pattern.NewIncremental(g, q)
+		if err != nil {
+			return true
+		}
+		for step := 0; step < 8; step++ {
+			if r.Intn(3) == 0 {
+				inc.InsertNode(fmt.Sprintf("new%d", step), map[string]string{"t": fmt.Sprint(r.Intn(3))})
+			} else {
+				inc.InsertEdge(
+					graph.NodeID(r.Intn(g.NumNodes())),
+					graph.NodeID(r.Intn(g.NumNodes())),
+					[]string{"a", "b"}[r.Intn(2)],
+				)
+			}
+			fresh := pattern.JoinMatch(g, q, pattern.Options{})
+			if !inc.Result().Equal(fresh) {
+				t.Logf("seed %d step %d: diverged", seed, step)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

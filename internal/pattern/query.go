@@ -1,0 +1,268 @@
+// Package pattern implements the paper's graph pattern queries (PQs,
+// Section 2) and the two cubic-time evaluation algorithms of Section 5:
+// the join-based JoinMatch (Fig. 7) and the split-based SplitMatch
+// (Fig. 8).
+//
+// A PQ is a directed pattern graph Qp = (Vp, Ep, fv, fe): every node
+// carries a search predicate and every edge a subclass-F regular
+// expression, so that each edge is a reachability query. Matching is the
+// paper's revised graph simulation: the answer Qp(G) is the unique maximum
+// set {(e, Se)} such that every pair in Se satisfies its edge's RQ and
+// every matched node can extend along all outgoing pattern edges
+// (Proposition 2.1). If any edge's set is empty the whole answer is empty.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"regraph/internal/graph"
+	"regraph/internal/predicate"
+	"regraph/internal/reach"
+	"regraph/internal/rex"
+)
+
+// Node is a pattern node: a name (for readable output) and the search
+// predicate fv(u).
+type Node struct {
+	Name string
+	Pred predicate.Pred
+}
+
+// Edge is a pattern edge (u, u') with its regular expression fe(e).
+type Edge struct {
+	From, To int
+	Expr     rex.Expr
+}
+
+// Query is a graph pattern query. Build queries with New, AddNode and
+// AddEdge; the zero value is an empty pattern.
+type Query struct {
+	nodes  []Node
+	byName map[string]int
+	edges  []Edge
+	out    [][]int // outgoing edge indices per node
+	in     [][]int // incoming edge indices per node
+}
+
+// New returns an empty pattern query.
+func New() *Query {
+	return &Query{byName: map[string]int{}}
+}
+
+// AddNode adds a pattern node and returns its index. Adding an existing
+// name returns the existing index with the predicate left unchanged.
+func (q *Query) AddNode(name string, pred predicate.Pred) int {
+	if id, ok := q.byName[name]; ok {
+		return id
+	}
+	id := len(q.nodes)
+	q.nodes = append(q.nodes, Node{Name: name, Pred: pred})
+	q.byName[name] = id
+	q.out = append(q.out, nil)
+	q.in = append(q.in, nil)
+	return id
+}
+
+// AddEdge adds a pattern edge between existing node indices.
+func (q *Query) AddEdge(from, to int, expr rex.Expr) int {
+	if from < 0 || from >= len(q.nodes) || to < 0 || to >= len(q.nodes) {
+		panic(fmt.Sprintf("pattern: AddEdge(%d, %d) out of range (n=%d)", from, to, len(q.nodes)))
+	}
+	id := len(q.edges)
+	q.edges = append(q.edges, Edge{From: from, To: to, Expr: expr})
+	q.out[from] = append(q.out[from], id)
+	q.in[to] = append(q.in[to], id)
+	return id
+}
+
+// AddEdgeByName adds an edge between named nodes, creating missing nodes
+// with the always-true predicate.
+func (q *Query) AddEdgeByName(from, to string, expr rex.Expr) int {
+	f, ok := q.byName[from]
+	if !ok {
+		f = q.AddNode(from, predicate.Pred{})
+	}
+	t, ok := q.byName[to]
+	if !ok {
+		t = q.AddNode(to, predicate.Pred{})
+	}
+	return q.AddEdge(f, t, expr)
+}
+
+// NumNodes returns |Vp|.
+func (q *Query) NumNodes() int { return len(q.nodes) }
+
+// NumEdges returns |Ep|.
+func (q *Query) NumEdges() int { return len(q.edges) }
+
+// Size returns |Vp| + |Ep|, the paper's query size metric.
+func (q *Query) Size() int { return len(q.nodes) + len(q.edges) }
+
+// Node returns the i-th pattern node.
+func (q *Query) Node(i int) Node { return q.nodes[i] }
+
+// NodeIndex returns the index of a named node.
+func (q *Query) NodeIndex(name string) (int, bool) {
+	id, ok := q.byName[name]
+	return id, ok
+}
+
+// Edge returns the i-th pattern edge.
+func (q *Query) Edge(i int) Edge { return q.edges[i] }
+
+// Out returns the indices of edges leaving node u.
+func (q *Query) Out(u int) []int { return q.out[u] }
+
+// In returns the indices of edges entering node u.
+func (q *Query) In(u int) []int { return q.in[u] }
+
+// Clone returns a deep copy of the query.
+func (q *Query) Clone() *Query {
+	c := New()
+	for _, n := range q.nodes {
+		c.AddNode(n.Name, n.Pred)
+	}
+	for _, e := range q.edges {
+		c.AddEdge(e.From, e.To, e.Expr)
+	}
+	return c
+}
+
+// String renders the pattern, one edge per line.
+func (q *Query) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PQ{%d nodes, %d edges}", len(q.nodes), len(q.edges))
+	for _, e := range q.edges {
+		fmt.Fprintf(&b, "\n  %s[%s] --%s--> %s[%s]",
+			q.nodes[e.From].Name, q.nodes[e.From].Pred, e.Expr,
+			q.nodes[e.To].Name, q.nodes[e.To].Pred)
+	}
+	return b.String()
+}
+
+// AsRQ converts a two-node, one-edge pattern into the equivalent
+// reachability query (RQs are the special case of PQs noted in Section 2).
+func (q *Query) AsRQ() (reach.Query, bool) {
+	if len(q.nodes) != 2 || len(q.edges) != 1 {
+		return reach.Query{}, false
+	}
+	e := q.edges[0]
+	return reach.New(q.nodes[e.From].Pred, q.nodes[e.To].Pred, e.Expr), true
+}
+
+// ---- results --------------------------------------------------------------
+
+// Result is a query answer: for every pattern edge e, the set Se of
+// matching data-node pairs. The zero value is the empty answer.
+type Result struct {
+	q    *Query
+	Sets [][]reach.Pair // indexed by edge; nil for the empty answer
+}
+
+// Empty reports whether the answer is the empty set (some edge had no
+// matches, condition (3) of the PQ semantics).
+func (r *Result) Empty() bool { return r == nil || r.Sets == nil }
+
+// Size returns the paper's answer-size metric, the total number of pairs
+// across all edges.
+func (r *Result) Size() int {
+	if r.Empty() {
+		return 0
+	}
+	total := 0
+	for _, s := range r.Sets {
+		total += len(s)
+	}
+	return total
+}
+
+// EdgePairs returns Se for the i-th pattern edge.
+func (r *Result) EdgePairs(i int) []reach.Pair {
+	if r.Empty() {
+		return nil
+	}
+	return r.Sets[i]
+}
+
+// MatchSet returns the data nodes matched to pattern node u (the relation
+// R ⊆ Vp × V of the semantics, projected on u), in ID order.
+func (r *Result) MatchSet(u int) []graph.NodeID {
+	if r.Empty() {
+		return nil
+	}
+	set := map[graph.NodeID]bool{}
+	for ei, pairs := range r.Sets {
+		e := r.q.Edge(ei)
+		for _, p := range pairs {
+			if e.From == u {
+				set[p.From] = true
+			}
+			if e.To == u {
+				set[p.To] = true
+			}
+		}
+	}
+	out := make([]graph.NodeID, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the answer grouped by edge, with node names, in a
+// deterministic order.
+func (r *Result) String(g *graph.Graph) string {
+	if r.Empty() {
+		return "{}"
+	}
+	var b strings.Builder
+	for ei, pairs := range r.Sets {
+		e := r.q.Edge(ei)
+		fmt.Fprintf(&b, "(%s,%s): {", r.q.Node(e.From).Name, r.q.Node(e.To).Name)
+		ss := make([]string, len(pairs))
+		for i, p := range pairs {
+			ss[i] = "(" + g.Node(p.From).Name + "," + g.Node(p.To).Name + ")"
+		}
+		sort.Strings(ss)
+		b.WriteString(strings.Join(ss, ", "))
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// Equal reports whether two results contain exactly the same pair sets.
+func (r *Result) Equal(other *Result) bool {
+	if r.Empty() || other.Empty() {
+		return r.Empty() && other.Empty()
+	}
+	if len(r.Sets) != len(other.Sets) {
+		return false
+	}
+	for i := range r.Sets {
+		if len(r.Sets[i]) != len(other.Sets[i]) {
+			return false
+		}
+		a := append([]reach.Pair(nil), r.Sets[i]...)
+		b := append([]reach.Pair(nil), other.Sets[i]...)
+		sortPairs(a)
+		sortPairs(b)
+		for j := range a {
+			if a[j] != b[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sortPairs(ps []reach.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].From != ps[j].From {
+			return ps[i].From < ps[j].From
+		}
+		return ps[i].To < ps[j].To
+	})
+}

@@ -1,0 +1,182 @@
+package pattern
+
+import (
+	"regraph/internal/graph"
+)
+
+// SplitMatch evaluates the pattern with the split-based algorithm of
+// Section 5.2 (Fig. 8), the partition-refinement approach borrowed from
+// labeled-transition-system verification. Data nodes are grouped into
+// blocks; a partition-relation pair <par, rel> maps every pattern node to
+// the set of blocks whose union is its current match set. Each iteration
+// picks an edge whose rmv set (sources that lost all valid successors) is
+// non-empty, splits every block of par against that set, drops the removed
+// blocks from the source's rel, and propagates new rmv sets to incoming
+// edges. The fixpoint is the same maximum match relation JoinMatch
+// computes; the block structure shares refinement work between pattern
+// nodes with overlapping match sets.
+func SplitMatch(g *graph.Graph, q *Query, opts Options) *Result {
+	if q.NumEdges() == 0 {
+		return &Result{}
+	}
+	useMatrix := opts.Matrix != nil
+	nq, chains, ok := normalize(g, q, useMatrix)
+	if !ok {
+		return &Result{}
+	}
+	var ck checker
+	if useMatrix {
+		ck = &matrixChecker{mx: opts.Matrix, edges: nq.edges}
+	} else {
+		ck = &searchChecker{g: g, cache: opts.Cache, chains: chains}
+	}
+	mats := initialMats(g, nq)
+	if mats == nil {
+		return &Result{}
+	}
+	st := newSplitState(g.NumNodes(), nq, mats)
+
+	// Seed the worklist with every edge (Fig. 8 line 7 computes rmv for
+	// all edges up front).
+	queue := make([]int, 0, len(nq.edges))
+	queued := make([]bool, len(nq.edges))
+	for ei := range nq.edges {
+		queue = append(queue, ei)
+		queued[ei] = true
+	}
+	for len(queue) > 0 {
+		ei := queue[0]
+		queue = queue[1:]
+		queued[ei] = false
+		e := nq.edges[ei]
+		// rmv(e): sources in mat(u') with no satisfying successor in
+		// mat(u). Computed against a scratch copy so the split machinery
+		// owns the actual removal.
+		scratch := make([]bool, len(mats[e.from]))
+		copy(scratch, mats[e.from])
+		changed, nonEmpty := ck.refineSrc(ei, scratch, mats[e.to])
+		if !changed {
+			continue
+		}
+		if !nonEmpty {
+			return &Result{}
+		}
+		rmv := make([]bool, len(scratch))
+		for v := range scratch {
+			rmv[v] = mats[e.from][v] && !scratch[v]
+		}
+		// Split every block of par against rmv, then drop the rmv-side
+		// blocks from rel(u') — which updates mat(u') (Fig. 8 lines 10-11).
+		st.split(rmv)
+		st.dropFromRel(e.from, rmv, mats)
+		// Propagate: edges into u' must recompute their rmv sets
+		// (Fig. 8 lines 12-14).
+		for _, ei2 := range nq.in[e.from] {
+			if !queued[ei2] {
+				queue = append(queue, ei2)
+				queued[ei2] = true
+			}
+		}
+	}
+	return collect(g, q, nq, chains, mats, opts)
+}
+
+// splitState is the partition-relation pair <par, rel>: a partition of the
+// data nodes into blocks, plus, per pattern node, the set of block IDs
+// whose union is its match set.
+type splitState struct {
+	blockOf []int   // data node -> current block id
+	members [][]int // block id -> member data nodes
+	rel     []map[int]bool
+}
+
+// newSplitState builds the initial partition. Blocks group data nodes by
+// their signature — the set of pattern nodes whose initial match set
+// contains them — which generalizes the paper's B(u) initialization to
+// overlapping match sets while keeping par a true partition.
+func newSplitState(n int, nq *normQuery, mats [][]bool) *splitState {
+	st := &splitState{
+		blockOf: make([]int, n),
+		rel:     make([]map[int]bool, len(nq.preds)),
+	}
+	sigBlock := map[string]int{}
+	sig := make([]byte, len(nq.preds))
+	for v := 0; v < n; v++ {
+		for u := range nq.preds {
+			if mats[u][v] {
+				sig[u] = '1'
+			} else {
+				sig[u] = '0'
+			}
+		}
+		key := string(sig)
+		b, ok := sigBlock[key]
+		if !ok {
+			b = len(st.members)
+			sigBlock[key] = b
+			st.members = append(st.members, nil)
+		}
+		st.blockOf[v] = b
+		st.members[b] = append(st.members[b], v)
+	}
+	for u := range nq.preds {
+		st.rel[u] = map[int]bool{}
+		for v := 0; v < n; v++ {
+			if mats[u][v] {
+				st.rel[u][st.blockOf[v]] = true
+			}
+		}
+	}
+	return st
+}
+
+// split refines the partition against a node set: every block B becomes
+// B ∩ set and B \ set (the Split procedure of Fig. 8). New blocks inherit
+// the rel memberships of their parent.
+func (st *splitState) split(set []bool) {
+	touched := map[int]bool{}
+	for v, in := range set {
+		if in {
+			touched[st.blockOf[v]] = true
+		}
+	}
+	for b := range touched {
+		var inside, outside []int
+		for _, v := range st.members[b] {
+			if set[v] {
+				inside = append(inside, v)
+			} else {
+				outside = append(outside, v)
+			}
+		}
+		if len(inside) == 0 || len(outside) == 0 {
+			continue // block not actually split
+		}
+		nb := len(st.members)
+		st.members = append(st.members, inside)
+		st.members[b] = outside
+		for _, v := range inside {
+			st.blockOf[v] = nb
+		}
+		for u := range st.rel {
+			if st.rel[u][b] {
+				st.rel[u][nb] = true
+			}
+		}
+	}
+}
+
+// dropFromRel removes from pattern node u's rel every block contained in
+// set (after split, blocks are either inside or outside set), and clears
+// the corresponding bits of u's match set.
+func (st *splitState) dropFromRel(u int, set []bool, mats [][]bool) {
+	for b := range st.rel[u] {
+		m := st.members[b]
+		if len(m) > 0 && set[m[0]] {
+			delete(st.rel[u], b)
+			for _, v := range m {
+				mats[u][v] = false
+			}
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package reach implements the paper's reachability queries (RQs,
+// Section 2) and their two evaluation methods (Section 4).
+//
+// An RQ is Qr = (u1, u2, f_u1, f_u2, f_e): find all node pairs (v1, v2)
+// such that v1 matches the predicate f_u1, v2 matches f_u2, and there is a
+// non-empty path from v1 to v2 whose edge-color string belongs to L(f_e),
+// with f_e drawn from the restricted subclass F of regular expressions.
+//
+// Evaluation methods:
+//
+//   - EvalMatrix: the quadratic-time method using the per-color distance
+//     matrix. The query is decomposed into single-atom RQs linked by dummy
+//     nodes, candidate sets are refined right-to-left, and pairs are then
+//     enumerated left-to-right through the refined layers.
+//   - EvalBFS: forward-only product search per source candidate.
+//   - EvalBiBFS: the bi-directional runtime search with an optional LRU
+//     distance cache, for graphs too large to hold a matrix.
+package reach
+
+import (
+	"fmt"
+
+	"regraph/internal/dist"
+	"regraph/internal/graph"
+	"regraph/internal/predicate"
+	"regraph/internal/rex"
+)
+
+// Query is a reachability query.
+type Query struct {
+	From predicate.Pred // f_u1: condition on the source node
+	To   predicate.Pred // f_u2: condition on the destination node
+	Expr rex.Expr       // f_e: path constraint from subclass F
+}
+
+// New builds an RQ.
+func New(from, to predicate.Pred, expr rex.Expr) Query {
+	return Query{From: from, To: to, Expr: expr}
+}
+
+// String renders the query.
+func (q Query) String() string {
+	return fmt.Sprintf("RQ[%s --%s--> %s]", q.From, q.Expr, q.To)
+}
+
+// Pair is one query answer: the source and destination node.
+type Pair struct {
+	From, To graph.NodeID
+}
+
+// Candidates returns the IDs of nodes matching a predicate, in ID order.
+func Candidates(g *graph.Graph, p predicate.Pred) []graph.NodeID {
+	var out []graph.NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		if p.Eval(g.Attrs(graph.NodeID(v))) {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// EvalMatrix evaluates the query with the distance matrix (Section 4,
+// "matrix-based method"). The expression is decomposed into its atoms
+// (each a single-color RQ over dummy nodes); candidate layers are refined
+// from the destination side back to the source side, then answer pairs are
+// enumerated forward through the refined layers.
+func (q Query) EvalMatrix(g *graph.Graph, mx *dist.Matrix) []Pair {
+	atoms, ok := dist.Compile(g, q.Expr)
+	if !ok {
+		return nil
+	}
+	cand1 := Candidates(g, q.From)
+	cand2 := Candidates(g, q.To)
+	if len(cand1) == 0 || len(cand2) == 0 {
+		return nil
+	}
+	h := len(atoms)
+	// layers[i] is the match set of the i-th dummy node: nodes from which
+	// atoms[i:] can reach some destination candidate. layers[h] = cand2.
+	layers := make([][]graph.NodeID, h+1)
+	layers[h] = cand2
+	for i := h - 1; i >= 0; i-- {
+		var from []graph.NodeID
+		if i == 0 {
+			from = cand1
+		} else {
+			from = allNodes(g)
+		}
+		layers[i] = refineLayer(mx, atoms[i], from, layers[i+1])
+		if len(layers[i]) == 0 {
+			return nil
+		}
+	}
+	// Forward enumeration: for each surviving source, walk the layers.
+	var out []Pair
+	for _, x := range layers[0] {
+		for _, y := range forwardImage(mx, atoms, x, layers) {
+			out = append(out, Pair{x, y})
+		}
+	}
+	return out
+}
+
+// refineLayer returns the nodes in from that satisfy the atom towards some
+// node in to, using O(1) matrix lookups.
+func refineLayer(mx *dist.Matrix, a dist.CAtom, from, to []graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	for _, x := range from {
+		for _, y := range to {
+			if a.SatMatrix(mx, x, y) {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// forwardImage walks the refined layers from a single source, returning
+// the destination-layer nodes reachable through every atom.
+func forwardImage(mx *dist.Matrix, atoms []dist.CAtom, x graph.NodeID, layers [][]graph.NodeID) []graph.NodeID {
+	frontier := []graph.NodeID{x}
+	for i, a := range atoms {
+		next := make([]graph.NodeID, 0, len(layers[i+1]))
+		for _, y := range layers[i+1] {
+			for _, z := range frontier {
+				if a.SatMatrix(mx, z, y) {
+					next = append(next, y)
+					break
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		frontier = next
+	}
+	return frontier
+}
+
+func allNodes(g *graph.Graph) []graph.NodeID {
+	out := make([]graph.NodeID, g.NumNodes())
+	for i := range out {
+		out[i] = graph.NodeID(i)
+	}
+	return out
+}
+
+// EvalBFS evaluates the query by forward-only search: for every source
+// candidate the whole expression is pushed through the graph with
+// multi-source bounded BFS, and the resulting node set is intersected with
+// the destination candidates.
+func (q Query) EvalBFS(g *graph.Graph) []Pair {
+	atoms, ok := dist.Compile(g, q.Expr)
+	if !ok {
+		return nil
+	}
+	cand1 := Candidates(g, q.From)
+	cand2 := Candidates(g, q.To)
+	if len(cand1) == 0 || len(cand2) == 0 {
+		return nil
+	}
+	var out []Pair
+	n := g.NumNodes()
+	for _, x := range cand1 {
+		src := make([]bool, n)
+		src[x] = true
+		res := dist.ForwardClosure(g, src, atoms)
+		for _, y := range cand2 {
+			if res[y] {
+				out = append(out, Pair{x, y})
+			}
+		}
+	}
+	return out
+}
+
+// EvalBiBFS evaluates the query with the bi-directional runtime search of
+// Section 4: the expression is split in the middle; the prefix is
+// evaluated forward from every source candidate and the suffix backward
+// from every destination candidate; a pair is an answer when its two node
+// sets intersect. When the expression is a single atom and a cache is
+// provided, distances come from the LRU cache instead.
+func (q Query) EvalBiBFS(g *graph.Graph, ca *dist.Cache) []Pair {
+	atoms, ok := dist.Compile(g, q.Expr)
+	if !ok {
+		return nil
+	}
+	cand1 := Candidates(g, q.From)
+	cand2 := Candidates(g, q.To)
+	if len(cand1) == 0 || len(cand2) == 0 {
+		return nil
+	}
+	var out []Pair
+	if len(atoms) == 1 && ca != nil {
+		for _, x := range cand1 {
+			for _, y := range cand2 {
+				if atoms[0].Sat(ca.Dist(atoms[0].Color, x, y)) {
+					out = append(out, Pair{x, y})
+				}
+			}
+		}
+		return out
+	}
+	n := g.NumNodes()
+	mid := len(atoms) / 2
+	// Forward closures of the prefix per source; backward closures of the
+	// suffix per destination; then pairwise intersection.
+	fwd := make([][]bool, len(cand1))
+	for i, x := range cand1 {
+		src := make([]bool, n)
+		src[x] = true
+		fwd[i] = dist.ForwardClosure(g, src, atoms[:mid])
+	}
+	bwd := make([][]bool, len(cand2))
+	for j, y := range cand2 {
+		dst := make([]bool, n)
+		dst[y] = true
+		bwd[j] = dist.BackwardClosure(g, dst, atoms[mid:])
+	}
+	for i, x := range cand1 {
+		for j, y := range cand2 {
+			if intersects(fwd[i], bwd[j]) {
+				out = append(out, Pair{x, y})
+			}
+		}
+	}
+	return out
+}
+
+func intersects(a, b []bool) bool {
+	for i := range a {
+		if a[i] && b[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Matches reports whether the single pair (v1, v2) is an answer, using
+// the provided matrix when non-nil and bi-directional search otherwise.
+func (q Query) Matches(g *graph.Graph, mx *dist.Matrix, v1, v2 graph.NodeID) bool {
+	if !q.From.Eval(g.Attrs(v1)) || !q.To.Eval(g.Attrs(v2)) {
+		return false
+	}
+	atoms, ok := dist.Compile(g, q.Expr)
+	if !ok {
+		return false
+	}
+	if mx != nil {
+		return dist.ReachMatrix(g, mx, atoms, v1, v2)
+	}
+	return dist.BiReach(g, atoms, v1, v2)
+}

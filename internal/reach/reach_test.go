@@ -1,0 +1,243 @@
+package reach_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"regraph/internal/dist"
+	"regraph/internal/gen"
+	"regraph/internal/graph"
+	"regraph/internal/predicate"
+	"regraph/internal/reach"
+	"regraph/internal/rex"
+)
+
+func pairsString(ps []reach.Pair, g *graph.Graph) string {
+	ss := make([]string, len(ps))
+	for i, p := range ps {
+		ss[i] = g.Node(p.From).Name + "->" + g.Node(p.To).Name
+	}
+	sort.Strings(ss)
+	return fmt.Sprint(ss)
+}
+
+// TestExample22Q1 reproduces Example 2.2: query Q1 over the Fig. 1 graph
+// must return exactly {(C1,B1), (C1,B2), (C2,B1), (C2,B2)}.
+func TestExample22Q1(t *testing.T) {
+	g := gen.Essembly()
+	q := reach.New(
+		predicate.MustParse("job = biologist, sp = cloning"),
+		predicate.MustParse("job = doctor"),
+		rex.MustParse("fa{2} fn"),
+	)
+	want := "[C1->B1 C1->B2 C2->B1 C2->B2]"
+	mx := dist.NewMatrix(g)
+	if got := pairsString(q.EvalMatrix(g, mx), g); got != want {
+		t.Errorf("EvalMatrix = %v, want %v", got, want)
+	}
+	if got := pairsString(q.EvalBFS(g), g); got != want {
+		t.Errorf("EvalBFS = %v, want %v", got, want)
+	}
+	if got := pairsString(q.EvalBiBFS(g, dist.NewCache(g, 128)), g); got != want {
+		t.Errorf("EvalBiBFS = %v, want %v", got, want)
+	}
+}
+
+func TestSingleColorRQ(t *testing.T) {
+	g := gen.Essembly()
+	// Who is friends-nemeses (direct) with a doctor?
+	q := reach.New(
+		predicate.MustParse("job = biologist"),
+		predicate.MustParse("job = doctor"),
+		rex.MustParse("fn"),
+	)
+	mx := dist.NewMatrix(g)
+	want := "[C3->B1 C3->B2]"
+	if got := pairsString(q.EvalMatrix(g, mx), g); got != want {
+		t.Errorf("EvalMatrix = %v, want %v", got, want)
+	}
+	if got := pairsString(q.EvalBiBFS(g, dist.NewCache(g, 16)), g); got != want {
+		t.Errorf("EvalBiBFS(cache) = %v, want %v", got, want)
+	}
+}
+
+func TestUnboundedRQ(t *testing.T) {
+	g := gen.Essembly()
+	// fa+ reaches through the biologist cycle.
+	q := reach.New(
+		predicate.MustParse("job = biologist"),
+		predicate.MustParse("job = biologist"),
+		rex.MustParse("fa+"),
+	)
+	mx := dist.NewMatrix(g)
+	got := pairsString(q.EvalMatrix(g, mx), g)
+	// All of C1, C2, C3 are on an fa cycle, so all 9 ordered pairs match.
+	want := "[C1->C1 C1->C2 C1->C3 C2->C1 C2->C2 C2->C3 C3->C1 C3->C2 C3->C3]"
+	if got != want {
+		t.Errorf("EvalMatrix = %v, want %v", got, want)
+	}
+	if got := pairsString(q.EvalBFS(g), g); got != want {
+		t.Errorf("EvalBFS = %v, want %v", got, want)
+	}
+}
+
+func TestEmptyCandidates(t *testing.T) {
+	g := gen.Essembly()
+	q := reach.New(
+		predicate.MustParse("job = lawyer"),
+		predicate.MustParse("job = doctor"),
+		rex.MustParse("fn"),
+	)
+	mx := dist.NewMatrix(g)
+	if got := q.EvalMatrix(g, mx); len(got) != 0 {
+		t.Errorf("no-candidate query returned %v", got)
+	}
+	if got := q.EvalBFS(g); len(got) != 0 {
+		t.Errorf("no-candidate EvalBFS returned %v", got)
+	}
+}
+
+func TestUnknownColor(t *testing.T) {
+	g := gen.Essembly()
+	q := reach.New(predicate.Pred{}, predicate.Pred{}, rex.MustParse("zz"))
+	mx := dist.NewMatrix(g)
+	if got := q.EvalMatrix(g, mx); len(got) != 0 {
+		t.Errorf("unknown color returned %v", got)
+	}
+	if got := q.EvalBiBFS(g, nil); len(got) != 0 {
+		t.Errorf("unknown color EvalBiBFS returned %v", got)
+	}
+}
+
+func TestMatchesPair(t *testing.T) {
+	g := gen.Essembly()
+	mx := dist.NewMatrix(g)
+	q := reach.New(
+		predicate.MustParse("job = biologist"),
+		predicate.MustParse("job = doctor"),
+		rex.MustParse("fa{2} fn"),
+	)
+	c1, _ := g.NodeByName("C1")
+	c3, _ := g.NodeByName("C3")
+	b1, _ := g.NodeByName("B1")
+	if !q.Matches(g, mx, c1, b1) {
+		t.Error("C1->B1 should match fa{2}fn")
+	}
+	if q.Matches(g, mx, c3, b1) {
+		t.Error("C3->B1 should not match fa{2}fn (needs fa block first)")
+	}
+	if !q.Matches(g, nil, c1, b1) {
+		t.Error("C1->B1 should match without a matrix too")
+	}
+	d1, _ := g.NodeByName("D1")
+	if q.Matches(g, mx, d1, b1) {
+		t.Error("D1 fails the source predicate")
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	g := gen.Essembly()
+	got := reach.Candidates(g, predicate.MustParse("job = doctor"))
+	if len(got) != 2 {
+		t.Errorf("Candidates(doctor) = %v, want 2 nodes", got)
+	}
+	all := reach.Candidates(g, predicate.Pred{})
+	if len(all) != g.NumNodes() {
+		t.Errorf("empty predicate should match all nodes, got %d", len(all))
+	}
+}
+
+// randomAttrGraph builds a random graph whose nodes carry a small "t"
+// attribute so that predicates have varying selectivity.
+func randomAttrGraph(r *rand.Rand, n, e int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), map[string]string{
+			"t": fmt.Sprint(r.Intn(3)),
+			"w": fmt.Sprint(r.Intn(5)),
+		})
+	}
+	colors := []string{"a", "b"}
+	for i := 0; i < e; i++ {
+		g.AddEdge(graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n)), colors[r.Intn(2)])
+	}
+	return g
+}
+
+func randomRQ(r *rand.Rand) reach.Query {
+	preds := []string{"t = 0", "t = 1", "t = 2", "w > 2", "*"}
+	colors := []string{"a", "b", "_"}
+	nAtoms := 1 + r.Intn(3)
+	atoms := make([]rex.Atom, nAtoms)
+	for i := range atoms {
+		m := 1 + r.Intn(3)
+		if r.Intn(5) == 0 {
+			m = rex.Unbounded
+		}
+		atoms[i] = rex.Atom{Color: colors[r.Intn(3)], Max: m}
+	}
+	return reach.New(
+		predicate.MustParse(preds[r.Intn(len(preds))]),
+		predicate.MustParse(preds[r.Intn(len(preds))]),
+		rex.MustNew(atoms...),
+	)
+}
+
+// TestEvalMethodsAgree is the central cross-validation: the three
+// evaluation strategies must return identical answer sets on random
+// graphs and random queries (including unbounded atoms and wildcards).
+func TestEvalMethodsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomAttrGraph(r, 2+r.Intn(14), 1+r.Intn(40))
+		mx := dist.NewMatrix(g)
+		ca := dist.NewCache(g, 256)
+		for k := 0; k < 4; k++ {
+			q := randomRQ(r)
+			a := pairsString(q.EvalMatrix(g, mx), g)
+			b := pairsString(q.EvalBFS(g), g)
+			c := pairsString(q.EvalBiBFS(g, ca), g)
+			if a != b || b != c {
+				t.Logf("seed %d query %v:\n matrix=%v\n bfs=%v\n bibfs=%v", seed, q, a, b, c)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvalMatrixPairsAreSound: every returned pair must individually pass
+// Matches, and node predicates must hold.
+func TestEvalMatrixPairsAreSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomAttrGraph(r, 2+r.Intn(10), 1+r.Intn(25))
+		mx := dist.NewMatrix(g)
+		q := randomRQ(r)
+		for _, p := range q.EvalMatrix(g, mx) {
+			if !q.From.Eval(g.Attrs(p.From)) || !q.To.Eval(g.Attrs(p.To)) {
+				return false
+			}
+			if !q.Matches(g, mx, p.From, p.To) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := reach.New(predicate.MustParse("a = 1"), predicate.Pred{}, rex.MustParse("x{2} y"))
+	if got := q.String(); got != "RQ[a = 1 --x{2} y--> *]" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,151 @@
+package reachidx_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regraph/internal/dist"
+	"regraph/internal/gen"
+	"regraph/internal/graph"
+	"regraph/internal/reachidx"
+)
+
+func randomGraph(r *rand.Rand, n, e int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), nil)
+	}
+	colors := []string{"a", "b"}
+	for i := 0; i < e; i++ {
+		g.AddEdge(graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n)), colors[r.Intn(2)])
+	}
+	return g
+}
+
+// TestFilterIsSound is the essential property: whenever the index says
+// "unreachable", the distance matrix must agree — for every pair, color,
+// and the wildcard, including the non-empty self-path case.
+func TestFilterIsSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 2+r.Intn(14), 1+r.Intn(35))
+		ix := reachidx.Build(g, 2)
+		mx := dist.NewMatrix(g)
+		colorIDs := []graph.ColorID{graph.AnyColor}
+		for _, c := range g.Colors() {
+			id, _ := g.ColorID(c)
+			colorIDs = append(colorIDs, id)
+		}
+		n := g.NumNodes()
+		for _, c := range colorIDs {
+			for v1 := 0; v1 < n; v1++ {
+				for v2 := 0; v2 < n; v2++ {
+					maybe := ix.MaybeReaches(c, graph.NodeID(v1), graph.NodeID(v2))
+					real := mx.Dist(c, graph.NodeID(v1), graph.NodeID(v2)) >= 0
+					if real && !maybe {
+						t.Logf("seed %d: filter denied a real path %d->%d color %d", seed, v1, v2, c)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFilterSelfPathsAreExact: for v -> v the index answers exactly (a
+// non-empty cycle exists iff the node's component is cyclic).
+func TestFilterSelfPathsAreExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 2+r.Intn(10), 1+r.Intn(25))
+		ix := reachidx.Build(g, 2)
+		mx := dist.NewMatrix(g)
+		a, _ := g.ColorID("a")
+		for v := 0; v < g.NumNodes(); v++ {
+			maybe := ix.MaybeReaches(a, graph.NodeID(v), graph.NodeID(v))
+			real := mx.Dist(a, graph.NodeID(v), graph.NodeID(v)) >= 0
+			if maybe != real {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFilterPrunes: on a graph made of two disconnected halves the filter
+// must refute every cross pair.
+func TestFilterPrunes(t *testing.T) {
+	g := graph.New()
+	var left, right []graph.NodeID
+	for i := 0; i < 5; i++ {
+		left = append(left, g.AddNode(fmt.Sprintf("l%d", i), nil))
+		right = append(right, g.AddNode(fmt.Sprintf("r%d", i), nil))
+	}
+	for i := 0; i+1 < 5; i++ {
+		g.AddEdge(left[i], left[i+1], "a")
+		g.AddEdge(right[i], right[i+1], "a")
+	}
+	ix := reachidx.Build(g, 2)
+	a, _ := g.ColorID("a")
+	for _, l := range left {
+		for _, r := range right {
+			if ix.MaybeReaches(a, l, r) {
+				t.Errorf("filter failed to refute cross pair %d->%d", l, r)
+			}
+		}
+	}
+	// Forward chain pairs must stay "maybe".
+	if !ix.MaybeReaches(a, left[0], left[4]) {
+		t.Error("filter refuted a real path")
+	}
+	if ix.Bytes() <= 0 {
+		t.Error("Bytes should be positive")
+	}
+}
+
+// TestCacheWithFilter: a filtered cache returns the same distances and
+// skips searches for refuted pairs.
+func TestCacheWithFilter(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	g := randomGraph(r, 14, 20)
+	ix := reachidx.Build(g, 2)
+	mx := dist.NewMatrix(g)
+	ca := dist.NewCache(g, 1024)
+	ca.SetFilter(ix)
+	a, _ := g.ColorID("a")
+	for v1 := 0; v1 < g.NumNodes(); v1++ {
+		for v2 := 0; v2 < g.NumNodes(); v2++ {
+			if got, want := ca.Dist(a, graph.NodeID(v1), graph.NodeID(v2)), mx.Dist(a, graph.NodeID(v1), graph.NodeID(v2)); got != want {
+				t.Fatalf("filtered cache Dist(%d,%d) = %d, want %d", v1, v2, got, want)
+			}
+		}
+	}
+	if ca.Filtered() == 0 {
+		t.Error("a sparse random graph should have filtered some pairs")
+	}
+}
+
+func TestBuildOnRealDatasets(t *testing.T) {
+	g := gen.Terror(1)
+	ix := reachidx.Build(g, 3)
+	mx := dist.NewMatrix(g)
+	ic, _ := g.ColorID("ic")
+	// Spot check soundness on a sample.
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		v1 := graph.NodeID(r.Intn(g.NumNodes()))
+		v2 := graph.NodeID(r.Intn(g.NumNodes()))
+		if mx.Dist(ic, v1, v2) >= 0 && !ix.MaybeReaches(ic, v1, v2) {
+			t.Fatalf("unsound at %d->%d", v1, v2)
+		}
+	}
+}

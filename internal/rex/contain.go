@@ -1,0 +1,244 @@
+package rex
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Contains reports whether L(a) ⊆ L(b). It is exact for the whole subclass
+// F: both expressions are compiled to small linear automata and the product
+// of a with the determinized b is searched for a counterexample. The state
+// space is tiny for query-sized expressions (the paper bounds expression
+// length by a handful of atoms), so this runs in microseconds while
+// remaining correct where the paper's linear scan (LinearContains) is only
+// a heuristic.
+func Contains(a, b Expr) bool {
+	if a.IsZero() || b.IsZero() {
+		return false
+	}
+	// Cheap necessary conditions first.
+	if a.MinLen() < b.MinLen() {
+		return false // b cannot produce a's shortest string
+	}
+	amax, afin := a.MaxLen()
+	bmax, bfin := b.MaxLen()
+	if bfin && !afin {
+		return false // a is infinite, b is finite
+	}
+	if bfin && afin && amax > bmax {
+		return false
+	}
+	na := compile(a)
+	nb := compile(b)
+	alphabet := productAlphabet(a, b)
+	// Search the product of na (NFA, explored per nondeterministic branch)
+	// with the subset construction of nb for a reachable configuration
+	// where na accepts and nb cannot.
+	type cfg struct {
+		qa  int
+		key string // canonical subset of nb states
+	}
+	startB := []int{nb.start}
+	visited := map[cfg]bool{}
+	stack := []struct {
+		qa int
+		sb []int
+	}{{na.start, startB}}
+	visited[cfg{na.start, subsetKey(startB)}] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, sym := range alphabet {
+			nextB := nb.step(cur.sb, sym)
+			bAccepts := false
+			for _, q := range nextB {
+				if nb.accept[q] {
+					bAccepts = true
+					break
+				}
+			}
+			for _, qa := range na.stepOne(cur.qa, sym) {
+				if na.accept[qa] && !bAccepts {
+					return false // counterexample string found
+				}
+				c := cfg{qa, subsetKey(nextB)}
+				if !visited[c] {
+					visited[c] = true
+					stack = append(stack, struct {
+						qa int
+						sb []int
+					}{qa, nextB})
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether L(a) = L(b).
+func Equivalent(a, b Expr) bool {
+	return Contains(a, b) && Contains(b, a)
+}
+
+// LinearContains is the paper's linear-time sequential scan for language
+// containment (proof of Proposition 3.3, case 3). It requires the two
+// expressions to have the same number of atoms and compares per-position
+// colors and cumulative bounds. It is sound and complete on single-color
+// runs (the case the paper analyses) but only a heuristic across color
+// boundaries; Contains is the exact check. Exposed for the ablation
+// benchmark comparing the two.
+func LinearContains(a, b Expr) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	sumA, sumB := 0, 0
+	for i := range a.atoms {
+		aa, ba := a.atoms[i], b.atoms[i]
+		// Color compatibility: every string of aa's block must be accepted
+		// by ba's color, so ba must be the same color or the wildcard.
+		if ba.Color != Wildcard && ba.Color != aa.Color {
+			return false
+		}
+		if aa.Max == Unbounded {
+			sumA = Unbounded
+		}
+		if ba.Max == Unbounded {
+			sumB = Unbounded
+		}
+		if sumA != Unbounded {
+			sumA += aa.Max
+		}
+		if sumB != Unbounded {
+			sumB += ba.Max
+		}
+	}
+	if sumB == Unbounded {
+		return true
+	}
+	if sumA == Unbounded {
+		return false
+	}
+	return sumA <= sumB
+}
+
+// ---- linear automata for subclass F -----------------------------------
+
+// nfa is the linear automaton of an expression. State 0 is the start
+// state; each bounded atom i with bound k contributes k states (one per
+// consumed occurrence), each unbounded atom one self-looping state.
+type nfa struct {
+	start  int
+	accept map[int]bool
+	// trans[q] lists (color, next) pairs; color may be the wildcard.
+	trans map[int][]nfaEdge
+}
+
+type nfaEdge struct {
+	color string
+	to    int
+}
+
+func compile(e Expr) nfa {
+	n := nfa{start: 0, accept: map[int]bool{}, trans: map[int][]nfaEdge{}}
+	next := 1
+	// firstState[i] is the state after consuming the first symbol of atom i.
+	firstState := make([]int, len(e.atoms))
+	lastStates := make([][]int, len(e.atoms)) // states within atom i
+	for i, a := range e.atoms {
+		count := a.Max
+		if a.Max == Unbounded {
+			count = 1
+		}
+		states := make([]int, count)
+		for j := 0; j < count; j++ {
+			states[j] = next
+			next++
+		}
+		firstState[i] = states[0]
+		lastStates[i] = states
+		// Intra-atom transitions.
+		for j := 0; j+1 < count; j++ {
+			n.trans[states[j]] = append(n.trans[states[j]], nfaEdge{a.Color, states[j+1]})
+		}
+		if a.Max == Unbounded {
+			n.trans[states[0]] = append(n.trans[states[0]], nfaEdge{a.Color, states[0]})
+		}
+	}
+	// Entry into atom 0 from the start state.
+	n.trans[0] = append(n.trans[0], nfaEdge{e.atoms[0].Color, firstState[0]})
+	// Transitions from every state of atom i into atom i+1.
+	for i := 0; i+1 < len(e.atoms); i++ {
+		for _, q := range lastStates[i] {
+			n.trans[q] = append(n.trans[q], nfaEdge{e.atoms[i+1].Color, firstState[i+1]})
+		}
+	}
+	for _, q := range lastStates[len(e.atoms)-1] {
+		n.accept[q] = true
+	}
+	return n
+}
+
+// stepOne returns the states reachable from q on symbol sym. The fresh
+// symbol (see productAlphabet) is matched only by wildcard edges.
+func (n nfa) stepOne(q int, sym string) []int {
+	var out []int
+	for _, e := range n.trans[q] {
+		if e.color == Wildcard || e.color == sym {
+			out = append(out, e.to)
+		}
+	}
+	return out
+}
+
+// step returns the deduplicated set of states reachable from any state in
+// set on symbol sym, sorted for canonical keys.
+func (n nfa) step(set []int, sym string) []int {
+	seen := map[int]bool{}
+	for _, q := range set {
+		for _, e := range n.trans[q] {
+			if e.color == Wildcard || e.color == sym {
+				seen[e.to] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for q := range seen {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// freshSymbol stands for "any edge color not mentioned by either
+// expression". One such symbol suffices because both automata treat all
+// unmentioned colors identically (only wildcard edges match them).
+const freshSymbol = "\x00fresh"
+
+func productAlphabet(a, b Expr) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range [2]Expr{a, b} {
+		for _, c := range e.Colors() {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	if a.HasWildcard() || b.HasWildcard() {
+		out = append(out, freshSymbol)
+	}
+	return out
+}
+
+func subsetKey(set []int) string {
+	var sb strings.Builder
+	for i, q := range set {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(q))
+	}
+	return sb.String()
+}

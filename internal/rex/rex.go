@@ -1,0 +1,271 @@
+// Package rex implements the restricted subclass F of regular expressions
+// used by the paper's reachability and graph pattern queries:
+//
+//	F ::= c | c{k} | c+ | F F
+//
+// where c is an edge color (an identifier) or the wildcard "_", k is a
+// positive integer, c{k} denotes between 1 and k occurrences of c, and c+
+// denotes one or more occurrences. An expression is therefore a
+// concatenation of atoms, each atom being a color (or wildcard) with an
+// occurrence bound.
+//
+// The language L(F) is the set of color strings w that can be split into
+// len(atoms) consecutive non-empty blocks, block i containing between 1 and
+// Max_i symbols, each symbol equal to the atom's color (any symbol when the
+// atom is the wildcard).
+//
+// Unlike general regular expressions, whose containment problem is
+// PSPACE-complete, containment for this subclass is cheap; the package
+// provides both the paper's linear scan (Proposition 3.3, case 3) and an
+// exact symbolic-automaton check that is correct for the whole subclass.
+package rex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Wildcard is the color that matches any edge color.
+const Wildcard = "_"
+
+// Unbounded marks an atom of the form c+ (one or more occurrences).
+const Unbounded = -1
+
+// Atom is one component of a subclass-F expression: a color (or the
+// wildcard) together with an occurrence bound. Max is either Unbounded for
+// "c+" or a positive integer k for "c{k}"; a bare color parses as Max = 1.
+type Atom struct {
+	Color string
+	Max   int
+}
+
+// IsWildcard reports whether the atom matches any edge color.
+func (a Atom) IsWildcard() bool { return a.Color == Wildcard }
+
+// Matches reports whether a single edge color satisfies the atom's color
+// constraint.
+func (a Atom) Matches(color string) bool {
+	return a.Color == Wildcard || a.Color == color
+}
+
+// String renders the atom in the package's concrete syntax.
+func (a Atom) String() string {
+	switch {
+	case a.Max == Unbounded:
+		return a.Color + "+"
+	case a.Max == 1:
+		return a.Color
+	default:
+		return a.Color + "{" + strconv.Itoa(a.Max) + "}"
+	}
+}
+
+// Expr is a subclass-F regular expression: a non-empty concatenation of
+// atoms. The zero value is invalid; construct expressions with Parse or
+// New.
+type Expr struct {
+	atoms []Atom
+}
+
+// New builds an expression from atoms. It returns an error if the atom
+// list is empty or any atom has an invalid color or bound.
+func New(atoms ...Atom) (Expr, error) {
+	if len(atoms) == 0 {
+		return Expr{}, fmt.Errorf("rex: expression must have at least one atom")
+	}
+	for _, a := range atoms {
+		if a.Color == "" {
+			return Expr{}, fmt.Errorf("rex: atom with empty color")
+		}
+		if a.Max != Unbounded && a.Max < 1 {
+			return Expr{}, fmt.Errorf("rex: atom %q has invalid bound %d", a.Color, a.Max)
+		}
+	}
+	cp := make([]Atom, len(atoms))
+	copy(cp, atoms)
+	return Expr{atoms: cp}, nil
+}
+
+// MustNew is New but panics on error; intended for tests and package-level
+// literals.
+func MustNew(atoms ...Atom) Expr {
+	e, err := New(atoms...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Atoms returns the expression's atoms. The returned slice must not be
+// modified.
+func (e Expr) Atoms() []Atom { return e.atoms }
+
+// Len returns the number of atoms, the paper's |F| metric.
+func (e Expr) Len() int { return len(e.atoms) }
+
+// IsZero reports whether e is the invalid zero value.
+func (e Expr) IsZero() bool { return len(e.atoms) == 0 }
+
+// MinLen returns the length of the shortest string in L(e), which is the
+// number of atoms (every atom consumes at least one symbol).
+func (e Expr) MinLen() int { return len(e.atoms) }
+
+// MaxLen returns the length of the longest string in L(e) and true, or 0
+// and false if the language is infinite (some atom is unbounded).
+func (e Expr) MaxLen() (int, bool) {
+	total := 0
+	for _, a := range e.atoms {
+		if a.Max == Unbounded {
+			return 0, false
+		}
+		total += a.Max
+	}
+	return total, true
+}
+
+// Colors returns the distinct concrete colors mentioned by the expression,
+// in first-appearance order. The wildcard is not included.
+func (e Expr) Colors() []string {
+	seen := make(map[string]bool, len(e.atoms))
+	var out []string
+	for _, a := range e.atoms {
+		if a.Color != Wildcard && !seen[a.Color] {
+			seen[a.Color] = true
+			out = append(out, a.Color)
+		}
+	}
+	return out
+}
+
+// HasWildcard reports whether any atom is the wildcard.
+func (e Expr) HasWildcard() bool {
+	for _, a := range e.atoms {
+		if a.Color == Wildcard {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the expression in the concrete syntax accepted by Parse.
+func (e Expr) String() string {
+	var b strings.Builder
+	for i, a := range e.atoms {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.String())
+	}
+	return b.String()
+}
+
+// Parse parses the concrete syntax for subclass F. Colors are identifiers
+// made of letters, digits, '-' and '.', or the wildcard "_"; each color may
+// be followed by "{k}" (between 1 and k occurrences) or "+" (one or more).
+// Atoms may be separated by optional whitespace. Examples:
+//
+//	"fa{2}fn"   — at most two fa edges followed by one fn edge
+//	"ic{2} dc+" — at most two ic edges then one or more dc edges
+//	"_{3}"      — a path of length 1 to 3 with arbitrary colors
+func Parse(input string) (Expr, error) {
+	var atoms []Atom
+	i, n := 0, len(input)
+	for i < n {
+		switch {
+		case input[i] == ' ' || input[i] == '\t':
+			i++
+		case isColorByte(input[i]):
+			start := i
+			for i < n && isColorByte(input[i]) {
+				i++
+			}
+			color := input[start:i]
+			if strings.Contains(color, Wildcard) && color != Wildcard {
+				return Expr{}, fmt.Errorf("rex: %q: '_' is reserved for the wildcard", color)
+			}
+			atom := Atom{Color: color, Max: 1}
+			if i < n && input[i] == '+' {
+				atom.Max = Unbounded
+				i++
+			} else if i < n && input[i] == '{' {
+				close := strings.IndexByte(input[i:], '}')
+				if close < 0 {
+					return Expr{}, fmt.Errorf("rex: unterminated bound after %q", color)
+				}
+				k, err := strconv.Atoi(input[i+1 : i+close])
+				if err != nil || k < 1 {
+					return Expr{}, fmt.Errorf("rex: invalid bound %q after %q", input[i+1:i+close], color)
+				}
+				atom.Max = k
+				i += close + 1
+			}
+			atoms = append(atoms, atom)
+		default:
+			return Expr{}, fmt.Errorf("rex: unexpected character %q at offset %d", input[i], i)
+		}
+	}
+	return New(atoms...)
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func isColorByte(b byte) bool {
+	return b == '_' || b == '-' || b == '.' ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+// MatchString reports whether the color string (one color per path edge)
+// belongs to L(e). It runs the linear automaton for e over the string in
+// O(len(colors) · Len(e)) time with no allocation beyond two state sets.
+func (e Expr) MatchString(colors []string) bool {
+	if len(colors) < len(e.atoms) {
+		return false // each atom consumes at least one symbol
+	}
+	// State (i, j): consumed j symbols of atom i, 1 <= j <= bound. For the
+	// automaton we track, per atom, whether we are inside it and whether we
+	// may still consume more of it; counts are tracked exactly for bounded
+	// atoms via a per-atom consumed counter in the state set.
+	type state struct{ atom, used int }
+	cur := make(map[state]bool)
+	// Consume the first symbol: it must start atom 0.
+	if !e.atoms[0].Matches(colors[0]) {
+		return false
+	}
+	cur[state{0, 1}] = true
+	for _, c := range colors[1:] {
+		next := make(map[state]bool, len(cur))
+		for s := range cur {
+			a := e.atoms[s.atom]
+			// Stay in the same atom if the bound allows another symbol.
+			if (a.Max == Unbounded || s.used < a.Max) && a.Matches(c) {
+				used := s.used + 1
+				if a.Max == Unbounded {
+					used = 1 // unbounded atoms need no exact count
+				}
+				next[state{s.atom, used}] = true
+			}
+			// Advance to the next atom.
+			if s.atom+1 < len(e.atoms) && e.atoms[s.atom+1].Matches(c) {
+				next[state{s.atom + 1, 1}] = true
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	for s := range cur {
+		if s.atom == len(e.atoms)-1 {
+			return true
+		}
+	}
+	return false
+}

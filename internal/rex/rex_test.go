@@ -1,0 +1,398 @@
+package rex
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasics(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+		len  int
+	}{
+		{"fa", "fa", 1},
+		{"fa{2}fn", "fa{2} fn", 2},
+		{"fa{2} fn", "fa{2} fn", 2},
+		{"ic{2}dc+ic{2}", "ic{2} dc+ ic{2}", 3},
+		{"_", "_", 1},
+		{"_{3}", "_{3}", 1},
+		{"sr{6}fr", "sr{6} fr", 2},
+		{"a+b+c+", "a+ b+ c+", 3},
+	}
+	for _, tc := range tests {
+		e, err := Parse(tc.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.in, err)
+		}
+		if got := e.String(); got != tc.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+		if e.Len() != tc.len {
+			t.Errorf("Parse(%q).Len() = %d, want %d", tc.in, e.Len(), tc.len)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, in := range []string{"fa{2} fn", "ic{2} dc+ ic{2}", "_{3} a", "a+ b{5}"} {
+		e := MustParse(in)
+		again := MustParse(e.String())
+		if !reflect.DeepEqual(e.Atoms(), again.Atoms()) {
+			t.Errorf("round trip of %q: %v != %v", in, e.Atoms(), again.Atoms())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "a{0}", "a{}", "a{x}", "a{2", "!", "a_b", "+"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error, got none", in)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("New() with no atoms should fail")
+	}
+	if _, err := New(Atom{Color: "", Max: 1}); err == nil {
+		t.Error("New with empty color should fail")
+	}
+	if _, err := New(Atom{Color: "a", Max: 0}); err == nil {
+		t.Error("New with zero bound should fail")
+	}
+	if _, err := New(Atom{Color: "a", Max: Unbounded}); err != nil {
+		t.Errorf("New with unbounded atom: %v", err)
+	}
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, " ")
+}
+
+func TestMatchString(t *testing.T) {
+	tests := []struct {
+		expr string
+		path string
+		want bool
+	}{
+		{"fa{2}fn", "fa fn", true},
+		{"fa{2}fn", "fa fa fn", true},
+		{"fa{2}fn", "fa fa fa fn", false},
+		{"fa{2}fn", "fn", false},
+		{"fa{2}fn", "fa", false},
+		{"fa{2}fn", "", false},
+		{"a+", "a", true},
+		{"a+", "a a a a a a", true},
+		{"a+", "a b", false},
+		{"a+b", "a b", true},
+		{"a+b", "a a a b", true},
+		{"a+b", "b", false},
+		{"_{2}", "x", true},
+		{"_{2}", "x y", true},
+		{"_{2}", "x y z", false},
+		{"_+", "x y z", true},
+		{"a{2}a{2}", "a", false},  // min length 2
+		{"a{2}a{2}", "a a", true}, // one symbol per atom
+		{"a{2}a{2}", "a a a a", true},
+		{"a{2}a{2}", "a a a a a", false},
+		{"a{3}b{2}a{1}", "a b a", true},
+		{"a{3}b{2}a{1}", "a a a b b a", true},
+		{"a{3}b{2}a{1}", "a b b b a", false},
+	}
+	for _, tc := range tests {
+		e := MustParse(tc.expr)
+		if got := e.MatchString(split(tc.path)); got != tc.want {
+			t.Errorf("%q.MatchString(%q) = %v, want %v", tc.expr, tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestMinMaxLen(t *testing.T) {
+	e := MustParse("a{3}b{2}c")
+	if e.MinLen() != 3 {
+		t.Errorf("MinLen = %d, want 3", e.MinLen())
+	}
+	if max, ok := e.MaxLen(); !ok || max != 6 {
+		t.Errorf("MaxLen = %d,%v, want 6,true", max, ok)
+	}
+	e = MustParse("a+b")
+	if _, ok := e.MaxLen(); ok {
+		t.Error("MaxLen of unbounded expression should report infinite")
+	}
+}
+
+func TestColorsAndWildcard(t *testing.T) {
+	e := MustParse("a{2} b _ a+")
+	if got := e.Colors(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Colors() = %v, want [a b]", got)
+	}
+	if !e.HasWildcard() {
+		t.Error("HasWildcard should be true")
+	}
+	if MustParse("a b").HasWildcard() {
+		t.Error("HasWildcard should be false")
+	}
+}
+
+func TestContainsBasics(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"a", "a", true},
+		{"a", "a{2}", true},
+		{"a{2}", "a", false},
+		{"a{2}", "a+", true},
+		{"a+", "a{9}", false},
+		{"a", "b", false},
+		{"a", "_", true},
+		{"_", "a", false},
+		{"a b", "a b", true},
+		{"a b", "_ _", true},
+		{"a{2} b", "a{3} b", true},
+		{"a{3} b", "a{2} b", false},
+		{"a{2} b{1}", "a{1} b{2}", false}, // "a a b" is not in the RHS
+		{"a{1} b{1}", "a{2} b{2}", true},
+		{"a{3} a{1}", "a{1} a{3}", true}, // same single-color language 2..4
+		{"a{1} a{3}", "a{3} a{1}", true},
+		{"a b a", "a b{2} a", true},
+		{"a+ b", "_+ b", true},
+		{"_+", "a+", false},
+		{"a{2} a{2}", "a{4}", true},  // lengths 2..4 ⊆ 1..4
+		{"a{4}", "a{2} a{2}", false}, // "a" not in RHS
+		{"fa{2} fn", "fa{2} fn", true},
+		{"fa fn", "fa{2} fn", true},
+		{"fa{2} fn", "fa fn", false},
+	}
+	for _, tc := range tests {
+		a, b := MustParse(tc.a), MustParse(tc.b)
+		if got := Contains(a, b); got != tc.want {
+			t.Errorf("Contains(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"a{3} a{1}", "a{1} a{3}", true},
+		{"a{2} a{2}", "a{1} a{3}", true},
+		{"a", "a", true},
+		{"a", "a{2}", false},
+		{"a b", "b a", false},
+		{"a+ a", "a a+", true}, // both are "two or more a's"
+	}
+	for _, tc := range tests {
+		if got := Equivalent(MustParse(tc.a), MustParse(tc.b)); got != tc.want {
+			t.Errorf("Equivalent(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLinearContainsAgreesOnPaperCases(t *testing.T) {
+	// On the cases the paper's proof analyses (same atom count, matching
+	// colors, single-color or wildcard-generalized positions), the linear
+	// scan and the exact check must agree.
+	tests := []struct{ a, b string }{
+		{"a{2} b", "a{3} b"},
+		{"a{3} b", "a{2} b"},
+		{"a b c", "_ _ _"},
+		{"a{2} b{2}", "a{2} b{3}"},
+		{"a+ b", "a+ b"},
+		{"a b", "a+ b"},
+	}
+	for _, tc := range tests {
+		a, b := MustParse(tc.a), MustParse(tc.b)
+		lin, exact := LinearContains(a, b), Contains(a, b)
+		if lin != exact {
+			t.Errorf("LinearContains(%q,%q)=%v but Contains=%v", tc.a, tc.b, lin, exact)
+		}
+	}
+}
+
+// ---- property tests -----------------------------------------------------
+
+// genExpr builds a random expression over alphabet {a, b, _} with bounded
+// atoms (plus occasional unbounded) for exhaustive cross-validation.
+func genExpr(r *rand.Rand, maxAtoms, maxBound int) Expr {
+	n := 1 + r.Intn(maxAtoms)
+	atoms := make([]Atom, n)
+	colors := []string{"a", "b", Wildcard}
+	for i := range atoms {
+		c := colors[r.Intn(len(colors))]
+		var m int
+		if r.Intn(6) == 0 {
+			m = Unbounded
+		} else {
+			m = 1 + r.Intn(maxBound)
+		}
+		atoms[i] = Atom{Color: c, Max: m}
+	}
+	return MustNew(atoms...)
+}
+
+// enumerate yields all strings over alphabet up to maxLen and reports
+// whether each is in L(e), collecting the accepted set as joined strings.
+func accepted(e Expr, alphabet []string, maxLen int) map[string]bool {
+	out := map[string]bool{}
+	var walk func(prefix []string)
+	walk = func(prefix []string) {
+		if len(prefix) > 0 && e.MatchString(prefix) {
+			out[strings.Join(prefix, " ")] = true
+		}
+		if len(prefix) == maxLen {
+			return
+		}
+		for _, c := range alphabet {
+			walk(append(prefix, c))
+		}
+	}
+	walk(nil)
+	return out
+}
+
+// TestContainsMatchesBruteForce cross-validates the automaton containment
+// check against exhaustive string enumeration on random expressions.
+func TestContainsMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	alphabet := []string{"a", "b", "c"} // "c" plays the fresh symbol
+	const maxLen = 6
+	for i := 0; i < 300; i++ {
+		e1 := genExpr(r, 3, 2)
+		e2 := genExpr(r, 3, 2)
+		got := Contains(e1, e2)
+		s1 := accepted(e1, alphabet, maxLen)
+		s2 := accepted(e2, alphabet, maxLen)
+		want := true
+		for s := range s1 {
+			if !s2[s] {
+				want = false
+				break
+			}
+		}
+		// Brute force is only complete up to maxLen; when the exact check
+		// says "not contained" but enumeration found no counterexample the
+		// witness may be longer, so only flag disagreements where the
+		// enumeration *did* find a counterexample, or where bounded
+		// languages fit entirely within maxLen.
+		m1, fin1 := e1.MaxLen()
+		complete := fin1 && m1 <= maxLen
+		if got && !want {
+			t.Fatalf("case %d: Contains(%v, %v) = true but counterexample exists", i, e1, e2)
+		}
+		if !got && want && complete {
+			t.Fatalf("case %d: Contains(%v, %v) = false but all of L(a) ⊆ L(b) (bounded)", i, e1, e2)
+		}
+	}
+}
+
+// TestMatchStringMembershipConsistency: any string accepted must have
+// length within [MinLen, MaxLen].
+func TestMatchStringMembershipConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := genExpr(r, 4, 3)
+		alphabet := []string{"a", "b", "x"}
+		for s := range accepted(e, alphabet, 7) {
+			n := len(strings.Split(s, " "))
+			if n < e.MinLen() {
+				return false
+			}
+			if max, ok := e.MaxLen(); ok && n > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestContainsReflexiveTransitive: containment is a preorder.
+func TestContainsReflexiveTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	exprs := make([]Expr, 12)
+	for i := range exprs {
+		exprs[i] = genExpr(r, 3, 3)
+	}
+	for _, e := range exprs {
+		if !Contains(e, e) {
+			t.Fatalf("Contains(%v, %v) should be reflexive", e, e)
+		}
+	}
+	for _, a := range exprs {
+		for _, b := range exprs {
+			for _, c := range exprs {
+				if Contains(a, b) && Contains(b, c) && !Contains(a, c) {
+					t.Fatalf("transitivity violated: %v ⊆ %v ⊆ %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	tests := []struct {
+		a    Atom
+		want string
+	}{
+		{Atom{"a", 1}, "a"},
+		{Atom{"a", 4}, "a{4}"},
+		{Atom{"a", Unbounded}, "a+"},
+		{Atom{Wildcard, 2}, "_{2}"},
+	}
+	for _, tc := range tests {
+		if got := tc.a.String(); got != tc.want {
+			t.Errorf("Atom%v.String() = %q, want %q", tc.a, got, tc.want)
+		}
+	}
+}
+
+func BenchmarkMatchString(b *testing.B) {
+	e := MustParse("fa{2} fn sr{6} fr _{3}")
+	path := split("fa fa fn sr sr sr fr x y z")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.MatchString(path)
+	}
+}
+
+func BenchmarkContainsExact(b *testing.B) {
+	x := MustParse("a{3} b{2} a+ _{4}")
+	y := MustParse("a{4} b{3} a+ _{5}")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Contains(x, y)
+	}
+}
+
+func ExampleParse() {
+	e := MustParse("fa{2} fn")
+	fmt.Println(e)
+	fmt.Println(e.MatchString([]string{"fa", "fn"}))
+	fmt.Println(e.MatchString([]string{"fn"}))
+	// Output:
+	// fa{2} fn
+	// true
+	// false
+}
+
+func ExampleContains() {
+	fmt.Println(Contains(MustParse("fa fn"), MustParse("fa{2} fn")))
+	fmt.Println(Contains(MustParse("fa{2} fn"), MustParse("fa fn")))
+	// Output:
+	// true
+	// false
+}

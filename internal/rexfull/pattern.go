@@ -1,0 +1,242 @@
+package rexfull
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"regraph/internal/graph"
+	"regraph/internal/predicate"
+)
+
+// Pattern is a graph pattern query whose edges carry *general* regular
+// expressions — the PQ half of the paper's future-work extension
+// (Section 7). Matching semantics are unchanged (the revised graph
+// simulation of Section 2); only the edge-constraint language grows.
+// Evaluation stays polynomial in the data graph: each refinement step
+// runs product-automaton closures. What is lost relative to subclass F is
+// the static analysis: containment and minimization for these patterns
+// inherit the PSPACE-completeness of general regex containment and are
+// not provided.
+type Pattern struct {
+	nodes  []PatternNode
+	byName map[string]int
+	edges  []PatternEdge
+	out    [][]int
+}
+
+// PatternNode is a pattern node: name and search predicate.
+type PatternNode struct {
+	Name string
+	Pred predicate.Pred
+}
+
+// PatternEdge is a pattern edge with a general regular expression.
+type PatternEdge struct {
+	From, To int
+	Expr     Expr
+}
+
+// NewPattern returns an empty pattern.
+func NewPattern() *Pattern {
+	return &Pattern{byName: map[string]int{}}
+}
+
+// AddNode adds a pattern node, returning its index (existing names return
+// the existing index).
+func (p *Pattern) AddNode(name string, pred predicate.Pred) int {
+	if id, ok := p.byName[name]; ok {
+		return id
+	}
+	id := len(p.nodes)
+	p.nodes = append(p.nodes, PatternNode{name, pred})
+	p.byName[name] = id
+	p.out = append(p.out, nil)
+	return id
+}
+
+// AddEdge adds a pattern edge.
+func (p *Pattern) AddEdge(from, to int, expr Expr) {
+	if from < 0 || from >= len(p.nodes) || to < 0 || to >= len(p.nodes) {
+		panic(fmt.Sprintf("rexfull: AddEdge(%d, %d) out of range", from, to))
+	}
+	id := len(p.edges)
+	p.edges = append(p.edges, PatternEdge{from, to, expr})
+	p.out[from] = append(p.out[from], id)
+}
+
+// NumNodes returns the pattern size.
+func (p *Pattern) NumNodes() int { return len(p.nodes) }
+
+// NumEdges returns the number of pattern edges.
+func (p *Pattern) NumEdges() int { return len(p.edges) }
+
+// Node returns the i-th pattern node.
+func (p *Pattern) Node(i int) PatternNode { return p.nodes[i] }
+
+// Edge returns the i-th pattern edge.
+func (p *Pattern) Edge(i int) PatternEdge { return p.edges[i] }
+
+// PatternResult holds, per pattern edge, the matching data-node pairs;
+// nil Sets means the empty answer.
+type PatternResult struct {
+	p    *Pattern
+	Sets [][]Pair
+}
+
+// Empty reports whether the answer is empty.
+func (r *PatternResult) Empty() bool { return r == nil || r.Sets == nil }
+
+// Size is the total number of pairs.
+func (r *PatternResult) Size() int {
+	if r.Empty() {
+		return 0
+	}
+	n := 0
+	for _, s := range r.Sets {
+		n += len(s)
+	}
+	return n
+}
+
+// MatchSet returns the data nodes matched to pattern node u.
+func (r *PatternResult) MatchSet(u int) []graph.NodeID {
+	if r.Empty() {
+		return nil
+	}
+	set := map[graph.NodeID]bool{}
+	for ei, pairs := range r.Sets {
+		e := r.p.edges[ei]
+		for _, pr := range pairs {
+			if e.From == u {
+				set[pr.From] = true
+			}
+			if e.To == u {
+				set[pr.To] = true
+			}
+		}
+	}
+	out := make([]graph.NodeID, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the answer with node names.
+func (r *PatternResult) String(g *graph.Graph) string {
+	if r.Empty() {
+		return "{}"
+	}
+	var b strings.Builder
+	for ei, pairs := range r.Sets {
+		e := r.p.edges[ei]
+		fmt.Fprintf(&b, "(%s,%s): {", r.p.nodes[e.From].Name, r.p.nodes[e.To].Name)
+		ss := make([]string, len(pairs))
+		for i, pr := range pairs {
+			ss[i] = "(" + g.Node(pr.From).Name + "," + g.Node(pr.To).Name + ")"
+		}
+		sort.Strings(ss)
+		b.WriteString(strings.Join(ss, ", "))
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// Eval computes the pattern's answer under the revised simulation: the
+// unique maximum match sets such that every matched node can extend along
+// all of its outgoing pattern edges via a path in the edge's language.
+// Per-source language-reachability sets are computed once (the graph is
+// static during evaluation) and the fixpoint iterates over them.
+func (p *Pattern) Eval(g *graph.Graph) *PatternResult {
+	if len(p.edges) == 0 {
+		return &PatternResult{}
+	}
+	n := g.NumNodes()
+	mats := make([][]bool, len(p.nodes))
+	for u, node := range p.nodes {
+		mats[u] = make([]bool, n)
+		any := false
+		for v := 0; v < n; v++ {
+			if node.Pred.Eval(g.Attrs(graph.NodeID(v))) {
+				mats[u][v] = true
+				any = true
+			}
+		}
+		if !any && (len(p.out[u]) > 0 || p.hasIn(u)) {
+			return &PatternResult{}
+		}
+	}
+	// reachCache[edge][source] caches the language-reachability set.
+	reachCache := make([]map[graph.NodeID][]bool, len(p.edges))
+	for i := range reachCache {
+		reachCache[i] = map[graph.NodeID][]bool{}
+	}
+	reachable := func(ei int, x graph.NodeID) []bool {
+		if set, ok := reachCache[ei][x]; ok {
+			return set
+		}
+		set := reachSet(g, p.edges[ei].Expr, x)
+		reachCache[ei][x] = set
+		return set
+	}
+	for changed := true; changed; {
+		changed = false
+		for ei, e := range p.edges {
+			src, tgt := mats[e.From], mats[e.To]
+			nonEmpty := false
+			for v := 0; v < n; v++ {
+				if !src[v] {
+					continue
+				}
+				keep := false
+				rs := reachable(ei, graph.NodeID(v))
+				for w := 0; w < n; w++ {
+					if tgt[w] && rs[w] {
+						keep = true
+						break
+					}
+				}
+				if keep {
+					nonEmpty = true
+				} else {
+					src[v] = false
+					changed = true
+				}
+			}
+			if !nonEmpty {
+				return &PatternResult{}
+			}
+		}
+	}
+	res := &PatternResult{p: p, Sets: make([][]Pair, len(p.edges))}
+	for ei, e := range p.edges {
+		var pairs []Pair
+		for v := 0; v < n; v++ {
+			if !mats[e.From][v] {
+				continue
+			}
+			rs := reachable(ei, graph.NodeID(v))
+			for w := 0; w < n; w++ {
+				if mats[e.To][w] && rs[w] {
+					pairs = append(pairs, Pair{graph.NodeID(v), graph.NodeID(w)})
+				}
+			}
+		}
+		if len(pairs) == 0 {
+			return &PatternResult{}
+		}
+		res.Sets[ei] = pairs
+	}
+	return res
+}
+
+func (p *Pattern) hasIn(u int) bool {
+	for _, e := range p.edges {
+		if e.To == u {
+			return true
+		}
+	}
+	return false
+}

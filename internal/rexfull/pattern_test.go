@@ -1,0 +1,164 @@
+package rexfull_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"regraph/internal/gen"
+	"regraph/internal/graph"
+	"regraph/internal/pattern"
+	"regraph/internal/predicate"
+	"regraph/internal/reach"
+	"regraph/internal/rex"
+	"regraph/internal/rexfull"
+)
+
+// TestPatternUnionEdge exercises an edge constraint impossible in
+// subclass F: a union of two alternative relationship chains.
+func TestPatternUnionEdge(t *testing.T) {
+	g := gen.Essembly()
+	p := rexfull.NewPattern()
+	c := p.AddNode("C", predicate.MustParse("job = biologist"))
+	d := p.AddNode("D", predicate.MustParse("uid = Alice001"))
+	// Reach Alice either directly by strangers-allies or via one
+	// friends-allies hop first.
+	p.AddEdge(c, d, rexfull.MustParse("sa | fa sa"))
+	res := p.Eval(g)
+	if res.Empty() {
+		t.Fatal("union pattern should match")
+	}
+	got := names(g, res.MatchSet(c))
+	// C1 -sa-> D1 directly; C3 -fa-> C1 -sa-> D1; C2 -fa-> C1 -sa-> D1.
+	want := "[C1 C2 C3]"
+	if got != want {
+		t.Errorf("mat(C) = %s, want %s", got, want)
+	}
+}
+
+// TestPatternKleeneStar uses a starred alternative, also outside F.
+func TestPatternKleeneStar(t *testing.T) {
+	g := gen.Essembly()
+	p := rexfull.NewPattern()
+	b := p.AddNode("B", predicate.MustParse("job = doctor"))
+	d := p.AddNode("D", predicate.MustParse("uid = Alice001"))
+	p.AddEdge(b, d, rexfull.MustParse("(fa|fn|sa|sn)* fn"))
+	res := p.Eval(g)
+	if res.Empty() {
+		t.Fatal("star pattern should match (B1/B2 -fn-> D1)")
+	}
+	if got := names(g, res.MatchSet(b)); got != "[B1 B2]" {
+		t.Errorf("mat(B) = %s", got)
+	}
+}
+
+func names(g *graph.Graph, ids []graph.NodeID) string {
+	ss := make([]string, len(ids))
+	for i, id := range ids {
+		ss[i] = g.Node(id).Name
+	}
+	sort.Strings(ss)
+	return fmt.Sprint(ss)
+}
+
+// TestPatternAgreesWithSubclassEvaluator: on patterns whose edges come
+// from subclass F, the general evaluator must produce exactly the same
+// answers as JoinMatch.
+func TestPatternAgreesWithSubclassEvaluator(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomAttrGraph(r, 2+r.Intn(8), 1+r.Intn(20))
+		sub := randomSubclassPattern(r)
+		full := convert(sub)
+		want := pattern.JoinMatch(g, sub, pattern.Options{})
+		got := full.Eval(g)
+		if want.Empty() != got.Empty() {
+			t.Logf("seed %d: emptiness differs (sub %v, full %v)\n%v", seed, want.Empty(), got.Empty(), sub)
+			return false
+		}
+		if want.Empty() {
+			return true
+		}
+		for ei := 0; ei < sub.NumEdges(); ei++ {
+			a := pairKey(want.EdgePairs(ei))
+			b := fullPairKey(got.Sets[ei])
+			if a != b {
+				t.Logf("seed %d edge %d: %s vs %s\n%v", seed, ei, a, b, sub)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func convert(q *pattern.Query) *rexfull.Pattern {
+	p := rexfull.NewPattern()
+	for i := 0; i < q.NumNodes(); i++ {
+		n := q.Node(i)
+		p.AddNode(n.Name, n.Pred)
+	}
+	for ei := 0; ei < q.NumEdges(); ei++ {
+		e := q.Edge(ei)
+		p.AddEdge(e.From, e.To, rexfull.FromSubclass(e.Expr))
+	}
+	return p
+}
+
+func pairKey(ps []reach.Pair) string {
+	ss := make([]string, len(ps))
+	for i, p := range ps {
+		ss[i] = fmt.Sprintf("%d>%d", p.From, p.To)
+	}
+	sort.Strings(ss)
+	return fmt.Sprint(ss)
+}
+
+func fullPairKey(ps []rexfull.Pair) string {
+	ss := make([]string, len(ps))
+	for i, p := range ps {
+		ss[i] = fmt.Sprintf("%d>%d", p.From, p.To)
+	}
+	sort.Strings(ss)
+	return fmt.Sprint(ss)
+}
+
+func randomAttrGraph(r *rand.Rand, n, e int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), map[string]string{"t": fmt.Sprint(r.Intn(3))})
+	}
+	colors := []string{"a", "b"}
+	for i := 0; i < e; i++ {
+		g.AddEdge(graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n)), colors[r.Intn(2)])
+	}
+	return g
+}
+
+func randomSubclassPattern(r *rand.Rand) *pattern.Query {
+	q := pattern.New()
+	nn := 2 + r.Intn(3)
+	preds := []string{"t = 0", "t = 1", "t = 2", "*"}
+	for i := 0; i < nn; i++ {
+		q.AddNode(fmt.Sprintf("u%d", i), predicate.MustParse(preds[r.Intn(len(preds))]))
+	}
+	ne := 1 + r.Intn(3)
+	colors := []string{"a", "b", rex.Wildcard}
+	for i := 0; i < ne; i++ {
+		na := 1 + r.Intn(2)
+		atoms := make([]rex.Atom, na)
+		for j := range atoms {
+			m := 1 + r.Intn(3)
+			if r.Intn(6) == 0 {
+				m = rex.Unbounded
+			}
+			atoms[j] = rex.Atom{Color: colors[r.Intn(3)], Max: m}
+		}
+		q.AddEdge(r.Intn(nn), r.Intn(nn), rex.MustNew(atoms...))
+	}
+	return q
+}

@@ -1,0 +1,447 @@
+// Package rexfull implements the paper's first future-work extension
+// (Section 7): reachability queries with *general* regular expressions
+// over edge colors, beyond the restricted subclass F.
+//
+// Syntax:
+//
+//	r ::= c          a color (identifier), or "_" for any color
+//	    | r r        concatenation
+//	    | r "|" r    union
+//	    | r "*"      zero or more
+//	    | r "+"      one or more
+//	    | r "?"      zero or one
+//	    | "(" r ")"
+//
+// Expressions compile to Thompson NFAs; path evaluation runs a product
+// BFS over (graph node, automaton state) pairs, O(|V|·|Q| + |E|·|Q|) per
+// source. As the paper notes, the price of generality is that the static
+// analyses are lost: containment and minimization for general expressions
+// are PSPACE-complete and are deliberately not provided here — that
+// asymmetry is the paper's argument for subclass F.
+//
+// The empty string is never a match: the paper's path semantics require
+// non-empty paths, so expressions whose language contains ε (e.g. "a*")
+// still only match paths of length >= 1.
+package rexfull
+
+import (
+	"fmt"
+	"strings"
+
+	"regraph/internal/graph"
+	"regraph/internal/predicate"
+	"regraph/internal/rex"
+)
+
+// Expr is a compiled general regular expression.
+type Expr struct {
+	src string
+	nfa *nfa
+}
+
+// String returns the source text.
+func (e Expr) String() string { return e.src }
+
+// IsZero reports whether e is the invalid zero value.
+func (e Expr) IsZero() bool { return e.nfa == nil }
+
+// ---- syntax tree and parser -------------------------------------------------
+
+type ast interface{ isAST() }
+
+type astColor struct{ color string } // "_" = wildcard
+type astCat struct{ l, r ast }
+type astAlt struct{ l, r ast }
+type astStar struct{ sub ast }
+type astPlus struct{ sub ast }
+type astOpt struct{ sub ast }
+
+func (astColor) isAST() {}
+func (astCat) isAST()   {}
+func (astAlt) isAST()   {}
+func (astStar) isAST()  {}
+func (astPlus) isAST()  {}
+func (astOpt) isAST()   {}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+// Parse parses and compiles a general regular expression.
+func Parse(input string) (Expr, error) {
+	p := &parser{input: input}
+	tree, err := p.parseAlt()
+	if err != nil {
+		return Expr{}, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return Expr{}, fmt.Errorf("rexfull: unexpected %q at offset %d", p.input[p.pos], p.pos)
+	}
+	return Expr{src: input, nfa: compile(tree)}, nil
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// FromSubclass converts a subclass-F expression (which is a regular
+// expression) into its general form: c{k} becomes c (c (c ...)?)?...)?
+// and c+ stays c+.
+func FromSubclass(e rex.Expr) Expr {
+	var tree ast
+	for _, a := range e.Atoms() {
+		var part ast
+		switch {
+		case a.Max == rex.Unbounded:
+			part = astPlus{astColor{a.Color}}
+		default:
+			// 1..k occurrences: c (c (c)?)? nested options.
+			part = astColor{a.Color}
+			for i := 1; i < a.Max; i++ {
+				part = astCat{astColor{a.Color}, astOpt{part}}
+			}
+		}
+		if tree == nil {
+			tree = part
+		} else {
+			tree = astCat{tree, part}
+		}
+	}
+	return Expr{src: e.String(), nfa: compile(tree)}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) parseAlt() (ast, error) {
+	l, err := p.parseCat()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos < len(p.input) && p.input[p.pos] == '|' {
+			p.pos++
+			r, err := p.parseCat()
+			if err != nil {
+				return nil, err
+			}
+			l = astAlt{l, r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseCat() (ast, error) {
+	l, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.input) || p.input[p.pos] == '|' || p.input[p.pos] == ')' {
+			return l, nil
+		}
+		r, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		l = astCat{l, r}
+	}
+}
+
+func (p *parser) parsePostfix() (ast, error) {
+	sub, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.pos < len(p.input) {
+		switch p.input[p.pos] {
+		case '*':
+			sub = astStar{sub}
+			p.pos++
+		case '+':
+			sub = astPlus{sub}
+			p.pos++
+		case '?':
+			sub = astOpt{sub}
+			p.pos++
+		default:
+			return sub, nil
+		}
+	}
+	return sub, nil
+}
+
+func (p *parser) parseAtom() (ast, error) {
+	p.skipSpace()
+	if p.pos >= len(p.input) {
+		return nil, fmt.Errorf("rexfull: unexpected end of expression")
+	}
+	switch c := p.input[p.pos]; {
+	case c == '(':
+		p.pos++
+		sub, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.input) || p.input[p.pos] != ')' {
+			return nil, fmt.Errorf("rexfull: missing ')'")
+		}
+		p.pos++
+		return sub, nil
+	case isColorByte(c):
+		start := p.pos
+		for p.pos < len(p.input) && isColorByte(p.input[p.pos]) {
+			p.pos++
+		}
+		color := p.input[start:p.pos]
+		if strings.Contains(color, "_") && color != "_" {
+			return nil, fmt.Errorf("rexfull: %q: '_' is reserved for the wildcard", color)
+		}
+		return astColor{color}, nil
+	default:
+		return nil, fmt.Errorf("rexfull: unexpected character %q at offset %d", c, p.pos)
+	}
+}
+
+func isColorByte(b byte) bool {
+	return b == '_' || b == '-' || b == '.' ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+// ---- Thompson construction ---------------------------------------------------
+
+const epsilon = "\x00eps"
+
+type nfaEdge struct {
+	color string // epsilon, a color, or "_"
+	to    int
+}
+
+type nfa struct {
+	start, accept int
+	edges         [][]nfaEdge
+}
+
+func (n *nfa) addState() int {
+	n.edges = append(n.edges, nil)
+	return len(n.edges) - 1
+}
+
+func (n *nfa) addEdge(from int, color string, to int) {
+	n.edges[from] = append(n.edges[from], nfaEdge{color, to})
+}
+
+func compile(tree ast) *nfa {
+	n := &nfa{}
+	n.start = n.addState()
+	n.accept = n.build(tree, n.start)
+	return n
+}
+
+// build wires the fragment for `tree` starting at state `from` and
+// returns its accepting state.
+func (n *nfa) build(tree ast, from int) int {
+	switch t := tree.(type) {
+	case astColor:
+		to := n.addState()
+		n.addEdge(from, t.color, to)
+		return to
+	case astCat:
+		mid := n.build(t.l, from)
+		return n.build(t.r, mid)
+	case astAlt:
+		la := n.build(t.l, from)
+		ra := n.build(t.r, from)
+		out := n.addState()
+		n.addEdge(la, epsilon, out)
+		n.addEdge(ra, epsilon, out)
+		return out
+	case astStar:
+		inner := n.addState()
+		n.addEdge(from, epsilon, inner)
+		back := n.build(t.sub, inner)
+		n.addEdge(back, epsilon, inner)
+		out := n.addState()
+		n.addEdge(inner, epsilon, out)
+		return out
+	case astPlus:
+		inner := n.addState()
+		n.addEdge(from, epsilon, inner)
+		back := n.build(t.sub, inner)
+		n.addEdge(back, epsilon, inner)
+		out := n.addState()
+		n.addEdge(back, epsilon, out)
+		return out
+	case astOpt:
+		out := n.build(t.sub, from)
+		n.addEdge(from, epsilon, out)
+		return out
+	default:
+		panic("rexfull: unknown AST node")
+	}
+}
+
+// closure expands a state set through epsilon edges in place.
+func (n *nfa) closure(set map[int]bool) {
+	stack := make([]int, 0, len(set))
+	for q := range set {
+		stack = append(stack, q)
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.edges[q] {
+			if e.color == epsilon && !set[e.to] {
+				set[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+}
+
+// step consumes one symbol.
+func (n *nfa) step(set map[int]bool, color string) map[int]bool {
+	next := map[int]bool{}
+	for q := range set {
+		for _, e := range n.edges[q] {
+			if e.color == color || e.color == "_" {
+				next[e.to] = true
+			}
+		}
+	}
+	n.closure(next)
+	return next
+}
+
+// MatchString reports whether a non-empty color string belongs to L(e).
+func (e Expr) MatchString(colors []string) bool {
+	if e.IsZero() || len(colors) == 0 {
+		return false
+	}
+	cur := map[int]bool{e.nfa.start: true}
+	e.nfa.closure(cur)
+	for _, c := range colors {
+		cur = e.nfa.step(cur, c)
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	return cur[e.nfa.accept]
+}
+
+// ---- graph evaluation ---------------------------------------------------------
+
+// Reach reports whether some non-empty path from v1 to v2 spells a string
+// in L(e): a BFS over the product of the graph with the automaton.
+func Reach(g *graph.Graph, e Expr, v1, v2 graph.NodeID) bool {
+	if e.IsZero() {
+		return false
+	}
+	res := reachSet(g, e, v1)
+	return res[v2]
+}
+
+// reachSet returns all nodes reachable from v1 via a non-empty path whose
+// string is in L(e).
+func reachSet(g *graph.Graph, e Expr, v1 graph.NodeID) []bool {
+	n := e.nfa
+	// Product state (graph node, nfa state). Seed with the epsilon
+	// closure of the start at v1; accepting product states with at least
+	// one consumed edge mark reachable nodes.
+	type pstate struct {
+		v graph.NodeID
+		q int
+	}
+	startSet := map[int]bool{n.start: true}
+	n.closure(startSet)
+	seen := map[pstate]bool{}
+	var frontier []pstate
+	for q := range startSet {
+		s := pstate{v1, q}
+		seen[s] = true
+		frontier = append(frontier, s)
+	}
+	out := make([]bool, g.NumNodes())
+	for len(frontier) > 0 {
+		var next []pstate
+		for _, s := range frontier {
+			for _, ge := range g.Out(s.v) {
+				color := g.ColorName(ge.Color)
+				for _, ne := range n.edges[s.q] {
+					if ne.color != color && ne.color != "_" {
+						continue
+					}
+					tgt := map[int]bool{ne.to: true}
+					n.closure(tgt)
+					for q2 := range tgt {
+						s2 := pstate{ge.To, q2}
+						if q2 == n.accept {
+							out[ge.To] = true
+						}
+						if !seen[s2] {
+							seen[s2] = true
+							next = append(next, s2)
+						}
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// Query is a reachability query with a general regular expression — the
+// extended RQ class of Section 7.
+type Query struct {
+	From predicate.Pred
+	To   predicate.Pred
+	Expr Expr
+}
+
+// Eval returns all answer pairs by product BFS from every source
+// candidate.
+func (q Query) Eval(g *graph.Graph) []Pair {
+	var out []Pair
+	var dsts []graph.NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		if q.To.Eval(g.Attrs(graph.NodeID(v))) {
+			dsts = append(dsts, graph.NodeID(v))
+		}
+	}
+	if len(dsts) == 0 {
+		return nil
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		src := graph.NodeID(v)
+		if !q.From.Eval(g.Attrs(src)) {
+			continue
+		}
+		res := reachSet(g, q.Expr, src)
+		for _, d := range dsts {
+			if res[d] {
+				out = append(out, Pair{src, d})
+			}
+		}
+	}
+	return out
+}
+
+// Pair is one query answer.
+type Pair struct {
+	From, To graph.NodeID
+}

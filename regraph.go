@@ -1,0 +1,212 @@
+// Package regraph is a Go implementation of the query classes and
+// algorithms of Fan, Li, Ma, Tang and Wu, "Adding Regular Expressions to
+// Graph Reachability and Pattern Queries" (ICDE 2011; extended version in
+// Frontiers of Computer Science 6(3), 2012).
+//
+// It provides, over directed data graphs whose nodes carry attribute
+// tuples and whose edges carry types ("colors"):
+//
+//   - Reachability queries (RQ): source/destination predicates plus a path
+//     constraint from the restricted regular-expression subclass
+//     F ::= c | c{k} | c+ | F F, evaluated with a per-color distance
+//     matrix (quadratic time) or bi-directional search with an LRU
+//     distance cache.
+//   - Graph pattern queries (PQ): pattern graphs whose every edge is an
+//     RQ, matched under the paper's revised graph simulation; two
+//     cubic-time evaluation algorithms, JoinMatch and SplitMatch.
+//   - Static analyses: containment, equivalence and minimization of RQs
+//     and PQs, all in low polynomial time.
+//
+// # Quick start
+//
+//	g := regraph.NewGraph()
+//	alice := g.AddNode("alice", map[string]string{"job": "doctor"})
+//	bob := g.AddNode("bob", map[string]string{"job": "biologist"})
+//	g.AddEdge(bob, alice, "fn")
+//
+//	q := regraph.RQ{
+//		From: regraph.MustPredicate("job = biologist"),
+//		To:   regraph.MustPredicate("job = doctor"),
+//		Expr: regraph.MustRegex("fn{2}"),
+//	}
+//	pairs := q.EvalBFS(g) // [{bob alice}]
+//	_ = pairs
+//
+// See examples/ for complete programs and DESIGN.md for the mapping from
+// paper sections to packages.
+package regraph
+
+import (
+	"regraph/internal/contain"
+	"regraph/internal/dist"
+	"regraph/internal/gen"
+	"regraph/internal/graph"
+	"regraph/internal/pattern"
+	"regraph/internal/predicate"
+	"regraph/internal/reach"
+	"regraph/internal/reachidx"
+	"regraph/internal/rex"
+	"regraph/internal/rexfull"
+)
+
+// Core graph types.
+type (
+	// Graph is a directed data graph with typed edges and attributed
+	// nodes.
+	Graph = graph.Graph
+	// NodeID identifies a data-graph node.
+	NodeID = graph.NodeID
+	// ColorID identifies an interned edge color.
+	ColorID = graph.ColorID
+)
+
+// Query types.
+type (
+	// RQ is a reachability query (paper Section 2).
+	RQ = reach.Query
+	// Pair is one RQ answer: a (source, destination) node pair.
+	Pair = reach.Pair
+	// PQ is a graph pattern query (paper Section 2).
+	PQ = pattern.Query
+	// PQResult is a pattern query answer: one pair set per pattern edge.
+	PQResult = pattern.Result
+	// EvalOptions selects matrix-backed or search-backed evaluation.
+	EvalOptions = pattern.Options
+	// Regex is a subclass-F regular expression.
+	Regex = rex.Expr
+	// Predicate is a conjunction of attribute comparisons.
+	Predicate = predicate.Pred
+	// Matrix is the per-color all-pairs shortest-distance index.
+	Matrix = dist.Matrix
+	// Cache is the LRU distance cache for matrix-free evaluation.
+	Cache = dist.Cache
+)
+
+// NewGraph returns an empty data graph.
+func NewGraph() *Graph { return graph.New() }
+
+// NewPQ returns an empty pattern query; add nodes with AddNode and edges
+// with AddEdge.
+func NewPQ() *PQ { return pattern.New() }
+
+// ParseRegex parses a subclass-F regular expression, e.g. "fa{2} fn" or
+// "ic{2} dc+".
+func ParseRegex(s string) (Regex, error) { return rex.Parse(s) }
+
+// MustRegex is ParseRegex but panics on error.
+func MustRegex(s string) Regex { return rex.MustParse(s) }
+
+// ParsePredicate parses a node predicate, e.g. `job = doctor, age > 300`.
+func ParsePredicate(s string) (Predicate, error) { return predicate.Parse(s) }
+
+// MustPredicate is ParsePredicate but panics on error.
+func MustPredicate(s string) Predicate { return predicate.MustParse(s) }
+
+// NewMatrix precomputes the distance matrix of Section 4: one layer per
+// edge color plus a wildcard layer, O((m+1)|V|^2) space. Share it across
+// queries on the same graph.
+func NewMatrix(g *Graph) *Matrix { return dist.NewMatrix(g) }
+
+// NewCache creates an LRU distance cache for graphs too large for a
+// matrix.
+func NewCache(g *Graph, capacity int) *Cache { return dist.NewCache(g, capacity) }
+
+// JoinMatch evaluates a pattern query with the join-based algorithm of
+// Section 5.1. Pass EvalOptions{Matrix: m} for the quadratic-lookup
+// configuration or EvalOptions{Cache: c} (or zero options) for runtime
+// search.
+func JoinMatch(g *Graph, q *PQ, opts EvalOptions) *PQResult {
+	return pattern.JoinMatch(g, q, opts)
+}
+
+// SplitMatch evaluates a pattern query with the partition-refinement
+// algorithm of Section 5.2. Same answers as JoinMatch.
+func SplitMatch(g *Graph, q *PQ, opts EvalOptions) *PQResult {
+	return pattern.SplitMatch(g, q, opts)
+}
+
+// RQContains reports Q1 ⊑ Q2 for reachability queries (Proposition 3.3).
+func RQContains(q1, q2 RQ) bool { return contain.RQContains(q1, q2) }
+
+// RQEquivalent reports Q1 ≡ Q2 for reachability queries.
+func RQEquivalent(q1, q2 RQ) bool { return contain.RQEquivalent(q1, q2) }
+
+// PQContains reports Q1 ⊑ Q2 for pattern queries via revised graph
+// similarity (Lemma 3.1, Theorem 3.2).
+func PQContains(q1, q2 *PQ) bool { return contain.Contains(q1, q2) }
+
+// PQEquivalent reports Q1 ≡ Q2 for pattern queries.
+func PQEquivalent(q1, q2 *PQ) bool { return contain.Equivalent(q1, q2) }
+
+// Minimize returns a minimum equivalent pattern query (algorithm minPQs,
+// Theorem 3.4) — the paper's query-optimization strategy.
+func Minimize(q *PQ) *PQ { return contain.Minimize(q) }
+
+// ---- extensions beyond the paper's core (its stated future work) ----------
+
+// Incremental maintains a pattern query's answer under edge and node
+// insertions and deletions without re-evaluating from scratch — the
+// paper's principal future-work item (Section 7).
+type Incremental = pattern.Incremental
+
+// NewIncremental evaluates q once over g and returns a maintenance engine;
+// mutate the graph only through the engine's InsertEdge / DeleteEdge /
+// InsertNode methods.
+func NewIncremental(g *Graph, q *PQ) (*Incremental, error) {
+	return pattern.NewIncremental(g, q)
+}
+
+// FullRegex is a general regular expression over edge colors (union,
+// star, grouping — beyond subclass F). Containment and minimization are
+// PSPACE-complete for this class and deliberately not provided; see
+// package rexfull.
+type FullRegex = rexfull.Expr
+
+// FullRQ is a reachability query whose path constraint is a general
+// regular expression, evaluated by product-automaton search.
+type FullRQ = rexfull.Query
+
+// ParseFullRegex parses a general regular expression such as
+// "(fa|fn)* sa+".
+func ParseFullRegex(s string) (FullRegex, error) { return rexfull.Parse(s) }
+
+// MustFullRegex is ParseFullRegex but panics on error.
+func MustFullRegex(s string) FullRegex { return rexfull.MustParse(s) }
+
+// FullPQ is a graph pattern query whose edges carry general regular
+// expressions — the PQ half of the future-work extension. Same matching
+// semantics (revised graph simulation), polynomial evaluation; no
+// containment or minimization (PSPACE-complete for this class).
+type FullPQ = rexfull.Pattern
+
+// FullPQResult is the answer of a FullPQ.
+type FullPQResult = rexfull.PatternResult
+
+// NewFullPQ returns an empty general-regex pattern query.
+func NewFullPQ() *FullPQ { return rexfull.NewPattern() }
+
+// ReachIndex is a GRAIL-style interval-labeling reachability filter:
+// sound negative answers let the runtime search skip hopeless pairs.
+type ReachIndex = reachidx.Index
+
+// NewReachIndex builds the filter with k randomized traversals per color
+// layer; install it on a Cache with SetFilter.
+func NewReachIndex(g *Graph, k int) *ReachIndex { return reachidx.Build(g, k) }
+
+// Essembly returns the Fig. 1 example network (see internal/gen).
+func Essembly() *Graph { return gen.Essembly() }
+
+// SyntheticGraph generates a seeded random data graph with the given
+// shape, `attrs` integer attributes per node and the given edge colors.
+func SyntheticGraph(seed int64, nodes, edges, attrs int, colors []string) *Graph {
+	return gen.Synthetic(seed, nodes, edges, attrs, colors)
+}
+
+// YouTubeGraph generates the YouTube-like dataset of the paper's
+// experiments at the given scale (1.0 = the paper's 8,350 nodes / 30,391
+// edges).
+func YouTubeGraph(seed int64, scale float64) *Graph { return gen.YouTube(seed, scale) }
+
+// TerrorGraph generates the terrorist-organization collaboration network
+// of the paper's experiments (818 nodes, 1,600 edges).
+func TerrorGraph(seed int64) *Graph { return gen.Terror(seed) }
