@@ -1,0 +1,3 @@
+module regraph
+
+go 1.24

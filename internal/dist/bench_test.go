@@ -1,0 +1,45 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"regraph/internal/graph"
+)
+
+// benchGraph is a mid-sized synthetic graph: large enough that the
+// per-source BFS work dominates the CSR setup, small enough for CI.
+func benchGraph() *graph.Graph {
+	r := rand.New(rand.NewSource(42))
+	return randGraph(r, 1200, 6000, []string{"a", "b", "c", "d"})
+}
+
+// BenchmarkNewMatrixParallel measures the default concurrent matrix
+// build; compare against BenchmarkNewMatrixSerial to see the multi-core
+// speedup (on a single-core host the two are expected to tie).
+func BenchmarkNewMatrixParallel(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewMatrix(g)
+	}
+}
+
+func BenchmarkNewMatrixSerial(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		newMatrixSerial(g)
+	}
+}
+
+// BenchmarkMatrixDist measures the O(1) lookup hot path.
+func BenchmarkMatrixDist(b *testing.B) {
+	g := benchGraph()
+	mx := NewMatrix(g)
+	a, _ := g.ColorID("a")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mx.Dist(a, 3, 17)
+	}
+}

@@ -1,0 +1,169 @@
+package dist
+
+import (
+	"sync"
+
+	"regraph/internal/graph"
+)
+
+// Filter is a sound negative reachability oracle, the hook through which
+// a GRAIL-style interval index (internal/reachidx) fronts the runtime
+// search: when MaybeReaches returns false, no non-empty path of that
+// color exists and the bi-directional search is skipped entirely.
+// Positive answers are "maybe" and fall through to the search.
+type Filter interface {
+	MaybeReaches(c graph.ColorID, v1, v2 graph.NodeID) bool
+}
+
+// Cache is the LRU distance cache of Section 4: single-color distance
+// lookups for graphs too large to hold a Matrix. A hit is O(1); a miss
+// runs the bi-directional search (BiDist) and caches the result, so
+// workloads that re-ask about the same pairs — the paper's "frequently
+// asked queries" — approach matrix speed at O(capacity) space.
+//
+// Cache is safe for concurrent use.
+type Cache struct {
+	g *graph.Graph
+
+	mu       sync.Mutex
+	capacity int
+	entries  map[cacheKey]*cacheEntry
+	head     *cacheEntry // most recently used
+	tail     *cacheEntry // least recently used
+	filter   Filter
+	hits     int
+	misses   int
+	filtered int
+}
+
+type cacheKey struct {
+	c      graph.ColorID
+	v1, v2 graph.NodeID
+}
+
+type cacheEntry struct {
+	key        cacheKey
+	d          int32
+	prev, next *cacheEntry
+}
+
+// NewCache creates a distance cache holding at most capacity pair
+// distances (at least one).
+func NewCache(g *graph.Graph, capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		g:        g,
+		capacity: capacity,
+		entries:  make(map[cacheKey]*cacheEntry, capacity),
+	}
+}
+
+// SetFilter installs a reachability filter consulted before both the
+// cache and the search; nil removes it.
+func (ca *Cache) SetFilter(f Filter) {
+	ca.mu.Lock()
+	ca.filter = f
+	ca.mu.Unlock()
+}
+
+// Dist returns the shortest non-empty distance from v1 to v2 over color c
+// (graph.AnyColor for any edge), or graph.Unreachable. Results agree
+// exactly with Matrix.Dist.
+func (ca *Cache) Dist(c graph.ColorID, v1, v2 graph.NodeID) int32 {
+	key := cacheKey{c, v1, v2}
+	ca.mu.Lock()
+	// The filter check shares the critical section with the map lookup:
+	// MaybeReaches is a read-only O(k) probe, and one lock per call keeps
+	// the hot path's contention down.
+	if ca.filter != nil && !ca.filter.MaybeReaches(c, v1, v2) {
+		ca.filtered++
+		ca.mu.Unlock()
+		return graph.Unreachable
+	}
+	if e, ok := ca.entries[key]; ok {
+		ca.hits++
+		ca.moveToFront(e)
+		d := e.d
+		ca.mu.Unlock()
+		return d
+	}
+	ca.misses++
+	ca.mu.Unlock()
+	// The search runs outside the lock; concurrent misses on the same
+	// pair just compute it twice and store the same value.
+	d := BiDist(ca.g, c, v1, v2)
+	ca.mu.Lock()
+	if _, ok := ca.entries[key]; !ok {
+		e := &cacheEntry{key: key, d: d}
+		ca.entries[key] = e
+		ca.pushFront(e)
+		if len(ca.entries) > ca.capacity {
+			ca.evict()
+		}
+	}
+	ca.mu.Unlock()
+	return d
+}
+
+// Stats returns the hit and miss counts since creation. Filtered pairs
+// count as neither: no distance was looked up or computed for them.
+func (ca *Cache) Stats() (hits, misses int) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	return ca.hits, ca.misses
+}
+
+// Filtered returns how many lookups the reachability filter refuted
+// without a search.
+func (ca *Cache) Filtered() int {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	return ca.filtered
+}
+
+// ---- intrusive LRU list (callers hold ca.mu) ------------------------------
+
+func (ca *Cache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = ca.head
+	if ca.head != nil {
+		ca.head.prev = e
+	}
+	ca.head = e
+	if ca.tail == nil {
+		ca.tail = e
+	}
+}
+
+func (ca *Cache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		ca.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		ca.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (ca *Cache) moveToFront(e *cacheEntry) {
+	if ca.head == e {
+		return
+	}
+	ca.unlink(e)
+	ca.pushFront(e)
+}
+
+func (ca *Cache) evict() {
+	lru := ca.tail
+	if lru == nil {
+		return
+	}
+	ca.unlink(lru)
+	delete(ca.entries, lru.key)
+}

@@ -1,0 +1,94 @@
+// Black-box cross-checks of the whole evaluation stack over the dist
+// substrate: the three RQ evaluation methods must return identical pair
+// sets, and JoinMatch must agree with SplitMatch under every
+// configuration, on seeded synthetic graphs with generated workloads.
+package dist_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"regraph/internal/dist"
+	"regraph/internal/gen"
+	"regraph/internal/graph"
+	"regraph/internal/pattern"
+	"regraph/internal/reach"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func pairSet(ps []reach.Pair) string {
+	ss := make([]string, len(ps))
+	for i, p := range ps {
+		ss[i] = fmt.Sprintf("%d->%d", p.From, p.To)
+	}
+	sort.Strings(ss)
+	return fmt.Sprint(ss)
+}
+
+// TestRQEvaluatorsAgreeOnSynthetic: EvalMatrix, EvalBFS and EvalBiBFS on
+// generated RQ workloads over seeded synthetic graphs.
+func TestRQEvaluatorsAgreeOnSynthetic(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := gen.Synthetic(seed, 150, 500, 3, gen.DefaultColors)
+		mx := dist.NewMatrix(g)
+		ca := dist.NewCache(g, 256)
+		rng := newRand(seed)
+		for k := 0; k < 6; k++ {
+			q := gen.RQ(g, 2, 4, 1+k%3, rng)
+			a := pairSet(q.EvalMatrix(g, mx))
+			b := pairSet(q.EvalBFS(g))
+			c := pairSet(q.EvalBiBFS(g, ca))
+			if a != b || b != c {
+				t.Fatalf("seed %d query %v disagree:\n matrix=%s\n bfs=%s\n bibfs=%s", seed, q, a, b, c)
+			}
+		}
+	}
+}
+
+// TestJoinSplitAgreeOnSynthetic: JoinMatch ≡ SplitMatch on generated
+// pattern queries, in matrix, cache and plain-search configurations.
+func TestJoinSplitAgreeOnSynthetic(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := gen.Synthetic(seed, 120, 400, 3, gen.DefaultColors)
+		mx := dist.NewMatrix(g)
+		ca := dist.NewCache(g, 256)
+		rng := newRand(seed * 977)
+		for k := 0; k < 4; k++ {
+			q := gen.Query(g, gen.Spec{Nodes: 3 + k, Edges: 4 + k, Preds: 2, Bound: 3, Colors: 2}, rng)
+			for _, cfg := range []struct {
+				name string
+				opts pattern.Options
+			}{
+				{"matrix", pattern.Options{Matrix: mx}},
+				{"cache", pattern.Options{Cache: ca}},
+				{"plain", pattern.Options{}},
+			} {
+				join := pattern.JoinMatch(g, q, cfg.opts)
+				split := pattern.SplitMatch(g, q, cfg.opts)
+				if !join.Equal(split) {
+					t.Fatalf("seed %d %s: JoinMatch != SplitMatch\npattern %v\njoin  %s\nsplit %s",
+						seed, cfg.name, q, join.String(g), split.String(g))
+				}
+			}
+		}
+	}
+}
+
+// TestMatrixAgreesOnRealDatasets spot-checks the matrix against the
+// runtime search on the generated Terror dataset.
+func TestMatrixAgreesOnRealDatasets(t *testing.T) {
+	g := gen.Terror(1)
+	mx := dist.NewMatrix(g)
+	ic, _ := g.ColorID("ic")
+	rng := newRand(11)
+	for i := 0; i < 500; i++ {
+		v1 := graph.NodeID(rng.Intn(g.NumNodes()))
+		v2 := graph.NodeID(rng.Intn(g.NumNodes()))
+		if got, want := dist.BiDist(g, ic, v1, v2), mx.Dist(ic, v1, v2); got != want {
+			t.Fatalf("BiDist(ic, %d, %d) = %d, matrix %d", v1, v2, got, want)
+		}
+	}
+}

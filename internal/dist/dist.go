@@ -1,0 +1,310 @@
+// Package dist is the distance substrate shared by every query class of
+// the paper (Section 4): the per-color all-pairs distance matrix, the LRU
+// distance cache backed by bi-directional search, and the bounded
+// multi-source BFS closures used by the runtime evaluation methods.
+//
+// All distances follow the paper's path semantics: paths are non-empty,
+// so the distance from a node to itself is the length of its shortest
+// non-empty cycle (or Unreachable). Every operation is parameterized by a
+// color layer: a concrete graph.ColorID restricts paths to edges of that
+// color, graph.AnyColor (the wildcard "_") allows every edge.
+//
+// A subclass-F expression is compiled into a chain of CAtom values, one
+// per atom; an atom is satisfied by a pair (v1, v2) when the shortest
+// non-empty path from v1 to v2 over the atom's color layer has length
+// within the atom's bound. See DESIGN.md for the layer layout and the
+// concurrency model of the matrix build.
+package dist
+
+import (
+	"regraph/internal/graph"
+	"regraph/internal/rex"
+)
+
+// CAtom is a compiled subclass-F atom: the interned color layer it runs
+// on and its occurrence bound (rex.Unbounded for "c+").
+type CAtom struct {
+	Color graph.ColorID
+	Max   int
+}
+
+// Sat reports whether a shortest non-empty distance d satisfies the
+// atom's bound: 1 <= d <= Max (any d >= 1 when unbounded). Unreachable
+// distances (negative) never satisfy.
+func (a CAtom) Sat(d int32) bool {
+	if d < 1 {
+		return false
+	}
+	// Compare in int: bounds above MaxInt32 parse fine on 64-bit and must
+	// not truncate negative.
+	return a.Max == rex.Unbounded || int(d) <= a.Max
+}
+
+// SatMatrix is Sat against the precomputed distance matrix: a single O(1)
+// lookup per pair.
+func (a CAtom) SatMatrix(mx *Matrix, v1, v2 graph.NodeID) bool {
+	return a.Sat(mx.Dist(a.Color, v1, v2))
+}
+
+// Compile resolves an expression's atoms against a graph's interned
+// colors. ok is false when the expression mentions a concrete color the
+// graph does not have (its language is then empty over this graph) or
+// when the expression is the invalid zero value.
+func Compile(g *graph.Graph, e rex.Expr) ([]CAtom, bool) {
+	atoms := e.Atoms()
+	if len(atoms) == 0 {
+		return nil, false
+	}
+	out := make([]CAtom, len(atoms))
+	for i, a := range atoms {
+		c, ok := g.ColorID(a.Color)
+		if !ok {
+			return nil, false
+		}
+		out[i] = CAtom{Color: c, Max: a.Max}
+	}
+	return out, true
+}
+
+// eachSucc visits the successors of v over one color layer by scanning
+// the adjacency list directly. This deliberately avoids the graph's lazy
+// per-color index so concurrent readers stay race-free.
+func eachSucc(g *graph.Graph, v graph.NodeID, c graph.ColorID, fn func(graph.NodeID)) {
+	for _, e := range g.Out(v) {
+		if c == graph.AnyColor || e.Color == c {
+			fn(e.To)
+		}
+	}
+}
+
+// eachPred visits the predecessors of v over one color layer.
+func eachPred(g *graph.Graph, v graph.NodeID, c graph.ColorID, fn func(graph.NodeID)) {
+	for _, e := range g.In(v) {
+		if c == graph.AnyColor || e.Color == c {
+			fn(e.To)
+		}
+	}
+}
+
+// boundedImage computes one atom step of a closure: the set of nodes w
+// with a non-empty path from some node of src to w, over the atom's color
+// layer, of length within the atom's bound. With forward=false, paths run
+// from w into src instead (the backward image).
+func boundedImage(g *graph.Graph, src []bool, a CAtom, forward bool) []bool {
+	n := g.NumNodes()
+	limit := int32(n) // paths beyond |V| hops revisit a node
+	if a.Max != rex.Unbounded && a.Max < n {
+		limit = int32(a.Max)
+	}
+	step := eachSucc
+	back := eachPred
+	if !forward {
+		step, back = eachPred, eachSucc
+	}
+	// Multi-source BFS from src; d holds the shortest distance from the
+	// set (0 on the sources themselves).
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = graph.Unreachable
+	}
+	var queue []graph.NodeID
+	for v := range src {
+		if src[v] {
+			d[v] = 0
+			queue = append(queue, graph.NodeID(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if d[v] >= limit {
+			continue
+		}
+		step(g, v, a.Color, func(w graph.NodeID) {
+			if d[w] == graph.Unreachable {
+				d[w] = d[v] + 1
+				queue = append(queue, w)
+			}
+		})
+	}
+	out := make([]bool, n)
+	for v := range out {
+		if d[v] >= 1 && d[v] <= limit {
+			out[v] = true
+		}
+	}
+	// Source nodes have d = 0, but the atom requires a non-empty path:
+	// the shortest one ends with an edge from some reached node, so it is
+	// 1 + min over the node's in-neighbors (over this layer) of d.
+	for v := range src {
+		if !src[v] || out[v] {
+			continue
+		}
+		best := graph.Unreachable
+		back(g, graph.NodeID(v), a.Color, func(p graph.NodeID) {
+			if dp := d[p]; dp != graph.Unreachable && (best == graph.Unreachable || dp+1 < best) {
+				best = dp + 1
+			}
+		})
+		if best >= 1 && best <= limit {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// ForwardClosure pushes an atom chain forward from a source set: the
+// result marks every node reachable from some source via a path whose
+// color string matches the chain. An empty chain returns the sources
+// themselves (the empty path).
+func ForwardClosure(g *graph.Graph, src []bool, atoms []CAtom) []bool {
+	cur := append([]bool(nil), src...)
+	for _, a := range atoms {
+		cur = boundedImage(g, cur, a, true)
+	}
+	return cur
+}
+
+// BackwardClosure pushes an atom chain backward from a destination set:
+// the result marks every node from which some destination is reachable
+// via a path matching the chain.
+func BackwardClosure(g *graph.Graph, dst []bool, atoms []CAtom) []bool {
+	cur := append([]bool(nil), dst...)
+	for i := len(atoms) - 1; i >= 0; i-- {
+		cur = boundedImage(g, cur, atoms[i], false)
+	}
+	return cur
+}
+
+// BiDist computes the shortest non-empty distance from v1 to v2 over one
+// color layer with bi-directional BFS: the two frontiers are expanded
+// level by level (smaller side first) and every scanned edge that bridges
+// them proposes a path length. This is the runtime search the LRU cache
+// falls back to on a miss.
+func BiDist(g *graph.Graph, c graph.ColorID, v1, v2 graph.NodeID) int32 {
+	n := g.NumNodes()
+	df := make([]int32, n)
+	db := make([]int32, n)
+	for i := 0; i < n; i++ {
+		df[i] = graph.Unreachable
+		db[i] = graph.Unreachable
+	}
+	df[v1] = 0
+	db[v2] = 0
+	fwd := []graph.NodeID{v1}
+	bwd := []graph.NodeID{v2}
+	var levF, levB int32
+	best := graph.Unreachable
+	for len(fwd) > 0 || len(bwd) > 0 {
+		// Safe cutoff: any path not yet proposed bridges two unfinished
+		// levels, so its length is at least levF+levB.
+		if best != graph.Unreachable && levF+levB >= best {
+			break
+		}
+		forward := len(bwd) == 0 || (len(fwd) > 0 && len(fwd) <= len(bwd))
+		if forward {
+			var next []graph.NodeID
+			for _, v := range fwd {
+				eachSucc(g, v, c, func(w graph.NodeID) {
+					// Candidates are only proposed on edge relaxations,
+					// so the v1 == v2 overlap at distance 0 (the empty
+					// path) is never counted.
+					if db[w] != graph.Unreachable {
+						if cand := df[v] + 1 + db[w]; best == graph.Unreachable || cand < best {
+							best = cand
+						}
+					}
+					if df[w] == graph.Unreachable {
+						df[w] = df[v] + 1
+						next = append(next, w)
+					}
+				})
+			}
+			fwd = next
+			levF++
+		} else {
+			var next []graph.NodeID
+			for _, v := range bwd {
+				eachPred(g, v, c, func(w graph.NodeID) {
+					if df[w] != graph.Unreachable {
+						if cand := df[w] + 1 + db[v]; best == graph.Unreachable || cand < best {
+							best = cand
+						}
+					}
+					if db[w] == graph.Unreachable {
+						db[w] = db[v] + 1
+						next = append(next, w)
+					}
+				})
+			}
+			bwd = next
+			levB++
+		}
+	}
+	return best
+}
+
+// BiReach reports whether some path from v1 to v2 matches the whole atom
+// chain, by runtime search only: the chain is split in the middle, the
+// prefix is pushed forward from v1, the suffix backward from v2, and the
+// two node sets are intersected.
+func BiReach(g *graph.Graph, atoms []CAtom, v1, v2 graph.NodeID) bool {
+	if len(atoms) == 0 {
+		return v1 == v2
+	}
+	if len(atoms) == 1 {
+		return atoms[0].Sat(BiDist(g, atoms[0].Color, v1, v2))
+	}
+	n := g.NumNodes()
+	src := make([]bool, n)
+	src[v1] = true
+	dst := make([]bool, n)
+	dst[v2] = true
+	mid := len(atoms) / 2
+	fwd := ForwardClosure(g, src, atoms[:mid])
+	bwd := BackwardClosure(g, dst, atoms[mid:])
+	for i := range fwd {
+		if fwd[i] && bwd[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// ReachMatrix is BiReach against the precomputed matrix: the reachable
+// set is advanced one atom at a time with O(1) pair lookups, finishing
+// with a membership test against v2.
+func ReachMatrix(g *graph.Graph, mx *Matrix, atoms []CAtom, v1, v2 graph.NodeID) bool {
+	if len(atoms) == 0 {
+		return v1 == v2
+	}
+	if len(atoms) == 1 {
+		return atoms[0].SatMatrix(mx, v1, v2)
+	}
+	n := g.NumNodes()
+	cur := []graph.NodeID{v1}
+	for i, a := range atoms {
+		if i == len(atoms)-1 {
+			for _, v := range cur {
+				if a.SatMatrix(mx, v, v2) {
+					return true
+				}
+			}
+			return false
+		}
+		var next []graph.NodeID
+		for w := 0; w < n; w++ {
+			for _, v := range cur {
+				if a.SatMatrix(mx, v, graph.NodeID(w)) {
+					next = append(next, graph.NodeID(w))
+					break
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	return false
+}

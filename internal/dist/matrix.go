@@ -1,0 +1,169 @@
+package dist
+
+import (
+	"runtime"
+	"sync"
+
+	"regraph/internal/graph"
+)
+
+// Matrix is the per-color all-pairs distance index of Section 4: one
+// layer per edge color plus a wildcard layer, (m+1)·|V|² int32 entries.
+// Each layer is a flat row-major []int32, so Dist is a single
+// bounds-checked load — the paper's O(1) lookup made literal. Entry
+// (v1, v2) holds the length of the shortest non-empty path from v1 to v2
+// over the layer's edges, or graph.Unreachable.
+//
+// A Matrix is immutable after construction and safe for concurrent use.
+type Matrix struct {
+	n      int
+	layers [][]int32 // one per color, wildcard layer last
+}
+
+// csr is a compact forward adjacency for one color layer, built once per
+// layer so the per-source BFS workers never touch the graph's lazy
+// (non-thread-safe) color index.
+type csr struct {
+	rowStart []int32
+	dst      []graph.NodeID
+}
+
+func buildCSR(g *graph.Graph, c graph.ColorID) csr {
+	n := g.NumNodes()
+	cs := csr{rowStart: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		deg := 0
+		for _, e := range g.Out(graph.NodeID(v)) {
+			if c == graph.AnyColor || e.Color == c {
+				deg++
+			}
+		}
+		cs.rowStart[v+1] = cs.rowStart[v] + int32(deg)
+	}
+	cs.dst = make([]graph.NodeID, cs.rowStart[n])
+	fill := make([]int32, n)
+	copy(fill, cs.rowStart[:n])
+	for v := 0; v < n; v++ {
+		for _, e := range g.Out(graph.NodeID(v)) {
+			if c == graph.AnyColor || e.Color == c {
+				cs.dst[fill[v]] = e.To
+				fill[v]++
+			}
+		}
+	}
+	return cs
+}
+
+// NewMatrix precomputes every layer with one BFS per (layer, source) in
+// O((m+1)·|V|·(|V|+|E|)) work, parallelized across GOMAXPROCS workers.
+// Work is sharded by source-row chunks within each layer, so construction
+// scales with cores even on graphs with few colors.
+func NewMatrix(g *graph.Graph) *Matrix {
+	return newMatrix(g, runtime.GOMAXPROCS(0))
+}
+
+// newMatrixSerial is the single-threaded build, kept as the baseline for
+// the parallel-speedup benchmark and as a cross-check oracle in tests.
+func newMatrixSerial(g *graph.Graph) *Matrix {
+	return newMatrix(g, 1)
+}
+
+func newMatrix(g *graph.Graph, workers int) *Matrix {
+	n := g.NumNodes()
+	m := g.NumColors()
+	mx := &Matrix{n: n, layers: make([][]int32, m+1)}
+	adjs := make([]csr, m+1)
+	for l := 0; l <= m; l++ {
+		c := graph.ColorID(l)
+		if l == m {
+			c = graph.AnyColor
+		}
+		adjs[l] = buildCSR(g, c)
+		mx.layers[l] = make([]int32, n*n)
+	}
+	if n == 0 {
+		return mx
+	}
+
+	type task struct{ layer, lo, hi int }
+	const chunk = 64
+	tasks := make(chan task, workers)
+	var wg sync.WaitGroup
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			queue := make([]graph.NodeID, 0, n)
+			for t := range tasks {
+				for src := t.lo; src < t.hi; src++ {
+					bfsRow(adjs[t.layer], graph.NodeID(src),
+						mx.layers[t.layer][src*n:(src+1)*n], queue)
+				}
+			}
+		}()
+	}
+	for l := 0; l <= m; l++ {
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			tasks <- task{l, lo, hi}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	return mx
+}
+
+// bfsRow fills one matrix row: shortest non-empty distances from src over
+// one layer. row is the src-th slice of the flat layer; queue is a
+// reusable scratch buffer.
+func bfsRow(adj csr, src graph.NodeID, row []int32, queue []graph.NodeID) {
+	for i := range row {
+		row[i] = graph.Unreachable
+	}
+	row[src] = 0
+	queue = append(queue[:0], src)
+	// Shortest non-empty cycle through src: every reachable node is
+	// dequeued exactly once with all its out-edges scanned, so edges
+	// closing back on src are all observed.
+	cycle := graph.Unreachable
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := row[v]
+		for _, w := range adj.dst[adj.rowStart[v]:adj.rowStart[v+1]] {
+			if w == src && (cycle == graph.Unreachable || dv+1 < cycle) {
+				cycle = dv + 1
+			}
+			if row[w] == graph.Unreachable {
+				row[w] = dv + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	row[src] = cycle
+}
+
+// Dist returns the shortest non-empty distance from v1 to v2 over edges
+// of color c (any edge when c is graph.AnyColor), or graph.Unreachable.
+func (mx *Matrix) Dist(c graph.ColorID, v1, v2 graph.NodeID) int32 {
+	l := mx.layers[len(mx.layers)-1]
+	if c != graph.AnyColor {
+		l = mx.layers[c]
+	}
+	return l[int(v1)*mx.n+int(v2)]
+}
+
+// Size returns the matrix memory footprint in bytes — the
+// O((m+1)·|V|²) space cost the cache-based method avoids.
+func (mx *Matrix) Size() int64 {
+	var total int64
+	for _, l := range mx.layers {
+		total += int64(len(l)) * 4
+	}
+	return total
+}

@@ -19,6 +19,7 @@ package reach
 
 import (
 	"fmt"
+	"sync"
 
 	"regraph/internal/dist"
 	"regraph/internal/graph"
@@ -50,14 +51,41 @@ type Pair struct {
 
 // Candidates returns the IDs of nodes matching a predicate, in ID order.
 func Candidates(g *graph.Graph, p predicate.Pred) []graph.NodeID {
-	var out []graph.NodeID
+	return CandidatesAppend(nil, g, p)
+}
+
+// CandidatesAppend appends the IDs of nodes matching a predicate to dst,
+// in ID order, and returns the extended slice. Passing a reused scratch
+// slice (dst[:0]) avoids the per-query allocation Candidates pays.
+func CandidatesAppend(dst []graph.NodeID, g *graph.Graph, p predicate.Pred) []graph.NodeID {
 	for v := 0; v < g.NumNodes(); v++ {
 		if p.Eval(g.Attrs(graph.NodeID(v))) {
-			out = append(out, graph.NodeID(v))
+			dst = append(dst, graph.NodeID(v))
 		}
 	}
-	return out
+	return dst
 }
+
+// candPool recycles candidate buffers across evaluations, so repeated RQ
+// evaluation (the bench workloads run thousands back to back) does not
+// reallocate two slices per query.
+var candPool = sync.Pool{
+	New: func() any {
+		s := make([]graph.NodeID, 0, 64)
+		return &s
+	},
+}
+
+// takeCands draws a pooled buffer and fills it with p's candidates. The
+// returned pointer must be handed back with putCands once the slice is no
+// longer referenced.
+func takeCands(g *graph.Graph, p predicate.Pred) *[]graph.NodeID {
+	buf := candPool.Get().(*[]graph.NodeID)
+	*buf = CandidatesAppend((*buf)[:0], g, p)
+	return buf
+}
+
+func putCands(buf *[]graph.NodeID) { candPool.Put(buf) }
 
 // EvalMatrix evaluates the query with the distance matrix (Section 4,
 // "matrix-based method"). The expression is decomposed into its atoms
@@ -69,8 +97,10 @@ func (q Query) EvalMatrix(g *graph.Graph, mx *dist.Matrix) []Pair {
 	if !ok {
 		return nil
 	}
-	cand1 := Candidates(g, q.From)
-	cand2 := Candidates(g, q.To)
+	cand1p, cand2p := takeCands(g, q.From), takeCands(g, q.To)
+	defer putCands(cand1p)
+	defer putCands(cand2p)
+	cand1, cand2 := *cand1p, *cand2p
 	if len(cand1) == 0 || len(cand2) == 0 {
 		return nil
 	}
@@ -79,12 +109,16 @@ func (q Query) EvalMatrix(g *graph.Graph, mx *dist.Matrix) []Pair {
 	// atoms[i:] can reach some destination candidate. layers[h] = cand2.
 	layers := make([][]graph.NodeID, h+1)
 	layers[h] = cand2
+	var all []graph.NodeID
 	for i := h - 1; i >= 0; i-- {
 		var from []graph.NodeID
 		if i == 0 {
 			from = cand1
 		} else {
-			from = allNodes(g)
+			if all == nil {
+				all = allNodes(g)
+			}
+			from = all
 		}
 		layers[i] = refineLayer(mx, atoms[i], from, layers[i+1])
 		if len(layers[i]) == 0 {
@@ -155,8 +189,10 @@ func (q Query) EvalBFS(g *graph.Graph) []Pair {
 	if !ok {
 		return nil
 	}
-	cand1 := Candidates(g, q.From)
-	cand2 := Candidates(g, q.To)
+	cand1p, cand2p := takeCands(g, q.From), takeCands(g, q.To)
+	defer putCands(cand1p)
+	defer putCands(cand2p)
+	cand1, cand2 := *cand1p, *cand2p
 	if len(cand1) == 0 || len(cand2) == 0 {
 		return nil
 	}
@@ -186,8 +222,10 @@ func (q Query) EvalBiBFS(g *graph.Graph, ca *dist.Cache) []Pair {
 	if !ok {
 		return nil
 	}
-	cand1 := Candidates(g, q.From)
-	cand2 := Candidates(g, q.To)
+	cand1p, cand2p := takeCands(g, q.From), takeCands(g, q.To)
+	defer putCands(cand1p)
+	defer putCands(cand2p)
+	cand1, cand2 := *cand1p, *cand2p
 	if len(cand1) == 0 || len(cand2) == 0 {
 		return nil
 	}
