@@ -73,6 +73,10 @@ func BenchmarkFig12dVaryEp(b *testing.B)   { runDriver(b, bench.Fig12d) }
 func BenchmarkFig12eVaryPred(b *testing.B) { runDriver(b, bench.Fig12e) }
 func BenchmarkFig12fSubIso(b *testing.B)   { runDriver(b, bench.Fig12f) }
 
+// Engine: batch RQ throughput, serial loop vs resident worker pool.
+
+func BenchmarkEngineBatch(b *testing.B) { runDriver(b, bench.EngineBatch) }
+
 // Ablations (DESIGN.md §5).
 
 func BenchmarkAblationContainment(b *testing.B) { runDriver(b, bench.AblationContainment) }

@@ -15,13 +15,22 @@
 //	node <name> <predicate or *>
 //	edge <from> <to> <regex>
 //
+// A batch of reachability queries is given with -batch, one query per
+// tab-separated line (use * for an always-true predicate; # starts a
+// comment), evaluated concurrently across -workers workers:
+//
+//	<from predicate> <TAB> <to predicate> <TAB> <expr>
+//
 // With -demo the built-in Fig. 1 Essembly graph is used.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"regraph"
 	"regraph/internal/graph"
@@ -36,6 +45,8 @@ func main() {
 		to        = flag.String("to", "", "RQ: destination predicate")
 		expr      = flag.String("expr", "", "RQ: path regular expression (subclass F)")
 		patPath   = flag.String("pattern", "", "PQ: pattern file")
+		batchPath = flag.String("batch", "", "batch of RQs, one per tab-separated line")
+		workers   = flag.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
 		useMatrix = flag.Bool("matrix", true, "precompute the distance matrix")
 		minimize  = flag.Bool("minimize", false, "PQ: minimize before evaluating")
 	)
@@ -52,6 +63,10 @@ func main() {
 		mx = regraph.NewMatrix(g)
 	}
 	switch {
+	case *batchPath != "":
+		if err := runBatch(g, mx, *batchPath, *workers); err != nil {
+			fatal(err)
+		}
 	case *expr != "":
 		if err := runRQ(g, mx, *from, *to, *expr); err != nil {
 			fatal(err)
@@ -61,8 +76,64 @@ func main() {
 			fatal(err)
 		}
 	default:
-		fatal(fmt.Errorf("nothing to do: give -expr (RQ) or -pattern (PQ)"))
+		fatal(fmt.Errorf("nothing to do: give -expr (RQ), -pattern (PQ) or -batch (RQ file)"))
 	}
+}
+
+// runBatch parses the batch file and evaluates every query through a
+// resident engine, printing one answer-count line per query.
+func runBatch(g *regraph.Graph, mx *regraph.Matrix, path string, workers int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var qs []regraph.RQ
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20) // generated predicates can exceed the 64KiB default
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 3 {
+			return fmt.Errorf("batch: line %d: want 3 tab-separated fields, got %d", lineNo, len(fields))
+		}
+		fp, err := regraph.ParsePredicate(fields[0])
+		if err != nil {
+			return fmt.Errorf("batch: line %d: from: %w", lineNo, err)
+		}
+		tp, err := regraph.ParsePredicate(fields[1])
+		if err != nil {
+			return fmt.Errorf("batch: line %d: to: %w", lineNo, err)
+		}
+		re, err := regraph.ParseRegex(fields[2])
+		if err != nil {
+			return fmt.Errorf("batch: line %d: expr: %w", lineNo, err)
+		}
+		qs = append(qs, regraph.RQ{From: fp, To: tp, Expr: re})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(qs) == 0 {
+		return fmt.Errorf("batch: no queries in %s", path)
+	}
+	e := regraph.NewEngine(g, regraph.EngineOptions{Workers: workers, Matrix: mx})
+	t0 := time.Now()
+	results := e.RunRQs(qs)
+	elapsed := time.Since(t0)
+	total := 0
+	for i, pairs := range results {
+		fmt.Printf("%4d  %s: %d pairs\n", i, qs[i], len(pairs))
+		total += len(pairs)
+	}
+	fmt.Printf("batch: %d queries, %d pairs total, %v on %d workers\n",
+		len(qs), total, elapsed.Round(time.Microsecond), e.Workers())
+	return nil
 }
 
 func loadGraph(path string, demo bool) (*regraph.Graph, error) {

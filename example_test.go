@@ -84,3 +84,55 @@ func ExamplePQContains() {
 	// true
 	// false
 }
+
+// A resident engine owns the graph plus one shared distance structure
+// and evaluates whole batches concurrently across its worker pool; each
+// worker reuses a private scratch arena, so a long-running engine stops
+// allocating per query.
+func ExampleEngine_RunBatch() {
+	g := regraph.Essembly()
+	eng := regraph.NewEngine(g, regraph.EngineOptions{Workers: 2})
+
+	q1 := regraph.RQ{
+		From: regraph.MustPredicate("job = biologist, sp = cloning"),
+		To:   regraph.MustPredicate("job = doctor"),
+		Expr: regraph.MustRegex("fa{2} fn"),
+	}
+	q2 := regraph.RQ{
+		From: regraph.MustPredicate("job = biologist"),
+		To:   regraph.MustPredicate("job = doctor"),
+		Expr: regraph.MustRegex("fn"),
+	}
+	for i, res := range eng.RunBatch([]regraph.BatchRequest{{RQ: &q1}, {RQ: &q2}}) {
+		fmt.Printf("query %d: %d pairs\n", i, len(res.Pairs))
+	}
+	// Output:
+	// query 0: 4 pairs
+	// query 1: 2 pairs
+}
+
+// The scratch-accepting closure API: push a compiled expression forward
+// from a source set without allocating, reusing one arena across calls.
+// The result is owned by the arena — copy it before the next call if it
+// must be retained.
+func ExampleForwardClosureScratch() {
+	g := regraph.Essembly()
+	atoms, ok := regraph.CompileRegex(g, regraph.MustRegex("fa{2} fn"))
+	if !ok {
+		panic("expression mentions a color absent from the graph")
+	}
+	s := regraph.NewScratch()
+	src := make([]bool, g.NumNodes())
+	c1, _ := g.NodeByName("C1")
+	src[c1] = true
+
+	reached := regraph.ForwardClosureScratch(g, src, atoms, s)
+	for v, in := range reached {
+		if in {
+			fmt.Println(g.Node(regraph.NodeID(v)).Name)
+		}
+	}
+	// Output:
+	// B1
+	// B2
+}

@@ -236,6 +236,7 @@ func All() []NamedDriver {
 		{"fig12d", Fig12d},
 		{"fig12e", Fig12e},
 		{"fig12f", Fig12f},
+		{"engine-batch", EngineBatch},
 		{"ablation-containment", AblationContainment},
 		{"ablation-filter", AblationFilter},
 		{"ablation-incremental", AblationIncremental},

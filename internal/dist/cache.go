@@ -70,8 +70,19 @@ func (ca *Cache) SetFilter(f Filter) {
 
 // Dist returns the shortest non-empty distance from v1 to v2 over color c
 // (graph.AnyColor for any edge), or graph.Unreachable. Results agree
-// exactly with Matrix.Dist.
+// exactly with Matrix.Dist. On a miss the search borrows its buffers
+// from the package scratch pool; workers that own an arena should call
+// DistScratch instead.
 func (ca *Cache) Dist(c graph.ColorID, v1, v2 graph.NodeID) int32 {
+	return ca.DistScratch(c, v1, v2, nil)
+}
+
+// DistScratch is Dist with an explicit search arena for the miss path
+// (nil borrows one from the package pool). The cache's own state is
+// protected by its mutex either way; the arena is only touched by the
+// calling goroutine, so per-worker arenas keep concurrent readers from
+// contending on anything but the LRU lock itself.
+func (ca *Cache) DistScratch(c graph.ColorID, v1, v2 graph.NodeID, s *Scratch) int32 {
 	key := cacheKey{c, v1, v2}
 	ca.mu.Lock()
 	// The filter check shares the critical section with the map lookup:
@@ -93,7 +104,11 @@ func (ca *Cache) Dist(c graph.ColorID, v1, v2 graph.NodeID) int32 {
 	ca.mu.Unlock()
 	// The search runs outside the lock; concurrent misses on the same
 	// pair just compute it twice and store the same value.
-	d := BiDist(ca.g, c, v1, v2)
+	if s == nil {
+		s = GetScratch()
+		defer PutScratch(s)
+	}
+	d := BiDistScratch(ca.g, c, v1, v2, s)
 	ca.mu.Lock()
 	if _, ok := ca.entries[key]; !ok {
 		e := &cacheEntry{key: key, d: d}

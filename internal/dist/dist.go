@@ -66,72 +66,63 @@ func Compile(g *graph.Graph, e rex.Expr) ([]CAtom, bool) {
 	return out, true
 }
 
-// eachSucc visits the successors of v over one color layer by scanning
-// the adjacency list directly. This deliberately avoids the graph's lazy
-// per-color index so concurrent readers stay race-free.
-func eachSucc(g *graph.Graph, v graph.NodeID, c graph.ColorID, fn func(graph.NodeID)) {
-	for _, e := range g.Out(v) {
-		if c == graph.AnyColor || e.Color == c {
-			fn(e.To)
-		}
-	}
-}
-
-// eachPred visits the predecessors of v over one color layer.
-func eachPred(g *graph.Graph, v graph.NodeID, c graph.ColorID, fn func(graph.NodeID)) {
-	for _, e := range g.In(v) {
-		if c == graph.AnyColor || e.Color == c {
-			fn(e.To)
-		}
-	}
-}
-
-// boundedImage computes one atom step of a closure: the set of nodes w
-// with a non-empty path from some node of src to w, over the atom's color
-// layer, of length within the atom's bound. With forward=false, paths run
-// from w into src instead (the backward image).
-func boundedImage(g *graph.Graph, src []bool, a CAtom, forward bool) []bool {
+// boundedImageInto computes one atom step of a closure: out is filled
+// with the set of nodes w with a non-empty path from some node of src to
+// w, over the atom's color layer, of length within the atom's bound.
+// With forward=false, paths run from w into src instead (the backward
+// image). out must not alias src; BFS buffers come from s.
+//
+// The adjacency loops scan g.Out/g.In directly — never the graph's lazy
+// per-color index, so concurrent readers stay race-free — and are
+// written inline rather than through visitor callbacks: the escaping
+// closures were the dominant per-query allocation (one closure plus
+// capture cells per BFS), and this is the innermost loop of every
+// runtime-search evaluation.
+func boundedImageInto(g *graph.Graph, src []bool, a CAtom, forward bool, out []bool, s *Scratch) {
 	n := g.NumNodes()
 	limit := int32(n) // paths beyond |V| hops revisit a node
 	if a.Max != rex.Unbounded && a.Max < n {
 		limit = int32(a.Max)
 	}
-	step := eachSucc
-	back := eachPred
-	if !forward {
-		step, back = eachPred, eachSucc
-	}
+	c := a.Color
 	// Multi-source BFS from src; d holds the shortest distance from the
 	// set (0 on the sources themselves).
-	d := make([]int32, n)
+	d := int32Buf(&s.d, n)
 	for i := range d {
 		d[i] = graph.Unreachable
 	}
-	var queue []graph.NodeID
+	queue := s.queue[:0]
 	for v := range src {
 		if src[v] {
 			d[v] = 0
 			queue = append(queue, graph.NodeID(v))
 		}
 	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		if d[v] >= limit {
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := d[v]
+		if dv >= limit {
 			continue
 		}
-		step(g, v, a.Color, func(w graph.NodeID) {
-			if d[w] == graph.Unreachable {
-				d[w] = d[v] + 1
+		var edges []graph.Edge
+		if forward {
+			edges = g.Out(v)
+		} else {
+			edges = g.In(v)
+		}
+		for _, e := range edges {
+			if c != graph.AnyColor && e.Color != c {
+				continue
+			}
+			if w := e.To; d[w] == graph.Unreachable {
+				d[w] = dv + 1
 				queue = append(queue, w)
 			}
-		})
-	}
-	out := make([]bool, n)
-	for v := range out {
-		if d[v] >= 1 && d[v] <= limit {
-			out[v] = true
 		}
+	}
+	s.queue = queue // keep the grown buffer
+	for v := range out {
+		out[v] = d[v] >= 1 && d[v] <= limit
 	}
 	// Source nodes have d = 0, but the atom requires a non-empty path:
 	// the shortest one ends with an edge from some reached node, so it is
@@ -141,107 +132,64 @@ func boundedImage(g *graph.Graph, src []bool, a CAtom, forward bool) []bool {
 			continue
 		}
 		best := graph.Unreachable
-		back(g, graph.NodeID(v), a.Color, func(p graph.NodeID) {
-			if dp := d[p]; dp != graph.Unreachable && (best == graph.Unreachable || dp+1 < best) {
+		var edges []graph.Edge
+		if forward {
+			edges = g.In(graph.NodeID(v))
+		} else {
+			edges = g.Out(graph.NodeID(v))
+		}
+		for _, e := range edges {
+			if c != graph.AnyColor && e.Color != c {
+				continue
+			}
+			if dp := d[e.To]; dp != graph.Unreachable && (best == graph.Unreachable || dp+1 < best) {
 				best = dp + 1
 			}
-		})
+		}
 		if best >= 1 && best <= limit {
 			out[v] = true
 		}
 	}
-	return out
 }
 
 // ForwardClosure pushes an atom chain forward from a source set: the
-// result marks every node reachable from some source via a path whose
-// color string matches the chain. An empty chain returns the sources
-// themselves (the empty path).
+// result (always g.NumNodes() long) marks every node reachable from
+// some source via a path whose color string matches the chain. An empty
+// chain returns the sources themselves (the empty path). The returned
+// slice is freshly allocated; hot paths should use
+// ForwardClosureScratch instead.
 func ForwardClosure(g *graph.Graph, src []bool, atoms []CAtom) []bool {
-	cur := append([]bool(nil), src...)
-	for _, a := range atoms {
-		cur = boundedImage(g, cur, a, true)
-	}
-	return cur
+	s := GetScratch()
+	defer PutScratch(s)
+	res := ForwardClosureScratch(g, src, atoms, s)
+	out := make([]bool, len(res))
+	copy(out, res)
+	return out
 }
 
 // BackwardClosure pushes an atom chain backward from a destination set:
-// the result marks every node from which some destination is reachable
-// via a path matching the chain.
+// the result (always g.NumNodes() long) marks every node from which
+// some destination is reachable via a path matching the chain. See
+// ForwardClosure about allocation.
 func BackwardClosure(g *graph.Graph, dst []bool, atoms []CAtom) []bool {
-	cur := append([]bool(nil), dst...)
-	for i := len(atoms) - 1; i >= 0; i-- {
-		cur = boundedImage(g, cur, atoms[i], false)
-	}
-	return cur
+	s := GetScratch()
+	defer PutScratch(s)
+	res := BackwardClosureScratch(g, dst, atoms, s)
+	out := make([]bool, len(res))
+	copy(out, res)
+	return out
 }
 
 // BiDist computes the shortest non-empty distance from v1 to v2 over one
 // color layer with bi-directional BFS: the two frontiers are expanded
 // level by level (smaller side first) and every scanned edge that bridges
 // them proposes a path length. This is the runtime search the LRU cache
-// falls back to on a miss.
+// falls back to on a miss. Buffers come from the package scratch pool;
+// hot paths with a worker arena should call BiDistScratch directly.
 func BiDist(g *graph.Graph, c graph.ColorID, v1, v2 graph.NodeID) int32 {
-	n := g.NumNodes()
-	df := make([]int32, n)
-	db := make([]int32, n)
-	for i := 0; i < n; i++ {
-		df[i] = graph.Unreachable
-		db[i] = graph.Unreachable
-	}
-	df[v1] = 0
-	db[v2] = 0
-	fwd := []graph.NodeID{v1}
-	bwd := []graph.NodeID{v2}
-	var levF, levB int32
-	best := graph.Unreachable
-	for len(fwd) > 0 || len(bwd) > 0 {
-		// Safe cutoff: any path not yet proposed bridges two unfinished
-		// levels, so its length is at least levF+levB.
-		if best != graph.Unreachable && levF+levB >= best {
-			break
-		}
-		forward := len(bwd) == 0 || (len(fwd) > 0 && len(fwd) <= len(bwd))
-		if forward {
-			var next []graph.NodeID
-			for _, v := range fwd {
-				eachSucc(g, v, c, func(w graph.NodeID) {
-					// Candidates are only proposed on edge relaxations,
-					// so the v1 == v2 overlap at distance 0 (the empty
-					// path) is never counted.
-					if db[w] != graph.Unreachable {
-						if cand := df[v] + 1 + db[w]; best == graph.Unreachable || cand < best {
-							best = cand
-						}
-					}
-					if df[w] == graph.Unreachable {
-						df[w] = df[v] + 1
-						next = append(next, w)
-					}
-				})
-			}
-			fwd = next
-			levF++
-		} else {
-			var next []graph.NodeID
-			for _, v := range bwd {
-				eachPred(g, v, c, func(w graph.NodeID) {
-					if df[w] != graph.Unreachable {
-						if cand := df[w] + 1 + db[v]; best == graph.Unreachable || cand < best {
-							best = cand
-						}
-					}
-					if db[w] == graph.Unreachable {
-						db[w] = db[v] + 1
-						next = append(next, w)
-					}
-				})
-			}
-			bwd = next
-			levB++
-		}
-	}
-	return best
+	s := GetScratch()
+	defer PutScratch(s)
+	return BiDistScratch(g, c, v1, v2, s)
 }
 
 // BiReach reports whether some path from v1 to v2 matches the whole atom
@@ -252,17 +200,24 @@ func BiReach(g *graph.Graph, atoms []CAtom, v1, v2 graph.NodeID) bool {
 	if len(atoms) == 0 {
 		return v1 == v2
 	}
+	s := GetScratch()
+	defer PutScratch(s)
 	if len(atoms) == 1 {
-		return atoms[0].Sat(BiDist(g, atoms[0].Color, v1, v2))
+		return atoms[0].Sat(BiDistScratch(g, atoms[0].Color, v1, v2, s))
 	}
 	n := g.NumNodes()
-	src := make([]bool, n)
-	src[v1] = true
-	dst := make([]bool, n)
-	dst[v2] = true
 	mid := len(atoms) / 2
-	fwd := ForwardClosure(g, src, atoms[:mid])
-	bwd := BackwardClosure(g, dst, atoms[mid:])
+	seed := s.Seed(n)
+	seed[v1] = true
+	// The forward prefix closure must survive the backward suffix closure
+	// (both ping-pong through s.cur/s.next), so park it in a retained
+	// bitset for the intersection.
+	fwd := s.Bitset(n)
+	copy(fwd, ForwardClosureScratch(g, seed, atoms[:mid], s))
+	defer s.Recycle(fwd)
+	seed[v1] = false
+	seed[v2] = true
+	bwd := BackwardClosureScratch(g, seed, atoms[mid:], s)
 	for i := range fwd {
 		if fwd[i] && bwd[i] {
 			return true

@@ -1,0 +1,221 @@
+package dist
+
+import (
+	"sync"
+
+	"regraph/internal/graph"
+)
+
+// Scratch is a reusable per-worker arena for the runtime search
+// primitives: BFS distance and queue buffers, the ping-pong bitsets the
+// closures advance through, a single-source seed bitset, and a free list
+// of retainable bitsets. Every allocation the closure and bi-directional
+// search paths used to make per call is drawn from here instead, so a
+// worker that evaluates queries back to back (internal/engine, the bench
+// workloads) reaches a steady state of zero allocations per query.
+//
+// A Scratch is NOT safe for concurrent use: it is owned by exactly one
+// goroutine at a time. Give each worker its own (engine workers do), or
+// borrow one from the package pool with GetScratch/PutScratch.
+type Scratch struct {
+	d     []int32        // BFS distances (boundedImage, forward side of BiDist)
+	d2    []int32        // backward-side distances of BiDist
+	queue []graph.NodeID // BFS queue of boundedImage
+	q1    []graph.NodeID // BiDist frontier buffers, rotated level by level
+	q2    []graph.NodeID
+	q3    []graph.NodeID
+	cur   []bool // closure ping-pong buffers
+	next  []bool
+	seed  []bool   // single-source seed bitset (Seed)
+	free  [][]bool // recycled retainable bitsets (Bitset/Recycle)
+}
+
+// NewScratch returns an empty arena; buffers grow on first use and are
+// retained for the arena's lifetime.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// scratchPool recycles arenas for the convenience entry points
+// (ForwardClosure, BiDist, Cache.Dist) that do not take an explicit
+// Scratch.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// GetScratch borrows an arena from the package pool. Return it with
+// PutScratch once no slice obtained from it is referenced anymore.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns an arena to the package pool.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }
+
+// int32Buf returns *buf resized to n, reallocating only on growth.
+func int32Buf(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func boolBuf(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// Seed returns a zeroed scratch-owned bitset of length n, intended for
+// one-node source/destination seeds: set the bit, run a closure, clear
+// the bit again. The same buffer is returned every call (zeroed), so at
+// most one seed per Scratch is live at a time.
+func (s *Scratch) Seed(n int) []bool {
+	b := boolBuf(&s.seed, n)
+	clear(b)
+	return b
+}
+
+// Bitset checks a zeroed bitset of length n out of the arena's free
+// list. Unlike closure results it remains valid across further closure
+// calls; hand it back with Recycle when done.
+func (s *Scratch) Bitset(n int) []bool {
+	for i := len(s.free) - 1; i >= 0; i-- {
+		b := s.free[i]
+		if cap(b) >= n {
+			s.free[i] = s.free[len(s.free)-1]
+			s.free = s.free[:len(s.free)-1]
+			b = b[:n]
+			clear(b)
+			return b
+		}
+	}
+	return make([]bool, n)
+}
+
+// maxFreeBitsets bounds the recycled-bitset free list. One query can
+// legitimately retain thousands of bitsets at once (a huge candidate
+// set on a large graph), but a resident worker arena must not park that
+// O(cands·|V|) high-water mark forever; beyond the cap, Recycle drops
+// buffers for the GC and only the steady-state working set is kept.
+const maxFreeBitsets = 64
+
+// Recycle returns a bitset obtained from Bitset to the free list.
+func (s *Scratch) Recycle(b []bool) {
+	if len(s.free) >= maxFreeBitsets {
+		return
+	}
+	s.free = append(s.free, b)
+}
+
+// ForwardClosureScratch is ForwardClosure with an explicit arena: the
+// atom chain is pushed forward from the source set entirely within s's
+// buffers. The result always has length g.NumNodes() — a shorter src is
+// treated as false beyond its length. The returned slice is owned by
+// s — it is valid only until the next closure or search call on s; copy
+// it (e.g. into s.Bitset) to retain it.
+func ForwardClosureScratch(g *graph.Graph, src []bool, atoms []CAtom, s *Scratch) []bool {
+	n := g.NumNodes()
+	cur := boolBuf(&s.cur, n)
+	clear(cur)
+	copy(cur, src)
+	for _, a := range atoms {
+		out := boolBuf(&s.next, n)
+		boundedImageInto(g, cur, a, true, out, s)
+		s.cur, s.next = s.next, s.cur
+		cur = out
+	}
+	return cur
+}
+
+// BackwardClosureScratch is BackwardClosure with an explicit arena; the
+// same sizing and ownership rules as ForwardClosureScratch apply.
+func BackwardClosureScratch(g *graph.Graph, dst []bool, atoms []CAtom, s *Scratch) []bool {
+	n := g.NumNodes()
+	cur := boolBuf(&s.cur, n)
+	clear(cur)
+	copy(cur, dst)
+	for i := len(atoms) - 1; i >= 0; i-- {
+		out := boolBuf(&s.next, n)
+		boundedImageInto(g, cur, atoms[i], false, out, s)
+		s.cur, s.next = s.next, s.cur
+		cur = out
+	}
+	return cur
+}
+
+// BiDistScratch is BiDist with an explicit arena: the two frontier
+// queues and distance arrays come from s instead of the heap.
+func BiDistScratch(g *graph.Graph, c graph.ColorID, v1, v2 graph.NodeID, s *Scratch) int32 {
+	n := g.NumNodes()
+	df := int32Buf(&s.d, n)
+	db := int32Buf(&s.d2, n)
+	for i := 0; i < n; i++ {
+		df[i] = graph.Unreachable
+		db[i] = graph.Unreachable
+	}
+	df[v1] = 0
+	db[v2] = 0
+	fwd := append(s.q1[:0], v1)
+	bwd := append(s.q2[:0], v2)
+	spare := s.q3[:0]
+	var levF, levB int32
+	best := graph.Unreachable
+	for len(fwd) > 0 || len(bwd) > 0 {
+		// Safe cutoff: any path not yet proposed bridges two unfinished
+		// levels, so its length is at least levF+levB.
+		if best != graph.Unreachable && levF+levB >= best {
+			break
+		}
+		// The adjacency loops are inline (no visitor callbacks) for the
+		// same reason as boundedImageInto: escaping closures were a
+		// per-call allocation on the cache-miss path.
+		forward := len(bwd) == 0 || (len(fwd) > 0 && len(fwd) <= len(bwd))
+		if forward {
+			next := spare[:0]
+			for _, v := range fwd {
+				for _, e := range g.Out(v) {
+					if c != graph.AnyColor && e.Color != c {
+						continue
+					}
+					// Candidates are only proposed on edge relaxations,
+					// so the v1 == v2 overlap at distance 0 (the empty
+					// path) is never counted.
+					w := e.To
+					if db[w] != graph.Unreachable {
+						if cand := df[v] + 1 + db[w]; best == graph.Unreachable || cand < best {
+							best = cand
+						}
+					}
+					if df[w] == graph.Unreachable {
+						df[w] = df[v] + 1
+						next = append(next, w)
+					}
+				}
+			}
+			spare, fwd = fwd, next
+			levF++
+		} else {
+			next := spare[:0]
+			for _, v := range bwd {
+				for _, e := range g.In(v) {
+					if c != graph.AnyColor && e.Color != c {
+						continue
+					}
+					w := e.To
+					if df[w] != graph.Unreachable {
+						if cand := df[w] + 1 + db[v]; best == graph.Unreachable || cand < best {
+							best = cand
+						}
+					}
+					if db[w] == graph.Unreachable {
+						db[w] = db[v] + 1
+						next = append(next, w)
+					}
+				}
+			}
+			spare, bwd = bwd, next
+			levB++
+		}
+	}
+	// Keep the (possibly grown) frontier buffers for the next call.
+	s.q1, s.q2, s.q3 = fwd, bwd, spare
+	return best
+}

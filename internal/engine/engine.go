@@ -1,0 +1,194 @@
+// Package engine is the resident concurrent query engine: one Engine
+// owns a data graph together with its shared distance structures (a
+// precomputed dist.Matrix, or a dist.Cache shared by every worker — the
+// paper's Section 4 explicitly designs the cache to be shared across
+// queries), and evaluates batches of reachability and pattern queries
+// across a bounded worker pool.
+//
+// Each worker slot carries a persistent dist.Scratch arena (closure
+// ping-pong buffers, BFS queues, seed bitsets), so a long-running engine
+// reaches a steady state where evaluating a query allocates little more
+// than its answer slice. The number of arenas bounds total evaluation
+// concurrency engine-wide: overlapping RunBatch calls from several
+// goroutines share the same pool of worker slots rather than multiplying
+// goroutines.
+//
+// Concurrency contract: the graph must not be mutated while the engine
+// is in use (construction eagerly builds the graph's per-color index so
+// that all evaluation-time graph accesses are pure reads). The Matrix is
+// immutable; the Cache serializes its LRU state behind a mutex and runs
+// searches outside it. See DESIGN.md, "Engine & concurrency model".
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"regraph/internal/dist"
+	"regraph/internal/graph"
+	"regraph/internal/pattern"
+	"regraph/internal/reach"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds evaluation concurrency (and the number of resident
+	// scratch arenas). Zero or negative means GOMAXPROCS.
+	Workers int
+
+	// Matrix, when non-nil, selects matrix-backed evaluation for every
+	// query: RQs run EvalMatrix, PQs run JoinMatch with O(1) pair
+	// lookups. The matrix is immutable and shared by all workers freely.
+	Matrix *dist.Matrix
+
+	// Cache is the shared LRU distance cache used when Matrix is nil.
+	// When both are nil, the engine creates one of CacheSize entries.
+	Cache *dist.Cache
+
+	// CacheSize sizes the auto-created cache (default 1<<16). Ignored
+	// when Matrix or Cache is set.
+	CacheSize int
+}
+
+// Engine is a resident query engine over one graph. Create it with New;
+// an Engine is safe for concurrent use by multiple goroutines.
+type Engine struct {
+	g       *graph.Graph
+	mx      *dist.Matrix
+	cache   *dist.Cache
+	workers int
+
+	// slots hands out (arena, worker identity) pairs; its capacity is
+	// the engine-wide concurrency bound.
+	slots chan *dist.Scratch
+}
+
+// New builds an engine over g. The graph must not be mutated afterwards
+// while the engine is in use.
+func New(g *graph.Graph, opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cache := opts.Cache
+	if cache == nil && opts.Matrix == nil {
+		size := opts.CacheSize
+		if size <= 0 {
+			size = 1 << 16
+		}
+		cache = dist.NewCache(g, size)
+	}
+	// Freeze the graph's lazy per-color index now: pattern normalization
+	// probes Succ/Pred, and building the index on first use from several
+	// workers at once would race.
+	g.BuildColorIndex()
+	e := &Engine{
+		g:       g,
+		mx:      opts.Matrix,
+		cache:   cache,
+		workers: workers,
+		slots:   make(chan *dist.Scratch, workers),
+	}
+	for i := 0; i < workers; i++ {
+		e.slots <- dist.NewScratch()
+	}
+	return e
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Matrix returns the shared distance matrix, nil in cache mode.
+func (e *Engine) Matrix() *dist.Matrix { return e.mx }
+
+// Cache returns the shared distance cache, nil in matrix mode.
+func (e *Engine) Cache() *dist.Cache { return e.cache }
+
+// Workers returns the engine's concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Request is one query of a batch: exactly one of RQ or PQ must be set.
+type Request struct {
+	RQ *reach.Query
+	PQ *pattern.Query
+}
+
+// Result is the answer to one Request, at the same batch index. Exactly
+// one of Pairs/Match is populated on success (a nil-able empty Pairs
+// still means success for an RQ with no answers); Err reports malformed
+// requests.
+type Result struct {
+	Pairs []reach.Pair    // RQ answer
+	Match *pattern.Result // PQ answer
+	Err   error
+}
+
+// RunBatch evaluates every request and returns the results in request
+// order. Work is distributed over the engine's worker pool; each worker
+// evaluates whole queries with its own scratch arena against the shared
+// Matrix or Cache. RunBatch may be called concurrently from several
+// goroutines; all calls share the engine's concurrency bound.
+func (e *Engine) RunBatch(reqs []Request) []Result {
+	out := make([]Result, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	workers := e.workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := <-e.slots
+			defer func() { e.slots <- s }()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				out[i] = e.run(reqs[i], s)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RunRQs is RunBatch for a homogeneous slice of reachability queries.
+func (e *Engine) RunRQs(qs []reach.Query) [][]reach.Pair {
+	reqs := make([]Request, len(qs))
+	for i := range qs {
+		reqs[i] = Request{RQ: &qs[i]}
+	}
+	res := e.RunBatch(reqs)
+	out := make([][]reach.Pair, len(res))
+	for i, r := range res {
+		out[i] = r.Pairs
+	}
+	return out
+}
+
+// run evaluates one request on one worker's arena.
+func (e *Engine) run(r Request, s *dist.Scratch) Result {
+	switch {
+	case r.RQ != nil && r.PQ != nil:
+		return Result{Err: fmt.Errorf("engine: request sets both RQ and PQ")}
+	case r.RQ != nil:
+		if e.mx != nil {
+			return Result{Pairs: r.RQ.EvalMatrix(e.g, e.mx)}
+		}
+		return Result{Pairs: r.RQ.EvalBiBFSScratch(e.g, e.cache, s)}
+	case r.PQ != nil:
+		return Result{Match: pattern.JoinMatch(e.g, r.PQ, pattern.Options{
+			Matrix: e.mx, Cache: e.cache, Scratch: s,
+		})}
+	default:
+		return Result{Err: fmt.Errorf("engine: empty request")}
+	}
+}

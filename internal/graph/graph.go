@@ -16,6 +16,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a node; IDs are dense, starting at 0.
@@ -51,10 +53,15 @@ type Graph struct {
 	in       [][]Edge
 	numEdges int
 
-	// Per-color adjacency, built on demand by colorIndex.
+	// Per-color adjacency, built on demand by colorIndex. The build is
+	// double-checked behind indexMu so that concurrent readers of a
+	// graph that is no longer mutated (several engine.New calls, worker
+	// goroutines) can all trigger or observe it safely; mutations still
+	// require external exclusion.
 	outByColor [][][]NodeID // [color][node] -> successors
 	inByColor  [][][]NodeID
-	indexed    bool
+	indexed    atomic.Bool
+	indexMu    sync.Mutex
 }
 
 // New returns an empty graph.
@@ -80,7 +87,7 @@ func (g *Graph) AddNode(name string, attrs map[string]string) NodeID {
 	g.byName[name] = id
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
-	g.indexed = false
+	g.indexed.Store(false)
 	return id
 }
 
@@ -96,7 +103,7 @@ func (g *Graph) InternColor(color string) ColorID {
 	id := ColorID(len(g.colors))
 	g.colors = append(g.colors, color)
 	g.colorIdx[color] = id
-	g.indexed = false
+	g.indexed.Store(false)
 	return id
 }
 
@@ -138,7 +145,7 @@ func (g *Graph) AddEdge(from, to NodeID, color string) {
 	g.out[from] = append(g.out[from], Edge{To: to, Color: c})
 	g.in[to] = append(g.in[to], Edge{To: from, Color: c})
 	g.numEdges++
-	g.indexed = false
+	g.indexed.Store(false)
 }
 
 // RemoveEdge removes one edge from `from` to `to` with the given color,
@@ -167,7 +174,7 @@ func (g *Graph) RemoveEdge(from, to NodeID, color string) bool {
 		}
 	}
 	g.numEdges--
-	g.indexed = false
+	g.indexed.Store(false)
 	return true
 }
 
@@ -198,10 +205,18 @@ func (g *Graph) Out(id NodeID) []Edge { return g.out[id] }
 func (g *Graph) In(id NodeID) []Edge { return g.in[id] }
 
 // colorIndex builds (once) per-color adjacency lists used by the BFS
-// routines. Mutating the graph invalidates the index; it is rebuilt on the
-// next call.
+// routines. Mutating the graph invalidates the index; it is rebuilt on
+// the next call. Double-checked locking makes concurrent builds safe on
+// an otherwise-unmutated graph: the atomic flag is the fast path, the
+// mutex serializes the build, and the Store(true) publishes the
+// completed maps to every later Load.
 func (g *Graph) colorIndex() {
-	if g.indexed {
+	if g.indexed.Load() {
+		return
+	}
+	g.indexMu.Lock()
+	defer g.indexMu.Unlock()
+	if g.indexed.Load() {
 		return
 	}
 	m := len(g.colors)
@@ -219,8 +234,18 @@ func (g *Graph) colorIndex() {
 			g.inByColor[e.Color][v] = append(g.inByColor[e.Color][v], e.To)
 		}
 	}
-	g.indexed = true
+	g.indexed.Store(true)
 }
+
+// BuildColorIndex eagerly builds the lazy per-color adjacency index.
+// Succ and Pred build it on first use; that build is serialized behind
+// a mutex, so concurrent readers of an un-mutated graph are safe either
+// way, but calling BuildColorIndex once before handing the graph to
+// concurrent readers makes every subsequent Succ/Pred/BFS call a pure
+// read with no chance of lock contention on first touch
+// (internal/engine does this at construction). Idempotent; any later
+// mutation invalidates the index again.
+func (g *Graph) BuildColorIndex() { g.colorIndex() }
 
 // Succ returns the successors of v via edges of color c (all colors when c
 // is AnyColor).

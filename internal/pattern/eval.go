@@ -20,11 +20,27 @@ type Options struct {
 	Matrix *dist.Matrix
 	Cache  *dist.Cache
 
+	// Scratch optionally supplies a reusable search arena for the
+	// runtime-search configurations; nil borrows one from the dist
+	// package pool per evaluation. Engine workers pass their own so
+	// back-to-back pattern queries reuse one set of buffers.
+	Scratch *dist.Scratch
+
 	// DisableTopoOrder makes JoinMatch run a plain global fixpoint instead
 	// of processing SCCs in reverse topological order. The answers are
 	// identical (the fixpoint is unique); exposed for the ablation
 	// benchmark quantifying what the ordering buys.
 	DisableTopoOrder bool
+}
+
+// scratch returns the arena evaluation should run on plus a put function
+// for when it was borrowed from the pool.
+func (o Options) scratch() (*dist.Scratch, func()) {
+	if o.Scratch != nil {
+		return o.Scratch, func() {}
+	}
+	s := dist.GetScratch()
+	return s, func() { dist.PutScratch(s) }
 }
 
 // ---- normalized form -------------------------------------------------------
@@ -154,9 +170,10 @@ func (c *matrixChecker) refineSrc(ei int, src, tgt []bool) (changed, nonEmpty bo
 // under the expression, by multi-source bounded BFS, intersected with the
 // source set.
 type searchChecker struct {
-	g      *graph.Graph
-	cache  *dist.Cache
-	chains [][]dist.CAtom // per normalized edge (== original edge here)
+	g       *graph.Graph
+	cache   *dist.Cache
+	chains  [][]dist.CAtom // per normalized edge (== original edge here)
+	scratch *dist.Scratch
 }
 
 func (c *searchChecker) refineSrc(ei int, src, tgt []bool) (changed, nonEmpty bool) {
@@ -169,7 +186,7 @@ func (c *searchChecker) refineSrc(ei int, src, tgt []bool) (changed, nonEmpty bo
 			}
 			keep := false
 			for y := range tgt {
-				if tgt[y] && a.Sat(c.cache.Dist(a.Color, graph.NodeID(x), graph.NodeID(y))) {
+				if tgt[y] && a.Sat(c.cache.DistScratch(a.Color, graph.NodeID(x), graph.NodeID(y), c.scratch)) {
 					keep = true
 					break
 				}
@@ -183,7 +200,7 @@ func (c *searchChecker) refineSrc(ei int, src, tgt []bool) (changed, nonEmpty bo
 		}
 		return changed, nonEmpty
 	}
-	img := dist.BackwardClosure(c.g, tgt, atoms)
+	img := dist.BackwardClosureScratch(c.g, tgt, atoms, c.scratch)
 	for x := range src {
 		if !src[x] {
 			continue
@@ -219,11 +236,13 @@ func JoinMatch(g *graph.Graph, q *Query, opts Options) *Result {
 	if !ok {
 		return &Result{}
 	}
+	s, release := opts.scratch()
+	defer release()
 	var ck checker
 	if useMatrix {
 		ck = &matrixChecker{mx: opts.Matrix, edges: nq.edges}
 	} else {
-		ck = &searchChecker{g: g, cache: opts.Cache, chains: chains}
+		ck = &searchChecker{g: g, cache: opts.Cache, chains: chains, scratch: s}
 	}
 	mats := initialMats(g, nq)
 	if mats == nil {
@@ -232,7 +251,7 @@ func JoinMatch(g *graph.Graph, q *Query, opts Options) *Result {
 	if !refine(g, nq, ck, mats, opts.DisableTopoOrder) {
 		return &Result{}
 	}
-	return collect(g, q, nq, chains, mats, opts)
+	return collect(g, q, nq, chains, mats, opts, s)
 }
 
 // initialMats computes mat(u) = {x | x matches fv(u)} as bitsets; nil if
@@ -355,7 +374,7 @@ func refine(g *graph.Graph, nq *normQuery, ck checker, mats [][]bool, noOrder bo
 
 // collect builds the final Se sets (Fig. 7 lines 15-17) from the match
 // sets of the original nodes.
-func collect(g *graph.Graph, q *Query, nq *normQuery, chains [][]dist.CAtom, mats [][]bool, opts Options) *Result {
+func collect(g *graph.Graph, q *Query, nq *normQuery, chains [][]dist.CAtom, mats [][]bool, opts Options, s *dist.Scratch) *Result {
 	res := &Result{q: q, Sets: make([][]reach.Pair, q.NumEdges())}
 	for ei := 0; ei < q.NumEdges(); ei++ {
 		e := q.Edge(ei)
@@ -377,9 +396,9 @@ func collect(g *graph.Graph, q *Query, nq *normQuery, chains [][]dist.CAtom, mat
 					if opts.Matrix != nil {
 						sat = a.SatMatrix(opts.Matrix, graph.NodeID(x), graph.NodeID(y))
 					} else if opts.Cache != nil {
-						sat = a.Sat(opts.Cache.Dist(a.Color, graph.NodeID(x), graph.NodeID(y)))
+						sat = a.Sat(opts.Cache.DistScratch(a.Color, graph.NodeID(x), graph.NodeID(y), s))
 					} else {
-						sat = a.Sat(dist.BiDist(g, a.Color, graph.NodeID(x), graph.NodeID(y)))
+						sat = a.Sat(dist.BiDistScratch(g, a.Color, graph.NodeID(x), graph.NodeID(y), s))
 					}
 					if sat {
 						pairs = append(pairs, reach.Pair{From: graph.NodeID(x), To: graph.NodeID(y)})
@@ -390,13 +409,14 @@ func collect(g *graph.Graph, q *Query, nq *normQuery, chains [][]dist.CAtom, mat
 			// Multi-atom edge: one backward closure from the target set
 			// per source candidate would be wasteful; instead compute the
 			// forward closure per source and intersect with targets.
+			seed := s.Seed(g.NumNodes())
 			for x := range from {
 				if !from[x] {
 					continue
 				}
-				src := make([]bool, g.NumNodes())
-				src[x] = true
-				fc := dist.ForwardClosure(g, src, atoms)
+				seed[x] = true
+				fc := dist.ForwardClosureScratch(g, seed, atoms, s)
+				seed[x] = false
 				for y := range to {
 					if to[y] && fc[y] {
 						pairs = append(pairs, reach.Pair{From: graph.NodeID(x), To: graph.NodeID(y)})

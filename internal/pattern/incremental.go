@@ -64,7 +64,9 @@ func NewIncremental(g *graph.Graph, q *Query) (*Incremental, error) {
 		q:      q,
 		nq:     nq,
 		chains: chains,
-		ck:     &searchChecker{g: g, chains: chains},
+		// The engine is single-owner, so it keeps a private arena alive
+		// for all its re-refinements instead of borrowing per call.
+		ck: &searchChecker{g: g, chains: chains, scratch: dist.NewScratch()},
 	}
 	inc.analyze()
 	inc.full()
@@ -143,7 +145,9 @@ func (inc *Incremental) Result() *Result {
 		return &Result{}
 	}
 	// collect may discover an edge with no pairs (global emptiness).
-	return collect(inc.g, inc.q, inc.nq, inc.chains, inc.mats, Options{})
+	s := dist.GetScratch()
+	defer dist.PutScratch(s)
+	return collect(inc.g, inc.q, inc.nq, inc.chains, inc.mats, Options{}, s)
 }
 
 // MatchSet returns the current match set of a pattern node as node IDs.

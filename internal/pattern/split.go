@@ -24,11 +24,13 @@ func SplitMatch(g *graph.Graph, q *Query, opts Options) *Result {
 	if !ok {
 		return &Result{}
 	}
+	s, release := opts.scratch()
+	defer release()
 	var ck checker
 	if useMatrix {
 		ck = &matrixChecker{mx: opts.Matrix, edges: nq.edges}
 	} else {
-		ck = &searchChecker{g: g, cache: opts.Cache, chains: chains}
+		ck = &searchChecker{g: g, cache: opts.Cache, chains: chains, scratch: s}
 	}
 	mats := initialMats(g, nq)
 	if mats == nil {
@@ -52,23 +54,27 @@ func SplitMatch(g *graph.Graph, q *Query, opts Options) *Result {
 		// rmv(e): sources in mat(u') with no satisfying successor in
 		// mat(u). Computed against a scratch copy so the split machinery
 		// owns the actual removal.
-		scratch := make([]bool, len(mats[e.from]))
-		copy(scratch, mats[e.from])
-		changed, nonEmpty := ck.refineSrc(ei, scratch, mats[e.to])
+		work := s.Bitset(len(mats[e.from]))
+		copy(work, mats[e.from])
+		changed, nonEmpty := ck.refineSrc(ei, work, mats[e.to])
 		if !changed {
+			s.Recycle(work)
 			continue
 		}
 		if !nonEmpty {
+			s.Recycle(work)
 			return &Result{}
 		}
-		rmv := make([]bool, len(scratch))
-		for v := range scratch {
-			rmv[v] = mats[e.from][v] && !scratch[v]
+		rmv := s.Bitset(len(work))
+		for v := range work {
+			rmv[v] = mats[e.from][v] && !work[v]
 		}
 		// Split every block of par against rmv, then drop the rmv-side
 		// blocks from rel(u') — which updates mat(u') (Fig. 8 lines 10-11).
 		st.split(rmv)
 		st.dropFromRel(e.from, rmv, mats)
+		s.Recycle(work)
+		s.Recycle(rmv)
 		// Propagate: edges into u' must recompute their rmv sets
 		// (Fig. 8 lines 12-14).
 		for _, ei2 := range nq.in[e.from] {
@@ -78,7 +84,7 @@ func SplitMatch(g *graph.Graph, q *Query, opts Options) *Result {
 			}
 		}
 	}
-	return collect(g, q, nq, chains, mats, opts)
+	return collect(g, q, nq, chains, mats, opts, s)
 }
 
 // splitState is the partition-relation pair <par, rel>: a partition of the

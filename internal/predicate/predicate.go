@@ -187,9 +187,9 @@ func parseClause(s string) (Clause, error) {
 // Compare orders two attribute values: numerically when both parse as
 // floats, lexicographically otherwise. It returns -1, 0 or +1.
 func Compare(a, b string) int {
-	fa, errA := strconv.ParseFloat(a, 64)
-	fb, errB := strconv.ParseFloat(b, 64)
-	if errA == nil && errB == nil {
+	fa, okA := parseNum(a)
+	fb, okB := parseNum(b)
+	if okA && okB {
 		switch {
 		case fa < fb:
 			return -1
@@ -200,6 +200,52 @@ func Compare(a, b string) int {
 		}
 	}
 	return strings.Compare(a, b)
+}
+
+// parseNum is ParseFloat with a cheap shape pre-check: ParseFloat's
+// failure path allocates a syntax error, and candidate scans call
+// Compare once per node per clause, so feeding it the (overwhelmingly
+// common) non-numeric attribute values was the dominant allocation of
+// query evaluation over string-attributed graphs.
+func parseNum(s string) (float64, bool) {
+	if !looksNumeric(s) {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	return f, err == nil
+}
+
+// looksNumeric reports whether s could possibly parse as a float. It
+// must never reject a string ParseFloat accepts (that would silently
+// change Compare's ordering), so it admits every character of decimal
+// and hex float syntax — digits, hex digits (which cover the e/E
+// exponent), x/p for hex floats, sign, dot, and digit-separating
+// underscores — plus the Inf/Infinity/NaN spellings. False positives
+// (e.g. "face1") are fine — they just pay ParseFloat's error — the
+// point is rejecting ordinary words and names without constructing one.
+func looksNumeric(s string) bool {
+	i := 0
+	if i < len(s) && (s[i] == '+' || s[i] == '-') {
+		i++
+	}
+	rest := s[i:]
+	if strings.EqualFold(rest, "inf") || strings.EqualFold(rest, "infinity") ||
+		strings.EqualFold(rest, "nan") {
+		return true
+	}
+	digit := false
+	for ; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+			digit = true
+		case c >= 'a' && c <= 'f', c >= 'A' && c <= 'F',
+			c == 'x' || c == 'X' || c == 'p' || c == 'P',
+			c == '.' || c == '_' || c == '+' || c == '-':
+		default:
+			return false
+		}
+	}
+	return digit
 }
 
 // holds reports whether "x op y" is true under Compare's ordering.

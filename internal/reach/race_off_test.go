@@ -1,0 +1,5 @@
+//go:build !race
+
+package reach_test
+
+const raceEnabled = false

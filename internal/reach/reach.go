@@ -185,6 +185,15 @@ func allNodes(g *graph.Graph) []graph.NodeID {
 // multi-source bounded BFS, and the resulting node set is intersected with
 // the destination candidates.
 func (q Query) EvalBFS(g *graph.Graph) []Pair {
+	s := dist.GetScratch()
+	defer dist.PutScratch(s)
+	return q.EvalBFSScratch(g, s)
+}
+
+// EvalBFSScratch is EvalBFS with an explicit search arena: the per-source
+// seed bitset and every closure buffer are reused from s, so repeated
+// evaluation on one worker allocates only the answer slice.
+func (q Query) EvalBFSScratch(g *graph.Graph, s *dist.Scratch) []Pair {
 	atoms, ok := dist.Compile(g, q.Expr)
 	if !ok {
 		return nil
@@ -197,11 +206,11 @@ func (q Query) EvalBFS(g *graph.Graph) []Pair {
 		return nil
 	}
 	var out []Pair
-	n := g.NumNodes()
+	seed := s.Seed(g.NumNodes())
 	for _, x := range cand1 {
-		src := make([]bool, n)
-		src[x] = true
-		res := dist.ForwardClosure(g, src, atoms)
+		seed[x] = true
+		res := dist.ForwardClosureScratch(g, seed, atoms, s)
+		seed[x] = false
 		for _, y := range cand2 {
 			if res[y] {
 				out = append(out, Pair{x, y})
@@ -218,6 +227,16 @@ func (q Query) EvalBFS(g *graph.Graph) []Pair {
 // sets intersect. When the expression is a single atom and a cache is
 // provided, distances come from the LRU cache instead.
 func (q Query) EvalBiBFS(g *graph.Graph, ca *dist.Cache) []Pair {
+	s := dist.GetScratch()
+	defer dist.PutScratch(s)
+	return q.EvalBiBFSScratch(g, ca, s)
+}
+
+// EvalBiBFSScratch is EvalBiBFS with an explicit search arena (the form
+// internal/engine workers call). Seeds, closure buffers and the retained
+// per-destination backward closures all come from s; in steady state a
+// repeated query allocates nothing but its answer slice.
+func (q Query) EvalBiBFSScratch(g *graph.Graph, ca *dist.Cache, s *dist.Scratch) []Pair {
 	atoms, ok := dist.Compile(g, q.Expr)
 	if !ok {
 		return nil
@@ -233,7 +252,7 @@ func (q Query) EvalBiBFS(g *graph.Graph, ca *dist.Cache) []Pair {
 	if len(atoms) == 1 && ca != nil {
 		for _, x := range cand1 {
 			for _, y := range cand2 {
-				if atoms[0].Sat(ca.Dist(atoms[0].Color, x, y)) {
+				if atoms[0].Sat(ca.DistScratch(atoms[0].Color, x, y, s)) {
 					out = append(out, Pair{x, y})
 				}
 			}
@@ -242,28 +261,58 @@ func (q Query) EvalBiBFS(g *graph.Graph, ca *dist.Cache) []Pair {
 	}
 	n := g.NumNodes()
 	mid := len(atoms) / 2
-	// Forward closures of the prefix per source; backward closures of the
-	// suffix per destination; then pairwise intersection.
-	fwd := make([][]bool, len(cand1))
-	for i, x := range cand1 {
-		src := make([]bool, n)
-		src[x] = true
-		fwd[i] = dist.ForwardClosure(g, src, atoms[:mid])
-	}
-	bwd := make([][]bool, len(cand2))
+	// Backward closures of the suffix per destination are retained (in
+	// recycled bitsets); the forward closure of the prefix is then
+	// streamed one source at a time and intersected immediately, so only
+	// one forward buffer is ever live.
+	bwd := takeBitsetList(len(cand2))
+	defer putBitsetList(bwd)
+	seed := s.Seed(n)
 	for j, y := range cand2 {
-		dst := make([]bool, n)
-		dst[y] = true
-		bwd[j] = dist.BackwardClosure(g, dst, atoms[mid:])
+		seed[y] = true
+		res := dist.BackwardClosureScratch(g, seed, atoms[mid:], s)
+		seed[y] = false
+		b := s.Bitset(n)
+		copy(b, res)
+		(*bwd)[j] = b
 	}
-	for i, x := range cand1 {
+	for _, x := range cand1 {
+		seed[x] = true
+		fwd := dist.ForwardClosureScratch(g, seed, atoms[:mid], s)
+		seed[x] = false
 		for j, y := range cand2 {
-			if intersects(fwd[i], bwd[j]) {
+			if intersects(fwd, (*bwd)[j]) {
 				out = append(out, Pair{x, y})
 			}
 		}
 	}
+	for _, b := range *bwd {
+		s.Recycle(b)
+	}
 	return out
+}
+
+// bitsetListPool recycles the slice-of-bitset headers EvalBiBFSScratch
+// retains its backward closures in.
+var bitsetListPool = sync.Pool{
+	New: func() any {
+		s := make([][]bool, 0, 16)
+		return &s
+	},
+}
+
+func takeBitsetList(n int) *[][]bool {
+	lp := bitsetListPool.Get().(*[][]bool)
+	for len(*lp) < n {
+		*lp = append(*lp, nil)
+	}
+	*lp = (*lp)[:n]
+	return lp
+}
+
+func putBitsetList(lp *[][]bool) {
+	clear(*lp)
+	bitsetListPool.Put(lp)
 }
 
 func intersects(a, b []bool) bool {

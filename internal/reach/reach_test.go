@@ -3,6 +3,7 @@ package reach_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -240,4 +241,79 @@ func TestQueryString(t *testing.T) {
 	if got := q.String(); got != "RQ[a = 1 --x{2} y--> *]" {
 		t.Errorf("String() = %q", got)
 	}
+}
+
+// TestEvalScratchVariantsAgree: the scratch-accepting entry points must
+// return exactly what their allocating counterparts return, across many
+// random graphs and queries, reusing one arena throughout (so buffer
+// poisoning between queries would be caught).
+func TestEvalScratchVariantsAgree(t *testing.T) {
+	s := dist.NewScratch()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomAttrGraph(r, 2+r.Intn(14), 1+r.Intn(40))
+		ca := dist.NewCache(g, 256)
+		for k := 0; k < 4; k++ {
+			q := randomRQ(r)
+			if a, b := pairsString(q.EvalBFS(g), g), pairsString(q.EvalBFSScratch(g, s), g); a != b {
+				t.Logf("seed %d query %v: EvalBFS=%v scratch=%v", seed, q, a, b)
+				return false
+			}
+			if a, b := pairsString(q.EvalBiBFS(g, ca), g), pairsString(q.EvalBiBFSScratch(g, ca, s), g); a != b {
+				t.Logf("seed %d query %v: EvalBiBFS=%v scratch=%v", seed, q, a, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvalBiBFSAllocRegression pins the allocation win of the scratch
+// arenas (ISSUE 2 / the ROADMAP's closure-allocation open item): on a
+// fixed graph, a repeated multi-atom EvalBiBFS must stay within a small
+// constant number of allocations per run. Before the arenas, every run
+// allocated one seed bitset per candidate plus three buffers per
+// closure step — hundreds of allocations on this workload.
+func TestEvalBiBFSAllocRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; bounds hold in normal builds only")
+	}
+	// A GC pause mid-measurement can empty the scratch sync.Pool and
+	// charge a full arena rebuild to one run; disable GC so the bounds
+	// measure the steady state deterministically.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	g := gen.Synthetic(1, 300, 1200, 3, gen.DefaultColors)
+	q := reach.New(
+		predicate.MustParse("a0 = 3"),
+		predicate.MustParse("a1 = 7"),
+		rex.MustParse("c0{2} c1{2}"),
+	)
+	if n := len(q.EvalBiBFS(g, nil)); n == 0 {
+		t.Fatal("workload found no pairs; allocation numbers would be vacuous")
+	}
+
+	// Dedicated arena: in steady state nothing but the answer slice (and
+	// its append growth) may allocate.
+	s := dist.NewScratch()
+	sink := q.EvalBiBFSScratch(g, nil, s)
+	if got := testing.AllocsPerRun(20, func() {
+		sink = q.EvalBiBFSScratch(g, nil, s)
+	}); got > 12 {
+		t.Errorf("EvalBiBFSScratch allocates %.0f/run, want <= 12", got)
+	}
+
+	// Pooled entry point: the bound is looser because sync.Pool
+	// hand-offs (and whatever arena sizes earlier tests parked in the
+	// pool) add run-to-run noise on top of the answer slice — but it
+	// must stay an order of magnitude below the ~918/run this workload
+	// cost before the arenas existed.
+	if got := testing.AllocsPerRun(20, func() {
+		sink = q.EvalBiBFS(g, nil)
+	}); got > 64 {
+		t.Errorf("EvalBiBFS allocates %.0f/run, want <= 64", got)
+	}
+	_ = sink
 }

@@ -39,6 +39,7 @@ package regraph
 import (
 	"regraph/internal/contain"
 	"regraph/internal/dist"
+	"regraph/internal/engine"
 	"regraph/internal/gen"
 	"regraph/internal/graph"
 	"regraph/internal/pattern"
@@ -80,6 +81,28 @@ type (
 	Matrix = dist.Matrix
 	// Cache is the LRU distance cache for matrix-free evaluation.
 	Cache = dist.Cache
+	// CAtom is one compiled atom of a subclass-F expression: an interned
+	// color layer plus an occurrence bound.
+	CAtom = dist.CAtom
+	// Scratch is a reusable per-worker search arena for the runtime
+	// evaluation primitives; see NewScratch.
+	Scratch = dist.Scratch
+)
+
+// Engine types.
+type (
+	// Engine is the resident concurrent query engine: one graph, one
+	// shared Matrix or Cache, a bounded worker pool with per-worker
+	// scratch arenas. Safe for concurrent use; see NewEngine.
+	Engine = engine.Engine
+	// EngineOptions configures NewEngine: worker count and the shared
+	// distance structure (Matrix, Cache, or an auto-created cache).
+	EngineOptions = engine.Options
+	// BatchRequest is one query of an Engine batch: exactly one of its
+	// RQ/PQ fields must be set.
+	BatchRequest = engine.Request
+	// BatchResult is the answer to one BatchRequest, at the same index.
+	BatchResult = engine.Result
 )
 
 // NewGraph returns an empty data graph.
@@ -110,6 +133,44 @@ func NewMatrix(g *Graph) *Matrix { return dist.NewMatrix(g) }
 // NewCache creates an LRU distance cache for graphs too large for a
 // matrix.
 func NewCache(g *Graph, capacity int) *Cache { return dist.NewCache(g, capacity) }
+
+// NewEngine builds a resident query engine over g: batches of RQs and
+// PQs submitted through Engine.RunBatch are evaluated concurrently
+// across a bounded worker pool, every worker reusing a persistent
+// Scratch arena against the engine's shared Matrix or Cache. The graph
+// must not be mutated while the engine is in use.
+func NewEngine(g *Graph, opts EngineOptions) *Engine { return engine.New(g, opts) }
+
+// NewScratch returns an empty search arena. The scratch-accepting
+// evaluation APIs (RQ.EvalBFSScratch, RQ.EvalBiBFSScratch,
+// ForwardClosureScratch, EvalOptions.Scratch) draw every BFS buffer,
+// seed bitset and closure frontier from it instead of the heap, so one
+// goroutine evaluating queries back to back allocates only answers. A
+// Scratch must not be shared between goroutines; NewEngine manages one
+// per worker automatically.
+func NewScratch() *Scratch { return dist.NewScratch() }
+
+// CompileRegex resolves a subclass-F expression's atoms against a
+// graph's interned colors. ok is false when the expression mentions a
+// color the graph does not have (its language is then empty over this
+// graph) or when the expression is the invalid zero value.
+func CompileRegex(g *Graph, e Regex) (atoms []CAtom, ok bool) { return dist.Compile(g, e) }
+
+// ForwardClosureScratch marks every node reachable from some node of
+// src via a path whose color string matches the compiled atom chain,
+// using s for every internal buffer. The returned slice is owned by s:
+// it is valid only until the next closure or search call on s — copy it
+// to retain it.
+func ForwardClosureScratch(g *Graph, src []bool, atoms []CAtom, s *Scratch) []bool {
+	return dist.ForwardClosureScratch(g, src, atoms, s)
+}
+
+// BackwardClosureScratch marks every node from which some node of dst
+// is reachable via a path matching the atom chain. Same ownership rules
+// as ForwardClosureScratch.
+func BackwardClosureScratch(g *Graph, dst []bool, atoms []CAtom, s *Scratch) []bool {
+	return dist.BackwardClosureScratch(g, dst, atoms, s)
+}
 
 // JoinMatch evaluates a pattern query with the join-based algorithm of
 // Section 5.1. Pass EvalOptions{Matrix: m} for the quadratic-lookup
