@@ -77,6 +77,10 @@ func BenchmarkFig12fSubIso(b *testing.B)   { runDriver(b, bench.Fig12f) }
 
 func BenchmarkEngineBatch(b *testing.B) { runDriver(b, bench.EngineBatch) }
 
+// Engine: candidate scan vs inverted index + predicate memo (ISSUE 3).
+
+func BenchmarkEngineBatchMemo(b *testing.B) { runDriver(b, bench.EngineMemo) }
+
 // Ablations (DESIGN.md §5).
 
 func BenchmarkAblationContainment(b *testing.B) { runDriver(b, bench.AblationContainment) }

@@ -48,6 +48,7 @@ func main() {
 		batchPath = flag.String("batch", "", "batch of RQs, one per tab-separated line")
 		workers   = flag.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
 		useMatrix = flag.Bool("matrix", true, "precompute the distance matrix")
+		candIdx   = flag.Bool("candidx", true, "use the attribute inverted index for predicate candidates (false = O(|V|) scan)")
 		minimize  = flag.Bool("minimize", false, "PQ: minimize before evaluating")
 	)
 	flag.Parse()
@@ -62,17 +63,26 @@ func main() {
 	if *useMatrix {
 		mx = regraph.NewMatrix(g)
 	}
+	// Single-query modes share one inverted index (nil keeps the linear
+	// scan); batch mode doesn't build it here — the engine constructs
+	// and owns its own memoized index.
+	cands := func() regraph.CandidateSource {
+		if *candIdx {
+			return regraph.NewCandidateIndex(g)
+		}
+		return nil
+	}
 	switch {
 	case *batchPath != "":
-		if err := runBatch(g, mx, *batchPath, *workers); err != nil {
+		if err := runBatch(g, mx, *batchPath, *workers, *candIdx); err != nil {
 			fatal(err)
 		}
 	case *expr != "":
-		if err := runRQ(g, mx, *from, *to, *expr); err != nil {
+		if err := runRQ(g, mx, cands(), *from, *to, *expr); err != nil {
 			fatal(err)
 		}
 	case *patPath != "":
-		if err := runPQ(g, mx, *patPath, *minimize); err != nil {
+		if err := runPQ(g, mx, cands(), *patPath, *minimize); err != nil {
 			fatal(err)
 		}
 	default:
@@ -82,7 +92,7 @@ func main() {
 
 // runBatch parses the batch file and evaluates every query through a
 // resident engine, printing one answer-count line per query.
-func runBatch(g *regraph.Graph, mx *regraph.Matrix, path string, workers int) error {
+func runBatch(g *regraph.Graph, mx *regraph.Matrix, path string, workers int, candIdx bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -122,7 +132,9 @@ func runBatch(g *regraph.Graph, mx *regraph.Matrix, path string, workers int) er
 	if len(qs) == 0 {
 		return fmt.Errorf("batch: no queries in %s", path)
 	}
-	e := regraph.NewEngine(g, regraph.EngineOptions{Workers: workers, Matrix: mx})
+	e := regraph.NewEngine(g, regraph.EngineOptions{
+		Workers: workers, Matrix: mx, DisableCandidateIndex: !candIdx,
+	})
 	t0 := time.Now()
 	results := e.RunRQs(qs)
 	elapsed := time.Since(t0)
@@ -151,7 +163,7 @@ func loadGraph(path string, demo bool) (*regraph.Graph, error) {
 	return graph.ReadTSV(f)
 }
 
-func runRQ(g *regraph.Graph, mx *regraph.Matrix, from, to, expr string) error {
+func runRQ(g *regraph.Graph, mx *regraph.Matrix, cands regraph.CandidateSource, from, to, expr string) error {
 	fp, err := regraph.ParsePredicate(from)
 	if err != nil {
 		return fmt.Errorf("-from: %w", err)
@@ -167,9 +179,9 @@ func runRQ(g *regraph.Graph, mx *regraph.Matrix, from, to, expr string) error {
 	q := regraph.RQ{From: fp, To: tp, Expr: re}
 	var pairs []regraph.Pair
 	if mx != nil {
-		pairs = q.EvalMatrix(g, mx)
+		pairs = q.EvalMatrixWith(g, mx, cands)
 	} else {
-		pairs = q.EvalBiBFS(g, regraph.NewCache(g, 1<<16))
+		pairs = q.EvalBiBFSScratchWith(g, regraph.NewCache(g, 1<<16), regraph.NewScratch(), cands)
 	}
 	fmt.Printf("%s: %d pairs\n", q, len(pairs))
 	for _, p := range pairs {
@@ -178,7 +190,7 @@ func runRQ(g *regraph.Graph, mx *regraph.Matrix, from, to, expr string) error {
 	return nil
 }
 
-func runPQ(g *regraph.Graph, mx *regraph.Matrix, path string, minimize bool) error {
+func runPQ(g *regraph.Graph, mx *regraph.Matrix, cands regraph.CandidateSource, path string, minimize bool) error {
 	q, err := loadPattern(path)
 	if err != nil {
 		return err
@@ -188,7 +200,7 @@ func runPQ(g *regraph.Graph, mx *regraph.Matrix, path string, minimize bool) err
 		q = regraph.Minimize(q)
 		fmt.Printf("minimized: size %d -> %d\n", before, q.Size())
 	}
-	res := regraph.JoinMatch(g, q, regraph.EvalOptions{Matrix: mx})
+	res := regraph.JoinMatch(g, q, regraph.EvalOptions{Matrix: mx, Cands: cands})
 	if res.Empty() {
 		fmt.Println("no matches")
 		return nil

@@ -136,3 +136,50 @@ func ExampleForwardClosureScratch() {
 	// B1
 	// B2
 }
+
+// The attribute inverted index answers "which nodes match this
+// predicate?" by binary search over sorted posting columns instead of
+// scanning every node, and a memo layered on it caches repeated
+// predicates until the graph mutates. The engine builds and shares one
+// automatically; standalone evaluation can pass either explicitly.
+func ExampleNewCandidateIndex() {
+	g := regraph.Essembly()
+	ix := regraph.NewCandidateIndex(g)
+
+	doctors := ix.Candidates(regraph.MustPredicate("job = doctor"))
+	for _, v := range doctors {
+		fmt.Println(g.Node(v).Name)
+	}
+
+	// The same index accelerates a full query evaluation.
+	q := regraph.RQ{
+		From: regraph.MustPredicate("job = biologist, sp = cloning"),
+		To:   regraph.MustPredicate("job = doctor"),
+		Expr: regraph.MustRegex("fa{2} fn"),
+	}
+	mx := regraph.NewMatrix(g)
+	fmt.Printf("%d pairs\n", len(q.EvalMatrixWith(g, mx, ix)))
+	// Output:
+	// B1
+	// B2
+	// 4 pairs
+}
+
+// A CandidateMemo tracks the graph's mutation epoch: cached candidate
+// sets are retired the moment the graph changes, so mutate-then-query
+// always sees fresh answers.
+func ExampleNewCandidateMemo() {
+	g := regraph.NewGraph()
+	g.AddNode("ann", map[string]string{"job": "doctor"})
+	g.AddNode("bob", map[string]string{"job": "nurse"})
+	memo := regraph.NewCandidateMemo(g)
+
+	p := regraph.MustPredicate("job = doctor")
+	fmt.Println(len(memo.Candidates(p)))
+
+	g.AddNode("cal", map[string]string{"job": "doctor"}) // bumps g.Epoch()
+	fmt.Println(len(memo.Candidates(p)))
+	// Output:
+	// 1
+	// 2
+}

@@ -237,6 +237,7 @@ func All() []NamedDriver {
 		{"fig12e", Fig12e},
 		{"fig12f", Fig12f},
 		{"engine-batch", EngineBatch},
+		{"engine-memo", EngineMemo},
 		{"ablation-containment", AblationContainment},
 		{"ablation-filter", AblationFilter},
 		{"ablation-incremental", AblationIncremental},

@@ -56,3 +56,43 @@ func EngineBatch(e *Env) *Table {
 		fmt.Sprintf("GOMAXPROCS=%d; each series uses a fresh %d-entry cache", maxW, e.Cfg.CacheSize))
 	return t
 }
+
+// EngineMemo measures what the candidate inverted index and the
+// engine-wide predicate→candidates memo buy on a repeated engine batch
+// (ISSUE 3): the same generated RQ batch is evaluated by an engine with
+// the index disabled (every query re-scans all nodes per predicate)
+// and by a default engine (index lookups, memo hits on repeats). Both
+// run the batch twice so the memoized configuration shows its
+// steady-state, which is what a resident multi-user engine serves.
+func EngineMemo(e *Env) *Table {
+	t := &Table{
+		ID:     "EngineMemo",
+		Title:  "engine batch: candidate scan vs inverted index + memo (YouTube)",
+		XLabel: "#queries",
+		Unit:   "s",
+		Series: []string{"Scan", "IndexMemo"},
+	}
+	g, _, _ := e.YouTube()
+	for _, base := range []int{128, 512} {
+		nq := base * e.Cfg.QueriesPerPoint
+		r := e.Rand(int64(9500 + nq))
+		qs := make([]reach.Query, nq)
+		for i := range qs {
+			qs[i] = gen.RQ(g, 3, 5, 1+r.Intn(3), r)
+		}
+		run := func(en *engine.Engine) float64 {
+			return timeIt(func() {
+				en.RunRQs(qs)
+				en.RunRQs(qs)
+			})
+		}
+		scan := run(engine.New(g, engine.Options{
+			CacheSize: e.Cfg.CacheSize, DisableCandidateIndex: true,
+		}))
+		memo := run(engine.New(g, engine.Options{CacheSize: e.Cfg.CacheSize}))
+		t.Add(fmt.Sprint(nq), map[string]float64{"Scan": scan, "IndexMemo": memo})
+	}
+	t.Notes = append(t.Notes,
+		"each batch evaluated twice back to back; fresh engine + cache per series")
+	return t
+}

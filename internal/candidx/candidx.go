@@ -1,0 +1,289 @@
+// Package candidx answers predicate candidate queries — "which nodes
+// match f_u?" — in O(log|V| + k) instead of the O(|V|·clauses) linear
+// scan every RQ/PQ evaluation otherwise pays (reach.Candidates).
+//
+// It is the classic index-vs-scan tradeoff that GRAIL-style labelings
+// apply to reachability, applied here to the *predicate* half of the
+// paper's queries: build once per graph, answer each clause by binary
+// search, answer a conjunction by intersecting per-clause bitsets.
+//
+// # Layout
+//
+// One column per attribute name. Because predicate.Compare orders two
+// values numerically only when *both* parse as numbers (predicate.Numeric)
+// and lexicographically otherwise, each column keeps its postings split
+// into the two value domains:
+//
+//   - num: numeric-parsing values, sorted by float value (NaN-valued
+//     postings are held aside in nan — Compare reports NaN equal to
+//     every number, so they join every =, <= and >= answer).
+//   - lexNon: the non-numeric values, sorted bytewise. Consulted when
+//     the clause constant is numeric (a non-numeric node value then
+//     compares lexicographically against the constant's spelling).
+//   - lexAll: every value, numeric or not, sorted bytewise. Consulted
+//     when the clause constant is non-numeric (then *all* node values
+//     compare lexicographically).
+//
+// A clause "A op a" becomes at most three contiguous posting ranges; a
+// conjunction intersects the per-clause bitsets and emits node IDs in
+// ascending order, so answers are bit-identical to the scan's.
+//
+// # Invalidation
+//
+// An Index is a snapshot: it records graph.Epoch() at build time and
+// never observes later mutations. Memo (memo.go) layers an
+// epoch-validated predicate→candidates cache on top and rebuilds both
+// on epoch change; that is what internal/engine shares across its
+// worker pool.
+package candidx
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"regraph/internal/graph"
+	"regraph/internal/predicate"
+)
+
+// numEntry is one posting of the numeric value domain.
+type numEntry struct {
+	val  float64
+	node int32
+}
+
+// lexEntry is one posting of a lexicographic value domain.
+type lexEntry struct {
+	val  string
+	node int32
+}
+
+// column is the inverted index of one attribute name; see the package
+// comment for the domain split.
+type column struct {
+	num    []numEntry
+	nan    []int32
+	lexNon []lexEntry
+	lexAll []lexEntry
+}
+
+// Index answers candidate queries over one immutable snapshot of a
+// graph's node attributes. Build it with Build; it is safe for
+// concurrent use (all methods are pure reads plus an internal pool).
+type Index struct {
+	n     int
+	epoch uint64
+	words int // bitset words, (n+63)/64
+	cols  map[string]*column
+
+	// bitsPool recycles the two per-call intersection bitsets so a
+	// steady-state lookup allocates only its answer slice.
+	bitsPool sync.Pool
+}
+
+// Build constructs the inverted index for the graph's current state.
+// Cost is O(sum of attribute counts · log) for the sorts; mutating the
+// graph afterwards does not corrupt the index, it just makes it a stale
+// snapshot (compare Epoch against graph.Epoch, or use Memo).
+func Build(g *graph.Graph) *Index {
+	n := g.NumNodes()
+	ix := &Index{
+		n:     n,
+		epoch: g.Epoch(),
+		words: (n + 63) / 64,
+		cols:  map[string]*column{},
+	}
+	ix.bitsPool.New = func() any {
+		s := make([]uint64, ix.words)
+		return &s
+	}
+	for v := 0; v < n; v++ {
+		for a, val := range g.Attrs(graph.NodeID(v)) {
+			c := ix.cols[a]
+			if c == nil {
+				c = &column{}
+				ix.cols[a] = c
+			}
+			c.lexAll = append(c.lexAll, lexEntry{val, int32(v)})
+			if f, ok := predicate.Numeric(val); ok {
+				if math.IsNaN(f) {
+					c.nan = append(c.nan, int32(v))
+				} else {
+					c.num = append(c.num, numEntry{f, int32(v)})
+				}
+			} else {
+				c.lexNon = append(c.lexNon, lexEntry{val, int32(v)})
+			}
+		}
+	}
+	for _, c := range ix.cols {
+		sort.Slice(c.num, func(i, j int) bool {
+			if c.num[i].val != c.num[j].val {
+				return c.num[i].val < c.num[j].val
+			}
+			return c.num[i].node < c.num[j].node
+		})
+		sortLex(c.lexNon)
+		sortLex(c.lexAll)
+	}
+	return ix
+}
+
+func sortLex(es []lexEntry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].val != es[j].val {
+			return es[i].val < es[j].val
+		}
+		return es[i].node < es[j].node
+	})
+}
+
+// Epoch returns the graph epoch the index snapshots.
+func (ix *Index) Epoch() uint64 { return ix.epoch }
+
+// NumAttrs returns the number of distinct attribute names indexed.
+func (ix *Index) NumAttrs() int { return len(ix.cols) }
+
+// Candidates returns the IDs of nodes matching the predicate, in
+// ascending ID order — exactly reach.Candidates' answer, computed
+// against the indexed snapshot. The slice is freshly allocated.
+func (ix *Index) Candidates(p predicate.Pred) []graph.NodeID {
+	return ix.CandidatesAppend(nil, p)
+}
+
+// CandidatesAppend appends the matching node IDs to dst (ascending) and
+// returns the extended slice, mirroring reach.CandidatesAppend.
+func (ix *Index) CandidatesAppend(dst []graph.NodeID, p predicate.Pred) []graph.NodeID {
+	if p.IsTrue() {
+		for v := 0; v < ix.n; v++ {
+			dst = append(dst, graph.NodeID(v))
+		}
+		return dst
+	}
+	resp := ix.bitsPool.Get().(*[]uint64)
+	res := *resp
+	defer ix.bitsPool.Put(resp)
+	clauses := p.Clauses()
+	clear(res)
+	ix.clauseBits(clauses[0], res)
+	if len(clauses) > 1 {
+		curp := ix.bitsPool.Get().(*[]uint64)
+		cur := *curp
+		defer ix.bitsPool.Put(curp)
+		for _, c := range clauses[1:] {
+			clear(cur)
+			ix.clauseBits(c, cur)
+			any := uint64(0)
+			for w := range res {
+				res[w] &= cur[w]
+				any |= res[w]
+			}
+			if any == 0 {
+				return dst
+			}
+		}
+	}
+	for w, word := range res {
+		base := w * 64
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			dst = append(dst, graph.NodeID(base+b))
+			word &^= 1 << b
+		}
+	}
+	return dst
+}
+
+// clauseBits sets the bit of every node satisfying "c.Attr c.Op c.Value".
+func (ix *Index) clauseBits(c predicate.Clause, bs []uint64) {
+	col := ix.cols[c.Attr]
+	if col == nil {
+		return // no node carries the attribute
+	}
+	if f, ok := predicate.Numeric(c.Value); ok {
+		// Numeric constant: numeric-valued nodes compare as numbers,
+		// non-numeric-valued nodes compare bytewise against its spelling.
+		col.numRange(f, c.Op, bs)
+		lexRange(col.lexNon, c.Value, c.Op, bs)
+		return
+	}
+	// Non-numeric constant: every value compares bytewise.
+	lexRange(col.lexAll, c.Value, c.Op, bs)
+}
+
+// numRange marks the numeric postings satisfying "val op f", following
+// predicate.Compare's NaN rule: NaN compares equal to every number (the
+// three-way comparison reports neither < nor >), so NaN postings join
+// the =, <= and >= answers and never the <, > and != answers — and a
+// NaN constant makes every numeric posting compare equal.
+func (c *column) numRange(f float64, op predicate.Op, bs []uint64) {
+	if math.IsNaN(f) {
+		switch op {
+		case predicate.Eq, predicate.Le, predicate.Ge:
+			setNum(bs, c.num)
+			setNodes(bs, c.nan)
+		}
+		return
+	}
+	lo := sort.Search(len(c.num), func(i int) bool { return c.num[i].val >= f })
+	hi := sort.Search(len(c.num), func(i int) bool { return c.num[i].val > f })
+	switch op {
+	case predicate.Lt:
+		setNum(bs, c.num[:lo])
+	case predicate.Le:
+		setNum(bs, c.num[:hi])
+		setNodes(bs, c.nan)
+	case predicate.Eq:
+		setNum(bs, c.num[lo:hi])
+		setNodes(bs, c.nan)
+	case predicate.Ne:
+		setNum(bs, c.num[:lo])
+		setNum(bs, c.num[hi:])
+	case predicate.Gt:
+		setNum(bs, c.num[hi:])
+	case predicate.Ge:
+		setNum(bs, c.num[lo:])
+		setNodes(bs, c.nan)
+	}
+}
+
+// lexRange marks the postings of a lexicographic column satisfying
+// "val op a" under bytewise string order.
+func lexRange(es []lexEntry, a string, op predicate.Op, bs []uint64) {
+	lo := sort.Search(len(es), func(i int) bool { return es[i].val >= a })
+	hi := sort.Search(len(es), func(i int) bool { return es[i].val > a })
+	switch op {
+	case predicate.Lt:
+		setLex(bs, es[:lo])
+	case predicate.Le:
+		setLex(bs, es[:hi])
+	case predicate.Eq:
+		setLex(bs, es[lo:hi])
+	case predicate.Ne:
+		setLex(bs, es[:lo])
+		setLex(bs, es[hi:])
+	case predicate.Gt:
+		setLex(bs, es[hi:])
+	case predicate.Ge:
+		setLex(bs, es[lo:])
+	}
+}
+
+func setNum(bs []uint64, es []numEntry) {
+	for _, e := range es {
+		bs[e.node>>6] |= 1 << (e.node & 63)
+	}
+}
+
+func setLex(bs []uint64, es []lexEntry) {
+	for _, e := range es {
+		bs[e.node>>6] |= 1 << (e.node & 63)
+	}
+}
+
+func setNodes(bs []uint64, ns []int32) {
+	for _, v := range ns {
+		bs[v>>6] |= 1 << (v & 63)
+	}
+}

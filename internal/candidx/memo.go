@@ -1,0 +1,122 @@
+package candidx
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"regraph/internal/graph"
+	"regraph/internal/predicate"
+)
+
+// memoMaxEntries bounds the predicate→candidates map. Batch workloads
+// draw from a small predicate vocabulary, so the bound is generous; on
+// overflow the whole map is dropped (no LRU bookkeeping on the hot
+// read path) and repopulated by demand.
+const memoMaxEntries = 4096
+
+// Memo is an epoch-validated predicate→candidates cache over one graph:
+// the first lookup of a predicate answers through the inverted Index,
+// every repeat is a map hit, and any graph mutation (observed through
+// graph.Epoch) atomically retires both the cache and the index before
+// the next answer. internal/engine shares one Memo across its whole
+// worker pool; Memo is safe for concurrent use.
+//
+// Returned slices are shared: callers must treat them as read-only.
+//
+// Mutating the graph concurrently with lookups is as undefined as any
+// unsynchronized graph access; the epoch check guarantees freshness for
+// the supported pattern — mutate (under exclusion), then query.
+type Memo struct {
+	g *graph.Graph
+
+	mu    sync.RWMutex
+	idx   *Index
+	cache map[string][]graph.NodeID
+
+	hits, misses atomic.Uint64
+}
+
+// NewMemo builds a memo over g, constructing the inverted index for the
+// graph's current state eagerly (engine.New calls this once so the
+// build cost is paid at startup, not mid-batch).
+func NewMemo(g *graph.Graph) *Memo {
+	m := &Memo{g: g}
+	m.mu.Lock()
+	m.refreshLocked()
+	m.mu.Unlock()
+	return m
+}
+
+// refreshLocked rebuilds the index snapshot and empties the cache; the
+// caller holds mu.
+func (m *Memo) refreshLocked() {
+	m.idx = Build(m.g)
+	m.cache = map[string][]graph.NodeID{}
+}
+
+// Index returns the current index snapshot (rebuilding first if the
+// graph moved on). Useful for direct lookups that should bypass the
+// cache map.
+func (m *Memo) Index() *Index {
+	epoch := m.g.Epoch()
+	m.mu.RLock()
+	idx := m.idx
+	m.mu.RUnlock()
+	if idx.epoch == epoch {
+		return idx
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.idx.epoch != epoch {
+		m.refreshLocked()
+	}
+	return m.idx
+}
+
+// Candidates returns the IDs of nodes matching p on the graph's current
+// epoch, ascending, bit-identical to reach.Candidates. The slice is
+// shared with other callers of the same predicate — read-only.
+func (m *Memo) Candidates(p predicate.Pred) []graph.NodeID {
+	key := p.Key()
+	for {
+		epoch := m.g.Epoch()
+		m.mu.RLock()
+		idx := m.idx
+		c, ok := m.cache[key]
+		m.mu.RUnlock()
+		if idx.epoch != epoch {
+			// Stale snapshot: retire it and retry with a fresh build.
+			m.mu.Lock()
+			if m.idx.epoch != epoch {
+				m.refreshLocked()
+			}
+			m.mu.Unlock()
+			continue
+		}
+		if ok {
+			m.hits.Add(1)
+			return c
+		}
+		m.misses.Add(1)
+		c = idx.Candidates(p)
+		if c == nil {
+			c = []graph.NodeID{} // distinguish "cached empty" from a map miss
+		}
+		m.mu.Lock()
+		// Only publish against the snapshot the answer came from.
+		if m.idx == idx {
+			if len(m.cache) >= memoMaxEntries {
+				m.cache = map[string][]graph.NodeID{}
+			}
+			m.cache[key] = c
+		}
+		m.mu.Unlock()
+		return c
+	}
+}
+
+// Stats reports cache-map hits and misses (a miss still answers through
+// the index, never the linear scan).
+func (m *Memo) Stats() (hits, misses uint64) {
+	return m.hits.Load(), m.misses.Load()
+}

@@ -1,0 +1,117 @@
+package engine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"regraph/internal/candidx"
+	"regraph/internal/engine"
+	"regraph/internal/gen"
+	"regraph/internal/graph"
+	"regraph/internal/predicate"
+	"regraph/internal/reach"
+)
+
+// TestConcurrentBatchesSharedMemo is the candidate-index -race stress
+// test of ISSUE 3: one engine — hence one shared inverted index and one
+// shared predicate→candidates memo — serves many concurrent batches
+// whose answers must all match the scan-based serial oracle, while a
+// *separate* graph with its own memo is mutated and queried in
+// parallel, asserting the epoch invalidation never serves a stale
+// candidate set across mutations.
+func TestConcurrentBatchesSharedMemo(t *testing.T) {
+	g := testGraph(29)
+	qs := testRQs(g, 40, 31)
+	oracle := engine.New(g, engine.Options{Workers: 1, DisableCandidateIndex: true})
+	want := make([]string, len(qs))
+	for i, res := range oracle.RunRQs(qs) {
+		want[i] = pairsKey(res)
+	}
+
+	e := engine.New(g, engine.Options{Workers: 4})
+	if e.Cands() == nil {
+		t.Fatal("engine built without its candidate memo")
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	fail := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+	for b := 0; b < 6; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				got := e.RunRQs(qs)
+				for i := range qs {
+					if pairsKey(got[i]) != want[i] {
+						fail("shared engine: query %d: got %v, want %v", i, pairsKey(got[i]), want[i])
+					}
+				}
+			}
+		}()
+	}
+
+	// The mutator: its own graph, its own memo, single-goroutine
+	// mutate-then-query — every lookup after a mutation must equal the
+	// fresh linear scan (stale = the epoch check failed).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := rand.New(rand.NewSource(37))
+		mg := gen.Synthetic(41, 120, 400, 3, gen.DefaultColors)
+		memo := candidx.NewMemo(mg)
+		preds := []predicate.Pred{
+			predicate.MustParse("a0 = 3"),
+			predicate.MustParse("a1 >= 5, a2 != 7"),
+			predicate.MustParse("*"),
+		}
+		for step := 0; step < 60; step++ {
+			switch step % 3 {
+			case 0:
+				id := mg.AddNode(fmt.Sprintf("extra%d", step), map[string]string{
+					"a0": fmt.Sprint(r.Intn(10)), "a1": fmt.Sprint(r.Intn(10)),
+				})
+				_ = id
+			case 1:
+				from := graph.NodeID(r.Intn(mg.NumNodes()))
+				to := graph.NodeID(r.Intn(mg.NumNodes()))
+				mg.AddEdge(from, to, gen.DefaultColors[r.Intn(len(gen.DefaultColors))])
+			case 2:
+				from := graph.NodeID(r.Intn(mg.NumNodes()))
+				for _, edge := range mg.Out(from) {
+					mg.RemoveEdge(from, edge.To, mg.ColorName(edge.Color))
+					break
+				}
+			}
+			for _, p := range preds {
+				got := memo.Candidates(p)
+				scan := reach.Candidates(mg, p)
+				if len(got) != len(scan) {
+					fail("mutating memo: step %d pred %q: %d candidates, scan has %d", step, p, len(got), len(scan))
+					return
+				}
+				for i := range got {
+					if got[i] != scan[i] {
+						fail("mutating memo: step %d pred %q: candidate %d is %d, scan says %d", step, p, i, got[i], scan[i])
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+	if hits, misses := e.Cands().Stats(); hits == 0 || misses == 0 {
+		t.Errorf("memo stats hits=%d misses=%d: expected both first-lookup misses and repeat hits", hits, misses)
+	}
+}

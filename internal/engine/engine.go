@@ -8,7 +8,11 @@
 // Each worker slot carries a persistent dist.Scratch arena (closure
 // ping-pong buffers, BFS queues, seed bitsets), so a long-running engine
 // reaches a steady state where evaluating a query allocates little more
-// than its answer slice. The number of arenas bounds total evaluation
+// than its answer slice. Construction also builds the attribute
+// inverted index (internal/candidx) and an engine-wide
+// predicate→candidates memo shared by all workers, so no query pays
+// the O(|V|·clauses) candidate scan; Options.DisableCandidateIndex
+// reverts to the scan. The number of arenas bounds total evaluation
 // concurrency engine-wide: overlapping RunBatch calls from several
 // goroutines share the same pool of worker slots rather than multiplying
 // goroutines.
@@ -26,6 +30,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"regraph/internal/candidx"
 	"regraph/internal/dist"
 	"regraph/internal/graph"
 	"regraph/internal/pattern"
@@ -50,6 +55,14 @@ type Options struct {
 	// CacheSize sizes the auto-created cache (default 1<<16). Ignored
 	// when Matrix or Cache is set.
 	CacheSize int
+
+	// DisableCandidateIndex turns off the attribute inverted index and
+	// the engine-wide predicate→candidates memo, reverting every
+	// query's candidate computation to the O(|V|·clauses) node scan.
+	// Answers are identical either way; exposed for measurement and as
+	// an escape hatch for tiny graphs where the index build outweighs a
+	// handful of scans.
+	DisableCandidateIndex bool
 }
 
 // Engine is a resident query engine over one graph. Create it with New;
@@ -63,6 +76,11 @@ type Engine struct {
 	// slots hands out (arena, worker identity) pairs; its capacity is
 	// the engine-wide concurrency bound.
 	slots chan *dist.Scratch
+
+	// cands is the engine-wide candidate memo (attribute inverted index
+	// + predicate→candidates cache), shared by every worker and batch;
+	// nil when DisableCandidateIndex is set.
+	cands *candidx.Memo
 }
 
 // New builds an engine over g. The graph must not be mutated afterwards
@@ -91,6 +109,11 @@ func New(g *graph.Graph, opts Options) *Engine {
 		workers: workers,
 		slots:   make(chan *dist.Scratch, workers),
 	}
+	if !opts.DisableCandidateIndex {
+		// Build the attribute inverted index once, up front, so no batch
+		// pays it mid-flight; the memo it feeds is shared engine-wide.
+		e.cands = candidx.NewMemo(g)
+	}
 	for i := 0; i < workers; i++ {
 		e.slots <- dist.NewScratch()
 	}
@@ -108,6 +131,19 @@ func (e *Engine) Cache() *dist.Cache { return e.cache }
 
 // Workers returns the engine's concurrency bound.
 func (e *Engine) Workers() int { return e.workers }
+
+// Cands returns the engine-wide candidate memo, nil when the candidate
+// index was disabled at construction.
+func (e *Engine) Cands() *candidx.Memo { return e.cands }
+
+// candSource adapts the memo field to the evaluators' interface
+// parameter without ever wrapping a nil *Memo in a non-nil interface.
+func (e *Engine) candSource() reach.CandidateSource {
+	if e.cands == nil {
+		return nil
+	}
+	return e.cands
+}
 
 // Request is one query of a batch: exactly one of RQ or PQ must be set.
 type Request struct {
@@ -181,12 +217,12 @@ func (e *Engine) run(r Request, s *dist.Scratch) Result {
 		return Result{Err: fmt.Errorf("engine: request sets both RQ and PQ")}
 	case r.RQ != nil:
 		if e.mx != nil {
-			return Result{Pairs: r.RQ.EvalMatrix(e.g, e.mx)}
+			return Result{Pairs: r.RQ.EvalMatrixWith(e.g, e.mx, e.candSource())}
 		}
-		return Result{Pairs: r.RQ.EvalBiBFSScratch(e.g, e.cache, s)}
+		return Result{Pairs: r.RQ.EvalBiBFSScratchWith(e.g, e.cache, s, e.candSource())}
 	case r.PQ != nil:
 		return Result{Match: pattern.JoinMatch(e.g, r.PQ, pattern.Options{
-			Matrix: e.mx, Cache: e.cache, Scratch: s,
+			Matrix: e.mx, Cache: e.cache, Scratch: s, Cands: e.candSource(),
 		})}
 	default:
 		return Result{Err: fmt.Errorf("engine: empty request")}

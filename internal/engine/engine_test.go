@@ -50,10 +50,12 @@ func TestBatchMatchesSerial(t *testing.T) {
 		want[i] = pairsKey(q.EvalMatrix(g, mx))
 	}
 	for name, opts := range map[string]engine.Options{
-		"cache":     {Workers: 4},
-		"matrix":    {Workers: 4, Matrix: mx},
-		"1-worker":  {Workers: 1},
-		"64-worker": {Workers: 64},
+		"cache":         {Workers: 4},
+		"matrix":        {Workers: 4, Matrix: mx},
+		"1-worker":      {Workers: 1},
+		"64-worker":     {Workers: 64},
+		"no-candidx":    {Workers: 4, DisableCandidateIndex: true},
+		"matrix-no-idx": {Workers: 4, Matrix: mx, DisableCandidateIndex: true},
 	} {
 		e := engine.New(g, opts)
 		got := e.RunRQs(qs)

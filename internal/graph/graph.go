@@ -62,7 +62,22 @@ type Graph struct {
 	inByColor  [][][]NodeID
 	indexed    atomic.Bool
 	indexMu    sync.Mutex
+
+	// epoch counts mutations (node/edge/color additions and removals).
+	// Derived read-side structures — the candidate inverted index and
+	// the engine's predicate→candidates memo (internal/candidx) — record
+	// the epoch they were built at and rebuild when it moves, so a
+	// mutate-then-query sequence can never observe stale answers.
+	// Atomic so concurrent readers of an un-mutated graph stay race-free;
+	// mutations themselves still require external exclusion.
+	epoch atomic.Uint64
 }
+
+// Epoch returns the graph's mutation counter. Any mutation (AddNode,
+// AddEdge, RemoveEdge, interning a new color) bumps it; equality of two
+// observations brackets a mutation-free window, which is what
+// epoch-validated caches key on.
+func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
 
 // New returns an empty graph.
 func New() *Graph {
@@ -88,6 +103,7 @@ func (g *Graph) AddNode(name string, attrs map[string]string) NodeID {
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
 	g.indexed.Store(false)
+	g.epoch.Add(1)
 	return id
 }
 
@@ -104,6 +120,7 @@ func (g *Graph) InternColor(color string) ColorID {
 	g.colors = append(g.colors, color)
 	g.colorIdx[color] = id
 	g.indexed.Store(false)
+	g.epoch.Add(1)
 	return id
 }
 
@@ -146,6 +163,7 @@ func (g *Graph) AddEdge(from, to NodeID, color string) {
 	g.in[to] = append(g.in[to], Edge{To: from, Color: c})
 	g.numEdges++
 	g.indexed.Store(false)
+	g.epoch.Add(1)
 }
 
 // RemoveEdge removes one edge from `from` to `to` with the given color,
@@ -175,6 +193,7 @@ func (g *Graph) RemoveEdge(from, to NodeID, color string) bool {
 	}
 	g.numEdges--
 	g.indexed.Store(false)
+	g.epoch.Add(1)
 	return true
 }
 

@@ -26,6 +26,12 @@ type Options struct {
 	// back-to-back pattern queries reuse one set of buffers.
 	Scratch *dist.Scratch
 
+	// Cands optionally supplies indexed/memoized predicate candidate
+	// sets (internal/candidx) for seeding the match sets; nil scans all
+	// nodes per pattern-node predicate. The engine passes its shared
+	// memo here.
+	Cands reach.CandidateSource
+
 	// DisableTopoOrder makes JoinMatch run a plain global fixpoint instead
 	// of processing SCCs in reverse topological order. The answers are
 	// identical (the fixpoint is unique); exposed for the ablation
@@ -244,7 +250,7 @@ func JoinMatch(g *graph.Graph, q *Query, opts Options) *Result {
 	} else {
 		ck = &searchChecker{g: g, cache: opts.Cache, chains: chains, scratch: s}
 	}
-	mats := initialMats(g, nq)
+	mats := initialMats(g, nq, opts.Cands)
 	if mats == nil {
 		return &Result{}
 	}
@@ -258,8 +264,9 @@ func JoinMatch(g *graph.Graph, q *Query, opts Options) *Result {
 // some edge-incident pattern node has no candidates at all. Isolated
 // pattern nodes do not influence the answer (the answer is defined per
 // edge; the paper assumes connected patterns and its minimization drops
-// isolated nodes), so their emptiness is not fatal.
-func initialMats(g *graph.Graph, nq *normQuery) [][]bool {
+// isolated nodes), so their emptiness is not fatal. Non-trivial
+// predicates seed through cs when non-nil instead of the per-node scan.
+func initialMats(g *graph.Graph, nq *normQuery, cs reach.CandidateSource) [][]bool {
 	n := g.NumNodes()
 	mats := make([][]bool, len(nq.preds))
 	for u, p := range nq.preds {
@@ -292,6 +299,11 @@ func initialMats(g *graph.Graph, nq *normQuery) [][]bool {
 				m[v] = true
 			}
 			any = n > 0
+		} else if cs != nil {
+			for _, v := range cs.Candidates(p) {
+				m[v] = true
+				any = true
+			}
 		} else {
 			for v := 0; v < n; v++ {
 				if p.Eval(g.Attrs(graph.NodeID(v))) {

@@ -128,9 +128,15 @@ func (inc *Incremental) analyze() {
 	inc.radius = inc.q.NumNodes() * longest
 }
 
-// full recomputes the answer from fresh candidates.
+// full recomputes the answer from fresh candidates, by linear scan
+// deliberately: every full() here follows a mutation, and a mutation
+// invalidates the attribute inverted index, so seeding through a
+// candidx.Memo would rebuild the whole index per mutation — the
+// mutate-between-every-query regime is exactly where DESIGN.md §7.3
+// says the scan wins. Callers wanting indexed seeding on a *static*
+// graph evaluate through JoinMatch with Options.Cands instead.
 func (inc *Incremental) full() {
-	mats := initialMats(inc.g, inc.nq)
+	mats := initialMats(inc.g, inc.nq, nil)
 	if mats == nil || !refine(inc.g, inc.nq, inc.ck, mats, false) {
 		inc.mats = nil
 		return

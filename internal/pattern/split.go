@@ -32,7 +32,7 @@ func SplitMatch(g *graph.Graph, q *Query, opts Options) *Result {
 	} else {
 		ck = &searchChecker{g: g, cache: opts.Cache, chains: chains, scratch: s}
 	}
-	mats := initialMats(g, nq)
+	mats := initialMats(g, nq, opts.Cands)
 	if mats == nil {
 		return &Result{}
 	}

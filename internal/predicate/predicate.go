@@ -187,8 +187,8 @@ func parseClause(s string) (Clause, error) {
 // Compare orders two attribute values: numerically when both parse as
 // floats, lexicographically otherwise. It returns -1, 0 or +1.
 func Compare(a, b string) int {
-	fa, okA := parseNum(a)
-	fb, okB := parseNum(b)
+	fa, okA := Numeric(a)
+	fb, okB := Numeric(b)
 	if okA && okB {
 		switch {
 		case fa < fb:
@@ -202,12 +202,19 @@ func Compare(a, b string) int {
 	return strings.Compare(a, b)
 }
 
-// parseNum is ParseFloat with a cheap shape pre-check: ParseFloat's
+// Numeric reports whether an attribute value belongs to Compare's
+// numeric domain, and its parsed value when it does. It is the single
+// place the numeric-vs-lexicographic rule is decided: Compare uses it
+// for the scan path and internal/candidx uses it to split posting
+// columns into the two value domains, so both answer every clause
+// identically by construction.
+//
+// Implementation: ParseFloat with a cheap shape pre-check. ParseFloat's
 // failure path allocates a syntax error, and candidate scans call
 // Compare once per node per clause, so feeding it the (overwhelmingly
 // common) non-numeric attribute values was the dominant allocation of
 // query evaluation over string-attributed graphs.
-func parseNum(s string) (float64, bool) {
+func Numeric(s string) (float64, bool) {
 	if !looksNumeric(s) {
 		return 0, false
 	}
@@ -248,8 +255,10 @@ func looksNumeric(s string) bool {
 	return digit
 }
 
-// holds reports whether "x op y" is true under Compare's ordering.
-func holds(x string, op Op, y string) bool {
+// Holds reports whether "x op y" is true under Compare's ordering —
+// the one comparison rule every evaluation path (linear scan, inverted
+// index, implication analysis) must agree on.
+func (op Op) Holds(x, y string) bool {
 	c := Compare(x, y)
 	switch op {
 	case Lt:
@@ -274,11 +283,49 @@ func holds(x string, op Op, y string) bool {
 func (p Pred) Eval(attrs map[string]string) bool {
 	for _, c := range p.clauses {
 		v, ok := attrs[c.Attr]
-		if !ok || !holds(v, c.Op, c.Value) {
+		if !ok || !c.Op.Holds(v, c.Value) {
 			return false
 		}
 	}
 	return true
+}
+
+// Key returns a canonical cache key for the predicate: clauses are
+// sorted (a conjunction is order-independent), so two predicates with
+// the same clause multiset in any order share one key. Attribute names
+// and values are length-prefixed — they may contain any byte, so a
+// separator-based encoding would let distinct predicates collide; the
+// length prefix makes the key a prefix code (the operator spellings
+// between two prefixed fields cannot be confused with one another or
+// with a digit run). The always-true predicate has the key "*". Used
+// by candidate-set memoization.
+func (p Pred) Key() string {
+	if p.IsTrue() {
+		return "*"
+	}
+	cs := make([]Clause, len(p.clauses))
+	copy(cs, p.clauses)
+	sort.Slice(cs, func(i, j int) bool {
+		a, b := cs[i], cs[j]
+		if a.Attr != b.Attr {
+			return a.Attr < b.Attr
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		return a.Value < b.Value
+	})
+	var sb strings.Builder
+	for _, c := range cs {
+		sb.WriteString(strconv.Itoa(len(c.Attr)))
+		sb.WriteByte(':')
+		sb.WriteString(c.Attr)
+		sb.WriteString(c.Op.String())
+		sb.WriteString(strconv.Itoa(len(c.Value)))
+		sb.WriteByte(':')
+		sb.WriteString(c.Value)
+	}
+	return sb.String()
 }
 
 // ---- satisfiability and implication -------------------------------------
@@ -418,7 +465,7 @@ func (p Pred) Implies(q Pred) bool {
 // satisfies "x op a".
 func (cs *constraints) implies(op Op, a string) bool {
 	if len(cs.eq) > 0 {
-		return holds(cs.eq[0], op, a)
+		return op.Holds(cs.eq[0], a)
 	}
 	switch op {
 	case Eq:

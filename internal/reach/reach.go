@@ -49,7 +49,18 @@ type Pair struct {
 	From, To graph.NodeID
 }
 
-// Candidates returns the IDs of nodes matching a predicate, in ID order.
+// CandidateSource supplies predicate candidate sets without scanning
+// all nodes — internal/candidx's inverted Index and its engine-shared
+// Memo both implement it. Implementations must return node IDs in
+// ascending order, exactly the nodes Candidates returns; the slice is
+// shared and must be treated as read-only by callers.
+type CandidateSource interface {
+	Candidates(p predicate.Pred) []graph.NodeID
+}
+
+// Candidates returns the IDs of nodes matching a predicate, in ID
+// order, by linear scan. This is the reference evaluation every
+// CandidateSource must agree with.
 func Candidates(g *graph.Graph, p predicate.Pred) []graph.NodeID {
 	return CandidatesAppend(nil, g, p)
 }
@@ -87,20 +98,39 @@ func takeCands(g *graph.Graph, p predicate.Pred) *[]graph.NodeID {
 
 func putCands(buf *[]graph.NodeID) { candPool.Put(buf) }
 
+// candsFrom resolves a predicate's candidates through cs when non-nil
+// (indexed/memoized, shared read-only slice) and by pooled linear scan
+// otherwise. release must be called when the slice is dead.
+func candsFrom(cs CandidateSource, g *graph.Graph, p predicate.Pred) (cands []graph.NodeID, release func()) {
+	if cs != nil {
+		return cs.Candidates(p), func() {}
+	}
+	buf := takeCands(g, p)
+	return *buf, func() { putCands(buf) }
+}
+
 // EvalMatrix evaluates the query with the distance matrix (Section 4,
 // "matrix-based method"). The expression is decomposed into its atoms
 // (each a single-color RQ over dummy nodes); candidate layers are refined
 // from the destination side back to the source side, then answer pairs are
 // enumerated forward through the refined layers.
 func (q Query) EvalMatrix(g *graph.Graph, mx *dist.Matrix) []Pair {
+	return q.EvalMatrixWith(g, mx, nil)
+}
+
+// EvalMatrixWith is EvalMatrix with candidate sets drawn from cs (an
+// inverted index or engine memo) instead of the linear node scan; nil
+// cs falls back to the scan. Answers are identical by the
+// CandidateSource contract.
+func (q Query) EvalMatrixWith(g *graph.Graph, mx *dist.Matrix, cs CandidateSource) []Pair {
 	atoms, ok := dist.Compile(g, q.Expr)
 	if !ok {
 		return nil
 	}
-	cand1p, cand2p := takeCands(g, q.From), takeCands(g, q.To)
-	defer putCands(cand1p)
-	defer putCands(cand2p)
-	cand1, cand2 := *cand1p, *cand2p
+	cand1, rel1 := candsFrom(cs, g, q.From)
+	defer rel1()
+	cand2, rel2 := candsFrom(cs, g, q.To)
+	defer rel2()
 	if len(cand1) == 0 || len(cand2) == 0 {
 		return nil
 	}
@@ -194,14 +224,20 @@ func (q Query) EvalBFS(g *graph.Graph) []Pair {
 // seed bitset and every closure buffer are reused from s, so repeated
 // evaluation on one worker allocates only the answer slice.
 func (q Query) EvalBFSScratch(g *graph.Graph, s *dist.Scratch) []Pair {
+	return q.EvalBFSScratchWith(g, s, nil)
+}
+
+// EvalBFSScratchWith is EvalBFSScratch with candidate sets drawn from
+// cs when non-nil (see CandidateSource) instead of the linear scan.
+func (q Query) EvalBFSScratchWith(g *graph.Graph, s *dist.Scratch, cs CandidateSource) []Pair {
 	atoms, ok := dist.Compile(g, q.Expr)
 	if !ok {
 		return nil
 	}
-	cand1p, cand2p := takeCands(g, q.From), takeCands(g, q.To)
-	defer putCands(cand1p)
-	defer putCands(cand2p)
-	cand1, cand2 := *cand1p, *cand2p
+	cand1, rel1 := candsFrom(cs, g, q.From)
+	defer rel1()
+	cand2, rel2 := candsFrom(cs, g, q.To)
+	defer rel2()
 	if len(cand1) == 0 || len(cand2) == 0 {
 		return nil
 	}
@@ -237,14 +273,22 @@ func (q Query) EvalBiBFS(g *graph.Graph, ca *dist.Cache) []Pair {
 // per-destination backward closures all come from s; in steady state a
 // repeated query allocates nothing but its answer slice.
 func (q Query) EvalBiBFSScratch(g *graph.Graph, ca *dist.Cache, s *dist.Scratch) []Pair {
+	return q.EvalBiBFSScratchWith(g, ca, s, nil)
+}
+
+// EvalBiBFSScratchWith is EvalBiBFSScratch with candidate sets drawn
+// from cs when non-nil (see CandidateSource) instead of the linear
+// scan — the form internal/engine workers call with the engine's
+// shared memo.
+func (q Query) EvalBiBFSScratchWith(g *graph.Graph, ca *dist.Cache, s *dist.Scratch, cs CandidateSource) []Pair {
 	atoms, ok := dist.Compile(g, q.Expr)
 	if !ok {
 		return nil
 	}
-	cand1p, cand2p := takeCands(g, q.From), takeCands(g, q.To)
-	defer putCands(cand1p)
-	defer putCands(cand2p)
-	cand1, cand2 := *cand1p, *cand2p
+	cand1, rel1 := candsFrom(cs, g, q.From)
+	defer rel1()
+	cand2, rel2 := candsFrom(cs, g, q.To)
+	defer rel2()
 	if len(cand1) == 0 || len(cand2) == 0 {
 		return nil
 	}

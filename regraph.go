@@ -37,6 +37,7 @@
 package regraph
 
 import (
+	"regraph/internal/candidx"
 	"regraph/internal/contain"
 	"regraph/internal/dist"
 	"regraph/internal/engine"
@@ -87,6 +88,28 @@ type (
 	// Scratch is a reusable per-worker search arena for the runtime
 	// evaluation primitives; see NewScratch.
 	Scratch = dist.Scratch
+)
+
+// Candidate-index types (see NewCandidateIndex / NewCandidateMemo).
+type (
+	// CandidateSource supplies predicate candidate sets to the
+	// evaluators (RQ.EvalMatrixWith and friends, EvalOptions.Cands)
+	// without scanning all nodes. CandidateIndex and CandidateMemo
+	// implement it; answers must be identical to the linear scan's.
+	CandidateSource = reach.CandidateSource
+	// CandidateIndex is the per-graph attribute inverted index: sorted
+	// posting columns split into numeric and lexicographic value
+	// domains (predicate.Compare's exact semantics), answering a clause
+	// by binary search and a conjunction by bitset intersection in
+	// O(log|V| + k) instead of the O(|V|·clauses) scan. A snapshot —
+	// rebuild (or use CandidateMemo) after mutating the graph.
+	CandidateIndex = candidx.Index
+	// CandidateMemo is an epoch-validated predicate→candidates cache
+	// over a CandidateIndex: repeated predicates are map hits, and any
+	// graph mutation invalidates both index and cache before the next
+	// answer. NewEngine builds one automatically and shares it across
+	// its worker pool.
+	CandidateMemo = candidx.Memo
 )
 
 // Engine types.
@@ -140,6 +163,19 @@ func NewCache(g *Graph, capacity int) *Cache { return dist.NewCache(g, capacity)
 // Scratch arena against the engine's shared Matrix or Cache. The graph
 // must not be mutated while the engine is in use.
 func NewEngine(g *Graph, opts EngineOptions) *Engine { return engine.New(g, opts) }
+
+// NewCandidateIndex builds the attribute inverted index for the
+// graph's current state. Pass it (or a CandidateMemo) to
+// RQ.EvalMatrixWith / RQ.EvalBFSScratchWith / RQ.EvalBiBFSScratchWith
+// or EvalOptions.Cands to replace every O(|V|) predicate scan with an
+// indexed lookup; candidate sets are bit-identical to the scan's.
+func NewCandidateIndex(g *Graph) *CandidateIndex { return candidx.Build(g) }
+
+// NewCandidateMemo wraps a CandidateIndex in a concurrency-safe
+// predicate→candidates cache invalidated by the graph's mutation epoch.
+// Prefer this over a bare index when queries repeat predicates or the
+// graph mutates between queries.
+func NewCandidateMemo(g *Graph) *CandidateMemo { return candidx.NewMemo(g) }
 
 // NewScratch returns an empty search arena. The scratch-accepting
 // evaluation APIs (RQ.EvalBFSScratch, RQ.EvalBiBFSScratch,
