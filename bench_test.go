@@ -81,6 +81,24 @@ func BenchmarkEngineBatch(b *testing.B) { runDriver(b, bench.EngineBatch) }
 
 func BenchmarkEngineBatchMemo(b *testing.B) { runDriver(b, bench.EngineMemo) }
 
+// Streaming session vs RunBatch (ISSUE 4): wall times per configuration
+// plus the retained-answer-bytes side metrics, which are forwarded
+// through ReportMetric so BENCH_session.json records the memory story
+// alongside ns/op.
+func BenchmarkEngineSession(b *testing.B) {
+	env := benchEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := bench.EngineSession(env)
+		if len(tab.Rows) == 0 {
+			b.Fatal("driver produced no rows")
+		}
+		for unit, v := range tab.Metrics {
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
 // Ablations (DESIGN.md §5).
 
 func BenchmarkAblationContainment(b *testing.B) { runDriver(b, bench.AblationContainment) }

@@ -21,11 +21,22 @@
 //
 //	<from predicate> <TAB> <to predicate> <TAB> <expr>
 //
+// With -stream the batch runs through a streaming engine session and
+// each result is printed as one NDJSON line on stdout the moment it
+// completes (completion order, not input order), carrying the request
+// id, the answer-pair count (streamed — pairs are never materialized)
+// and the evaluation latency; the trailing summary goes to stderr so
+// stdout stays machine-readable:
+//
+//	{"id":3,"query":"RQ[...]","pairs":17,"latency_us":412}
+//
 // With -demo the built-in Fig. 1 Essembly graph is used.
 package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +57,7 @@ func main() {
 		expr      = flag.String("expr", "", "RQ: path regular expression (subclass F)")
 		patPath   = flag.String("pattern", "", "PQ: pattern file")
 		batchPath = flag.String("batch", "", "batch of RQs, one per tab-separated line")
+		stream    = flag.Bool("stream", false, "batch: print each result as an NDJSON line the moment it completes")
 		workers   = flag.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
 		useMatrix = flag.Bool("matrix", true, "precompute the distance matrix")
 		candIdx   = flag.Bool("candidx", true, "use the attribute inverted index for predicate candidates (false = O(|V|) scan)")
@@ -57,7 +69,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("graph: %d nodes, %d edges, colors %v\n", g.NumNodes(), g.NumEdges(), g.Colors())
+	banner := os.Stdout
+	if *stream {
+		banner = os.Stderr // keep stdout pure NDJSON in stream mode
+	}
+	fmt.Fprintf(banner, "graph: %d nodes, %d edges, colors %v\n", g.NumNodes(), g.NumEdges(), g.Colors())
 
 	var mx *regraph.Matrix
 	if *useMatrix {
@@ -74,7 +90,7 @@ func main() {
 	}
 	switch {
 	case *batchPath != "":
-		if err := runBatch(g, mx, *batchPath, *workers, *candIdx); err != nil {
+		if err := runBatch(g, mx, *batchPath, *workers, *candIdx, *stream); err != nil {
 			fatal(err)
 		}
 	case *expr != "":
@@ -91,11 +107,94 @@ func main() {
 }
 
 // runBatch parses the batch file and evaluates every query through a
-// resident engine, printing one answer-count line per query.
-func runBatch(g *regraph.Graph, mx *regraph.Matrix, path string, workers int, candIdx bool) error {
-	f, err := os.Open(path)
+// resident engine — buffered (one answer-count line per query, input
+// order) or, with stream, as an NDJSON result stream in completion
+// order.
+func runBatch(g *regraph.Graph, mx *regraph.Matrix, path string, workers int, candIdx, stream bool) error {
+	qs, err := parseBatch(path)
 	if err != nil {
 		return err
+	}
+	e := regraph.NewEngine(g, regraph.EngineOptions{
+		Workers: workers, Matrix: mx, DisableCandidateIndex: !candIdx,
+	})
+	if stream {
+		return streamBatch(e, qs)
+	}
+	t0 := time.Now()
+	results := e.RunRQs(qs)
+	elapsed := time.Since(t0)
+	total := 0
+	for i, pairs := range results {
+		fmt.Printf("%4d  %s: %d pairs\n", i, qs[i], len(pairs))
+		total += len(pairs)
+	}
+	fmt.Printf("batch: %d queries, %d pairs total, %v on %d workers\n",
+		len(qs), total, elapsed.Round(time.Microsecond), e.Workers())
+	return nil
+}
+
+// streamLine is one NDJSON result record of -stream mode.
+type streamLine struct {
+	ID        uint64  `json:"id"`
+	Query     string  `json:"query"`
+	Pairs     int     `json:"pairs"`
+	LatencyUS float64 `json:"latency_us"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// streamBatch submits every query to a session and prints each result
+// the moment it completes. Answers are streamed through per-request
+// Emit counters, so no pair slice is ever materialized: resident answer
+// memory is bounded by the session's in-flight cap regardless of batch
+// size.
+func streamBatch(e *regraph.Engine, qs []regraph.RQ) error {
+	s := e.Open(context.Background(), regraph.SessionOptions{})
+	counts := make([]int, len(qs)) // one owner at a time: the evaluating worker, then the printer
+	go func() {
+		for i := range qs {
+			i := i
+			_, err := s.Submit(context.Background(), regraph.BatchRequest{
+				RQ:   &qs[i],
+				Emit: func(regraph.Pair) bool { counts[i]++; return true },
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rgquery: submit:", err)
+				break
+			}
+		}
+		s.Close()
+	}()
+	enc := json.NewEncoder(os.Stdout)
+	t0 := time.Now()
+	total := 0
+	for r := range s.Results() {
+		line := streamLine{
+			ID:        r.ID,
+			Query:     qs[r.ID].String(),
+			Pairs:     counts[r.ID],
+			LatencyUS: float64(r.Elapsed.Nanoseconds()) / 1e3,
+		}
+		if r.Err != nil {
+			line.Err = r.Err.Error()
+		}
+		total += line.Pairs
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	st := s.Stats()
+	fmt.Fprintf(os.Stderr, "stream: %d queries, %d pairs total, %v wall, p50 %v p95 %v max in-flight %d\n",
+		st.Delivered, total, time.Since(t0).Round(time.Microsecond),
+		st.Latency.P50, st.Latency.P95, st.MaxInFlight)
+	return nil
+}
+
+// parseBatch reads the tab-separated RQ batch format.
+func parseBatch(path string) ([]regraph.RQ, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
 	}
 	defer f.Close()
 	var qs []regraph.RQ
@@ -110,42 +209,29 @@ func runBatch(g *regraph.Graph, mx *regraph.Matrix, path string, workers int, ca
 		}
 		fields := strings.Split(line, "\t")
 		if len(fields) != 3 {
-			return fmt.Errorf("batch: line %d: want 3 tab-separated fields, got %d", lineNo, len(fields))
+			return nil, fmt.Errorf("batch: line %d: want 3 tab-separated fields, got %d", lineNo, len(fields))
 		}
 		fp, err := regraph.ParsePredicate(fields[0])
 		if err != nil {
-			return fmt.Errorf("batch: line %d: from: %w", lineNo, err)
+			return nil, fmt.Errorf("batch: line %d: from: %w", lineNo, err)
 		}
 		tp, err := regraph.ParsePredicate(fields[1])
 		if err != nil {
-			return fmt.Errorf("batch: line %d: to: %w", lineNo, err)
+			return nil, fmt.Errorf("batch: line %d: to: %w", lineNo, err)
 		}
 		re, err := regraph.ParseRegex(fields[2])
 		if err != nil {
-			return fmt.Errorf("batch: line %d: expr: %w", lineNo, err)
+			return nil, fmt.Errorf("batch: line %d: expr: %w", lineNo, err)
 		}
 		qs = append(qs, regraph.RQ{From: fp, To: tp, Expr: re})
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
 	if len(qs) == 0 {
-		return fmt.Errorf("batch: no queries in %s", path)
+		return nil, fmt.Errorf("batch: no queries in %s", path)
 	}
-	e := regraph.NewEngine(g, regraph.EngineOptions{
-		Workers: workers, Matrix: mx, DisableCandidateIndex: !candIdx,
-	})
-	t0 := time.Now()
-	results := e.RunRQs(qs)
-	elapsed := time.Since(t0)
-	total := 0
-	for i, pairs := range results {
-		fmt.Printf("%4d  %s: %d pairs\n", i, qs[i], len(pairs))
-		total += len(pairs)
-	}
-	fmt.Printf("batch: %d queries, %d pairs total, %v on %d workers\n",
-		len(qs), total, elapsed.Round(time.Microsecond), e.Workers())
-	return nil
+	return qs, nil
 }
 
 func loadGraph(path string, demo bool) (*regraph.Graph, error) {

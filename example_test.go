@@ -1,7 +1,9 @@
 package regraph_test
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"regraph"
 )
@@ -109,6 +111,88 @@ func ExampleEngine_RunBatch() {
 	// Output:
 	// query 0: 4 pairs
 	// query 1: 2 pairs
+}
+
+// A streaming session: requests are admitted one at a time under an
+// in-flight bound (Submit blocks when it is reached — back-pressure),
+// answers stream out in completion order tagged with request ids, and
+// cancelling the context would stop in-flight evaluation at the
+// evaluators' checkpoints. Results arrive in completion order; sort by
+// ID to restore submission order.
+func ExampleEngine_Open() {
+	g := regraph.Essembly()
+	eng := regraph.NewEngine(g, regraph.EngineOptions{Workers: 2})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := eng.Open(ctx, regraph.SessionOptions{MaxInFlight: 4})
+
+	queries := []regraph.RQ{
+		{
+			From: regraph.MustPredicate("job = biologist, sp = cloning"),
+			To:   regraph.MustPredicate("job = doctor"),
+			Expr: regraph.MustRegex("fa{2} fn"),
+		},
+		{
+			From: regraph.MustPredicate("job = biologist"),
+			To:   regraph.MustPredicate("job = doctor"),
+			Expr: regraph.MustRegex("fn"),
+		},
+	}
+	go func() {
+		for i := range queries {
+			if _, err := s.Submit(ctx, regraph.BatchRequest{RQ: &queries[i]}); err != nil {
+				return
+			}
+		}
+		s.Close() // stop admission; Results closes once drained
+	}()
+
+	var results []regraph.BatchResult
+	for r := range s.Results() {
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].ID < results[j].ID })
+	for _, r := range results {
+		fmt.Printf("query %d: %d pairs\n", r.ID, len(r.Pairs))
+	}
+	// Output:
+	// query 0: 4 pairs
+	// query 1: 2 pairs
+}
+
+// Submitting with an Emit callback streams the answer pairs from the
+// evaluating worker instead of materializing a slice: the session then
+// holds no answer memory for the request at all, and Stats exposes the
+// serving counters.
+func ExampleSession_Submit() {
+	g := regraph.Essembly()
+	eng := regraph.NewEngine(g, regraph.EngineOptions{Workers: 1})
+	s := eng.Open(context.Background(), regraph.SessionOptions{MaxInFlight: 1})
+
+	q := regraph.RQ{
+		From: regraph.MustPredicate("job = biologist"),
+		To:   regraph.MustPredicate("job = doctor"),
+		Expr: regraph.MustRegex("fn"),
+	}
+	pairs := 0
+	id, err := s.Submit(context.Background(), regraph.BatchRequest{
+		RQ:   &q,
+		Emit: func(regraph.Pair) bool { pairs++; return true },
+	})
+	if err != nil {
+		panic(err)
+	}
+	go s.Close()
+	r := <-s.Results()
+	fmt.Printf("request %d == result %d, streamed %d pairs, materialized %d\n",
+		id, r.ID, pairs, len(r.Pairs))
+	st := s.Stats()
+	fmt.Printf("submitted %d, completed %d, cancelled %d\n",
+		st.Submitted, st.Completed, st.Cancelled)
+	// Output:
+	// request 0 == result 0, streamed 2 pairs, materialized 0
+	// submitted 1, completed 1, cancelled 0
 }
 
 // The scratch-accepting closure API: push a compiled expression forward

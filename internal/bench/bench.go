@@ -158,11 +158,25 @@ type Table struct {
 	Series []string
 	Rows   []Row
 	Notes  []string
+
+	// Metrics are scalar side measurements outside the row/series grid
+	// (e.g. retained bytes), keyed by a space-free unit label so
+	// benchmark wrappers can forward them through b.ReportMetric into
+	// the BENCH_*.json artifacts.
+	Metrics map[string]float64
 }
 
 // Add appends a row.
 func (t *Table) Add(label string, values map[string]float64) {
 	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// Metric records a scalar side measurement (see Metrics).
+func (t *Table) Metric(unit string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = map[string]float64{}
+	}
+	t.Metrics[unit] = v
 }
 
 // Format renders the table as fixed-width text.
@@ -193,6 +207,16 @@ func (t *Table) Format() string {
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	if len(t.Metrics) > 0 {
+		keys := make([]string, 0, len(t.Metrics))
+		for k := range t.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  metric: %s = %s\n", k, formatValue(t.Metrics[k]))
+		}
 	}
 	return b.String()
 }
@@ -238,6 +262,7 @@ func All() []NamedDriver {
 		{"fig12f", Fig12f},
 		{"engine-batch", EngineBatch},
 		{"engine-memo", EngineMemo},
+		{"engine-session", EngineSession},
 		{"ablation-containment", AblationContainment},
 		{"ablation-filter", AblationFilter},
 		{"ablation-incremental", AblationIncremental},

@@ -109,6 +109,12 @@ func (ca *Cache) DistScratch(c graph.ColorID, v1, v2 graph.NodeID, s *Scratch) i
 		defer PutScratch(s)
 	}
 	d := BiDistScratch(ca.g, c, v1, v2, s)
+	if s.Canceled() {
+		// The search was abandoned by a cancelled context bound to s: d is
+		// not necessarily the shortest distance, so it must never enter
+		// the cache (every entry is exact by contract).
+		return d
+	}
 	ca.mu.Lock()
 	if _, ok := ca.entries[key]; !ok {
 		e := &cacheEntry{key: key, d: d}

@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"regraph/internal/graph"
+	"regraph/internal/rex"
+)
+
+func ctxTestGraph() (*graph.Graph, []CAtom) {
+	r := rand.New(rand.NewSource(1))
+	g := graph.New()
+	const n = 300
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), nil)
+	}
+	colors := []string{"a", "b"}
+	for i := 0; i < 1200; i++ {
+		g.AddEdge(graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n)), colors[r.Intn(2)])
+	}
+	atoms, ok := Compile(g, rex.MustParse("a+ b+"))
+	if !ok {
+		panic("compile failed")
+	}
+	return g, atoms
+}
+
+// TestClosureCtxLive: with a live context the ctx variants agree exactly
+// with the plain closures.
+func TestClosureCtxLive(t *testing.T) {
+	g, atoms := ctxTestGraph()
+	s := NewScratch()
+	src := make([]bool, g.NumNodes())
+	src[0], src[17] = true, true
+
+	want := ForwardClosure(g, src, atoms)
+	got, err := ForwardClosureCtx(context.Background(), g, src, atoms, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("forward closure differs at node %d", i)
+		}
+	}
+	wantB := BackwardClosure(g, src, atoms)
+	gotB, err := BackwardClosureCtx(context.Background(), g, src, atoms, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantB {
+		if wantB[i] != gotB[i] {
+			t.Fatalf("backward closure differs at node %d", i)
+		}
+	}
+}
+
+// TestClosureCtxCancelled: a dead context aborts the search with its
+// error, and the arena is left unbound (a later plain call works).
+func TestClosureCtxCancelled(t *testing.T) {
+	g, atoms := ctxTestGraph()
+	s := NewScratch()
+	src := make([]bool, g.NumNodes())
+	src[0] = true
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := ForwardClosureCtx(ctx, g, src, atoms, s); err != context.Canceled {
+		t.Fatalf("forward: err = %v, want context.Canceled", err)
+	}
+	if _, err := BackwardClosureCtx(ctx, g, src, atoms, s); err != context.Canceled {
+		t.Fatalf("backward: err = %v, want context.Canceled", err)
+	}
+	if _, err := BiDistCtx(ctx, g, graph.AnyColor, 0, 5, s); err != context.Canceled {
+		t.Fatalf("bidist: err = %v, want context.Canceled", err)
+	}
+	// The binding must not leak into subsequent plain calls on the arena.
+	if s.Canceled() {
+		t.Fatal("arena still reports cancelled after unbind")
+	}
+	want := ForwardClosure(g, src, atoms)
+	got := ForwardClosureScratch(g, src, atoms, s)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("post-cancel plain closure differs at node %d", i)
+		}
+	}
+}
+
+// TestCacheDistCtxNoPollution: a cancelled miss must not store a
+// (possibly wrong) distance; the next lookup recomputes and agrees with
+// the uncached search.
+func TestCacheDistCtxNoPollution(t *testing.T) {
+	g, _ := ctxTestGraph()
+	ca := NewCache(g, 64)
+	s := NewScratch()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := ca.DistCtx(ctx, graph.AnyColor, 3, 250, s); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if hits, misses := ca.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("stats after cancelled miss: hits=%d misses=%d", hits, misses)
+	}
+	want := BiDist(g, graph.AnyColor, 3, 250)
+	got, err := ca.DistCtx(context.Background(), graph.AnyColor, 3, 250, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("post-cancel dist = %d, want %d", got, want)
+	}
+	// And the good value is now cached.
+	if d := ca.Dist(graph.AnyColor, 3, 250); d != want {
+		t.Fatalf("cached dist = %d, want %d", d, want)
+	}
+}

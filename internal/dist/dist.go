@@ -21,6 +21,12 @@ import (
 	"regraph/internal/rex"
 )
 
+// cancelMask strides the cancellation checkpoints of the innermost BFS
+// loops: a bound context is polled once per cancelMask+1 node
+// expansions, keeping the checkpoint a mask-and-branch on the hot path
+// while an abandoned query still stops within microseconds.
+const cancelMask = 1<<10 - 1
+
 // CAtom is a compiled subclass-F atom: the interned color layer it runs
 // on and its occurrence bound (rex.Unbounded for "c+").
 type CAtom struct {
@@ -99,6 +105,12 @@ func boundedImageInto(g *graph.Graph, src []bool, a CAtom, forward bool, out []b
 		}
 	}
 	for head := 0; head < len(queue); head++ {
+		if head&cancelMask == cancelMask && s.Canceled() {
+			// Abandoned query: stop expanding. out is garbage from here on;
+			// the evaluator that bound the context discards it.
+			s.queue = queue
+			return
+		}
 		v := queue[head]
 		dv := d[v]
 		if dv >= limit {

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"sync"
 
 	"regraph/internal/graph"
@@ -28,6 +29,13 @@ type Scratch struct {
 	next  []bool
 	seed  []bool   // single-source seed bitset (Seed)
 	free  [][]bool // recycled retainable bitsets (Bitset/Recycle)
+
+	// Cancellation binding (BindContext): while ctx is non-nil, the
+	// search primitives poll it at periodic checkpoints and bail out
+	// early; ctxHit latches the first observed cancellation so later
+	// checks are a plain field read.
+	ctx    context.Context
+	ctxHit bool
 }
 
 // NewScratch returns an empty arena; buffers grow on first use and are
@@ -44,7 +52,53 @@ var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
 func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
 
 // PutScratch returns an arena to the package pool.
-func PutScratch(s *Scratch) { scratchPool.Put(s) }
+func PutScratch(s *Scratch) {
+	// Never park a stale context in the pool: a later borrower must not
+	// inherit another query's cancellation.
+	s.ctx, s.ctxHit = nil, false
+	scratchPool.Put(s)
+}
+
+// BindContext attaches a context to the arena: until the returned
+// function restores the previous binding, the search primitives running
+// on s (the boundedImage BFS loop, the BiDist frontier expansion, the
+// closure chains) poll the context at periodic checkpoints and abandon
+// the search when it is cancelled, leaving garbage in their result
+// buffers. Callers detect that with Canceled and must discard the
+// partial results. Contexts that can never be cancelled (nil,
+// context.Background, context.TODO) are not bound at all, so the
+// checkpoints stay free for non-cancellable evaluation. Always defer
+// the unbind so a pooled or worker-resident arena is never left with a
+// dead query's context.
+func (s *Scratch) BindContext(ctx context.Context) (unbind func()) {
+	prevCtx, prevHit := s.ctx, s.ctxHit
+	if ctx != nil && ctx.Done() != nil {
+		s.ctx = ctx
+	} else {
+		s.ctx = nil
+	}
+	s.ctxHit = false
+	return func() { s.ctx, s.ctxHit = prevCtx, prevHit }
+}
+
+// Canceled reports whether the context bound to the arena has been
+// cancelled, checking it directly (not strided) and latching the first
+// observation. With no binding it is always false. Evaluators call this
+// at loop boundaries and after closure calls to decide whether the
+// buffers they just filled are real answers or abandoned garbage.
+func (s *Scratch) Canceled() bool {
+	if s.ctx == nil {
+		return false
+	}
+	if s.ctxHit {
+		return true
+	}
+	if s.ctx.Err() != nil {
+		s.ctxHit = true
+		return true
+	}
+	return false
+}
 
 // int32Buf returns *buf resized to n, reallocating only on growth.
 func int32Buf(buf *[]int32, n int) []int32 {
@@ -117,6 +171,9 @@ func ForwardClosureScratch(g *graph.Graph, src []bool, atoms []CAtom, s *Scratch
 	clear(cur)
 	copy(cur, src)
 	for _, a := range atoms {
+		if s.Canceled() {
+			return cur
+		}
 		out := boolBuf(&s.next, n)
 		boundedImageInto(g, cur, a, true, out, s)
 		s.cur, s.next = s.next, s.cur
@@ -133,6 +190,9 @@ func BackwardClosureScratch(g *graph.Graph, dst []bool, atoms []CAtom, s *Scratc
 	clear(cur)
 	copy(cur, dst)
 	for i := len(atoms) - 1; i >= 0; i-- {
+		if s.Canceled() {
+			return cur
+		}
 		out := boolBuf(&s.next, n)
 		boundedImageInto(g, cur, atoms[i], false, out, s)
 		s.cur, s.next = s.next, s.cur
@@ -164,13 +224,22 @@ func BiDistScratch(g *graph.Graph, c graph.ColorID, v1, v2 graph.NodeID, s *Scra
 		if best != graph.Unreachable && levF+levB >= best {
 			break
 		}
+		if s.Canceled() {
+			// Abandoned query: best may not be the shortest distance yet.
+			// Callers that bound the context discard it (and the cache
+			// never stores it; see Cache.DistScratch).
+			break
+		}
 		// The adjacency loops are inline (no visitor callbacks) for the
 		// same reason as boundedImageInto: escaping closures were a
 		// per-call allocation on the cache-miss path.
 		forward := len(bwd) == 0 || (len(fwd) > 0 && len(fwd) <= len(bwd))
 		if forward {
 			next := spare[:0]
-			for _, v := range fwd {
+			for i, v := range fwd {
+				if i&cancelMask == cancelMask && s.Canceled() {
+					break
+				}
 				for _, e := range g.Out(v) {
 					if c != graph.AnyColor && e.Color != c {
 						continue
@@ -194,7 +263,10 @@ func BiDistScratch(g *graph.Graph, c graph.ColorID, v1, v2 graph.NodeID, s *Scra
 			levF++
 		} else {
 			next := spare[:0]
-			for _, v := range bwd {
+			for i, v := range bwd {
+				if i&cancelMask == cancelMask && s.Canceled() {
+					break
+				}
 				for _, e := range g.In(v) {
 					if c != graph.AnyColor && e.Color != c {
 						continue

@@ -2,8 +2,16 @@
 // owns a data graph together with its shared distance structures (a
 // precomputed dist.Matrix, or a dist.Cache shared by every worker — the
 // paper's Section 4 explicitly designs the cache to be shared across
-// queries), and evaluates batches of reachability and pattern queries
-// across a bounded worker pool.
+// queries), and evaluates reachability and pattern queries across a
+// bounded worker pool.
+//
+// Queries enter through a Session (Engine.Open): Submit admits requests
+// under a configurable in-flight bound (back-pressure), Results streams
+// answers out in completion order tagged with request ids, and context
+// cancellation stops in-flight evaluators at periodic checkpoints and
+// drains the session without leaking goroutines. RunBatch/RunRQs are
+// convenience wrappers that run one whole batch through a session and
+// materialize every answer.
 //
 // Each worker slot carries a persistent dist.Scratch arena (closure
 // ping-pong buffers, BFS queues, seed bitsets), so a long-running engine
@@ -25,10 +33,10 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
+	"time"
 
 	"regraph/internal/candidx"
 	"regraph/internal/dist"
@@ -145,54 +153,93 @@ func (e *Engine) candSource() reach.CandidateSource {
 	return e.cands
 }
 
-// Request is one query of a batch: exactly one of RQ or PQ must be set.
+// Request is one query of a batch or session: exactly one of RQ or PQ
+// must be set.
 type Request struct {
 	RQ *reach.Query
 	PQ *pattern.Query
+
+	// Emit, when non-nil on an RQ request, streams the answer pairs to
+	// the callback one at a time instead of materializing Result.Pairs —
+	// the Result then only signals completion. The callback runs on the
+	// evaluating worker goroutine, in answer order; returning false stops
+	// the enumeration early. Ignored for PQ requests (pattern answers
+	// are per-edge sets, not a pair stream).
+	Emit func(reach.Pair) bool
 }
 
-// Result is the answer to one Request, at the same batch index. Exactly
-// one of Pairs/Match is populated on success (a nil-able empty Pairs
-// still means success for an RQ with no answers); Err reports malformed
-// requests.
+// Result is the answer to one Request. ID is the originating request's
+// id: the batch index for RunBatch/RunRQs, the Submit-returned id for a
+// session — so every result, including errors, is attributable. Exactly
+// one of Pairs/Match is populated on success (a nil empty Pairs still
+// means success for an RQ with no answers, and Pairs stays nil when the
+// request streamed through Emit); Err reports malformed requests and
+// context cancellation. Elapsed is the evaluation time on the worker,
+// excluding queue wait (zero for requests that never ran).
 type Result struct {
-	Pairs []reach.Pair    // RQ answer
-	Match *pattern.Result // PQ answer
-	Err   error
+	ID      uint64
+	Pairs   []reach.Pair    // RQ answer
+	Match   *pattern.Result // PQ answer
+	Err     error
+	Elapsed time.Duration
 }
 
 // RunBatch evaluates every request and returns the results in request
-// order. Work is distributed over the engine's worker pool; each worker
-// evaluates whole queries with its own scratch arena against the shared
-// Matrix or Cache. RunBatch may be called concurrently from several
-// goroutines; all calls share the engine's concurrency bound.
+// order (Result.ID doubles as the index). Work is distributed over the
+// engine's worker pool; each worker evaluates whole queries with its
+// own scratch arena against the shared Matrix or Cache. RunBatch may be
+// called concurrently from several goroutines; all calls share the
+// engine's concurrency bound. It is a convenience wrapper over a
+// Session that submits everything and materializes every answer at
+// once; arrival-over-time workloads and memory-bounded serving should
+// open a Session directly.
 func (e *Engine) RunBatch(reqs []Request) []Result {
+	return e.RunBatchCtx(context.Background(), reqs)
+}
+
+// RunBatchCtx is RunBatch with cancellation: when ctx is cancelled
+// mid-batch, evaluators stop at their next checkpoint and every
+// not-yet-evaluated request's Result carries ctx's error. The slice is
+// always fully populated, in request order.
+func (e *Engine) RunBatchCtx(ctx context.Context, reqs []Request) []Result {
 	out := make([]Result, len(reqs))
 	if len(reqs) == 0 {
 		return out
 	}
-	workers := e.workers
-	if workers > len(reqs) {
-		workers = len(reqs)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s := <-e.slots
-			defer func() { e.slots <- s }()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(reqs) {
-					return
-				}
-				out[i] = e.run(reqs[i], s)
+	s := e.Open(ctx, SessionOptions{
+		// Enough admission headroom to keep every worker busy while the
+		// collector loop below materializes results, and a small buffer so
+		// workers rarely block on the hand-off; the batch materializes
+		// everything anyway, so the extra resident answers cost nothing.
+		MaxInFlight:  2 * e.workers,
+		ResultBuffer: e.workers,
+	})
+	go func() {
+		for i := range reqs {
+			// Session ids count up from 0 in admission order, and this is
+			// the only submitter: ids coincide with batch indices.
+			if _, err := s.Submit(ctx, reqs[i]); err != nil {
+				break
 			}
-		}()
+		}
+		s.Close()
+	}()
+	seen := make([]bool, len(reqs))
+	for r := range s.Results() {
+		out[r.ID] = r
+		seen[r.ID] = true
 	}
-	wg.Wait()
+	for i, ok := range seen {
+		if !ok {
+			// Cancelled before submission or dropped after cancellation:
+			// still attributable, still an explicit error.
+			err := ctx.Err()
+			if err == nil {
+				err = context.Canceled
+			}
+			out[i] = Result{ID: uint64(i), Err: err}
+		}
+	}
 	return out
 }
 
@@ -210,20 +257,45 @@ func (e *Engine) RunRQs(qs []reach.Query) [][]reach.Pair {
 	return out
 }
 
-// run evaluates one request on one worker's arena.
-func (e *Engine) run(r Request, s *dist.Scratch) Result {
+// runCtx evaluates one request on one worker's arena, with ctx threaded
+// into the evaluators' cancellation checkpoints.
+func (e *Engine) runCtx(ctx context.Context, r Request, s *dist.Scratch) Result {
 	switch {
 	case r.RQ != nil && r.PQ != nil:
 		return Result{Err: fmt.Errorf("engine: request sets both RQ and PQ")}
 	case r.RQ != nil:
-		if e.mx != nil {
-			return Result{Pairs: r.RQ.EvalMatrixWith(e.g, e.mx, e.candSource())}
+		if r.Emit != nil {
+			var err error
+			if e.mx != nil {
+				err = r.RQ.StreamMatrix(ctx, e.g, e.mx, e.candSource(), r.Emit)
+			} else {
+				err = r.RQ.StreamBiBFS(ctx, e.g, e.cache, s, e.candSource(), r.Emit)
+			}
+			return Result{Err: err}
 		}
-		return Result{Pairs: r.RQ.EvalBiBFSScratchWith(e.g, e.cache, s, e.candSource())}
+		var pairs []reach.Pair
+		collect := func(p reach.Pair) bool {
+			pairs = append(pairs, p)
+			return true
+		}
+		var err error
+		if e.mx != nil {
+			err = r.RQ.StreamMatrix(ctx, e.g, e.mx, e.candSource(), collect)
+		} else {
+			err = r.RQ.StreamBiBFS(ctx, e.g, e.cache, s, e.candSource(), collect)
+		}
+		if err != nil {
+			return Result{Err: err}
+		}
+		return Result{Pairs: pairs}
 	case r.PQ != nil:
-		return Result{Match: pattern.JoinMatch(e.g, r.PQ, pattern.Options{
+		match, err := pattern.JoinMatchCtx(ctx, e.g, r.PQ, pattern.Options{
 			Matrix: e.mx, Cache: e.cache, Scratch: s, Cands: e.candSource(),
-		})}
+		})
+		if err != nil {
+			return Result{Err: err}
+		}
+		return Result{Match: match}
 	default:
 		return Result{Err: fmt.Errorf("engine: empty request")}
 	}

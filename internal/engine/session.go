@@ -1,0 +1,331 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"regraph/internal/dist"
+	"regraph/internal/metrics"
+)
+
+// ErrSessionClosed is returned by Submit after Close (or after the
+// session's context was cancelled and the session drained).
+var ErrSessionClosed = errors.New("engine: session closed")
+
+// SessionOptions configures Engine.Open.
+type SessionOptions struct {
+	// MaxInFlight bounds admission: at most this many requests may be
+	// past Submit and not yet handed to the Results consumer. Submit
+	// blocks (back-pressure) once the bound is reached. Because a
+	// request's answer is materialized only while it is in flight, this
+	// bound also caps the session's resident answer memory at
+	// MaxInFlight (+ ResultBuffer) answers. Zero or negative means twice
+	// the engine's worker count.
+	MaxInFlight int
+
+	// ResultBuffer sizes the Results channel. Zero (the default) makes
+	// result hand-off synchronous: a worker holds its finished answer
+	// until the consumer receives it, which is the strictest memory
+	// bound. A small buffer decouples workers from a consumer that does
+	// per-result work, at the cost of up to ResultBuffer extra resident
+	// answers.
+	ResultBuffer int
+}
+
+// submission is one accepted request travelling to a session worker.
+type submission struct {
+	id  uint64
+	req Request
+}
+
+// Session is a streaming query session over an Engine: requests arrive
+// one at a time through Submit (which blocks once MaxInFlight answers
+// are outstanding — admission control), finished answers stream out of
+// Results in completion order, tagged with their request ids, and
+// cancelling the context passed to Engine.Open stops in-flight
+// evaluation at the evaluators' cancellation checkpoints.
+//
+// Lifecycle contract:
+//
+//   - Submit may be called from any number of goroutines.
+//   - The consumer should range over Results until it is closed; it
+//     closes after Close has been called (or the context cancelled) and
+//     every accepted request has produced its Result.
+//   - Close stops admission, waits for in-flight work to drain into
+//     Results, and then releases the session. A graceful Close therefore
+//     requires a concurrent Results consumer; after cancellation Close
+//     never blocks on the consumer.
+//   - After cancellation, every accepted request still gets a Result
+//     (evaluated ones carry answers, abandoned ones carry ctx's error),
+//     but delivery becomes best-effort: results a departed consumer
+//     never picks up are dropped (counted in Stats().Dropped) rather
+//     than leaking the worker.
+//
+// A Session never leaks goroutines: its workers exit once the session
+// is closed or cancelled and the queue is drained, whether or not the
+// consumer is still reading.
+type Session struct {
+	e      *Engine
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	maxInFlight int
+	queue       chan submission
+	results     chan Result
+	inflight    chan struct{} // admission tokens; released on delivery
+
+	mu     sync.Mutex
+	closed bool
+	nextID uint64
+
+	wg   sync.WaitGroup
+	done chan struct{} // closed after results is closed
+
+	submitted  metrics.Counter
+	completed  metrics.Counter
+	cancelled  metrics.Counter
+	failed     metrics.Counter
+	delivered  metrics.Counter
+	dropped    metrics.Counter
+	inFlight   metrics.Gauge // admitted, result not yet handed over
+	queueDepth metrics.Gauge // admitted, not yet picked up by a worker
+	latency    metrics.Latency
+}
+
+// SessionStats is a point-in-time snapshot of a session's counters and
+// gauges (see Session.Stats).
+type SessionStats struct {
+	// Submitted counts requests accepted by Submit. Completed counts
+	// evaluations that produced an answer, Cancelled those abandoned by
+	// context cancellation, Failed malformed requests. Delivered counts
+	// Results handed to the consumer (or its buffer); Dropped counts
+	// post-cancellation results no consumer picked up.
+	Submitted, Completed, Cancelled, Failed uint64
+	Delivered, Dropped                      uint64
+
+	// InFlight is the current number of admitted requests whose results
+	// have not yet been handed over; QueueDepth is how many of those are
+	// still waiting for a worker. MaxInFlight echoes the admission bound.
+	InFlight, QueueDepth, MaxInFlight int
+
+	// Latency summarizes per-query evaluation time (queue wait excluded).
+	Latency metrics.LatencySnapshot
+}
+
+// Open starts a streaming session on the engine. Cancelling ctx aborts
+// the session: in-flight evaluators stop at their next cancellation
+// checkpoint, queued requests are failed with ctx's error, and Results
+// closes once everything accepted has been accounted for. See Session
+// for the full lifecycle contract.
+func (e *Engine) Open(ctx context.Context, opts SessionOptions) *Session {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m := opts.MaxInFlight
+	if m <= 0 {
+		m = 2 * e.workers
+	}
+	rb := opts.ResultBuffer
+	if rb < 0 {
+		rb = 0
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Session{
+		e:           e,
+		ctx:         sctx,
+		cancel:      cancel,
+		maxInFlight: m,
+		// queue capacity equals the admission bound: a Submit that holds a
+		// token always finds queue space, so the only blocking point is
+		// token acquisition.
+		queue:    make(chan submission, m),
+		results:  make(chan Result, rb),
+		inflight: make(chan struct{}, m),
+		done:     make(chan struct{}),
+	}
+	workers := e.workers
+	if workers > m {
+		workers = m
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	// Monitor: a cancelled context must end the session even if Close is
+	// never called, or workers would block on the queue forever.
+	go func() {
+		select {
+		case <-sctx.Done():
+			s.closeQueue()
+		case <-s.done:
+		}
+	}()
+	// Finisher: Results closes exactly when every accepted request has
+	// been accounted for and no worker can send anymore.
+	go func() {
+		s.wg.Wait()
+		close(s.results)
+		close(s.done)
+	}()
+	return s
+}
+
+// Submit hands one request to the session and returns its id (ids count
+// up from 0 in admission order). It blocks while MaxInFlight results
+// are outstanding, until ctx or the session's context is cancelled, or
+// the session is closed. The returned id tags the request's Result.
+//
+// For a Request with an Emit callback, pairs are streamed to the
+// callback from the evaluating worker goroutine and the final Result
+// carries no Pairs slice — the session then holds no answer memory for
+// that request at all.
+func (s *Session) Submit(ctx context.Context, req Request) (uint64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case s.inflight <- struct{}{}:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-s.ctx.Done():
+		return 0, ErrSessionClosed
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.inflight
+		return 0, ErrSessionClosed
+	}
+	id := s.nextID
+	s.nextID++
+	// Count before the enqueue: a worker may complete and deliver the
+	// request the moment it is queued, and the Stats invariants
+	// (Delivered+Dropped <= Submitted at every instant) must hold in any
+	// snapshot.
+	s.submitted.Inc()
+	s.inFlight.Add(1)
+	s.queueDepth.Add(1)
+	// Guaranteed not to block: the token bounds outstanding submissions
+	// by the queue's capacity, and the send happens under the same lock
+	// closeQueue takes, so the channel cannot close mid-send.
+	s.queue <- submission{id: id, req: req}
+	s.mu.Unlock()
+	return id, nil
+}
+
+// Results is the stream of answers, in completion order (not submission
+// order — use Result.ID to correlate). The channel closes once the
+// session is closed or cancelled and every accepted request has been
+// accounted for.
+func (s *Session) Results() <-chan Result {
+	return s.results
+}
+
+// Close stops admission, waits until every accepted request's Result
+// has been delivered (drain the Results channel concurrently!) and
+// releases the session. Safe to call more than once and after
+// cancellation; always returns nil.
+func (s *Session) Close() error {
+	s.closeQueue()
+	<-s.done
+	s.cancel()
+	return nil
+}
+
+// Stats returns a point-in-time snapshot of the session's metrics.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		Submitted:   s.submitted.Load(),
+		Completed:   s.completed.Load(),
+		Cancelled:   s.cancelled.Load(),
+		Failed:      s.failed.Load(),
+		Delivered:   s.delivered.Load(),
+		Dropped:     s.dropped.Load(),
+		InFlight:    int(s.inFlight.Load()),
+		QueueDepth:  int(s.queueDepth.Load()),
+		MaxInFlight: s.maxInFlight,
+		Latency:     s.latency.Snapshot(),
+	}
+}
+
+// closeQueue stops admission exactly once; workers then exit as soon as
+// the queue drains.
+func (s *Session) closeQueue() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+}
+
+// worker consumes submissions until the queue is closed and drained.
+// Each request is evaluated on an engine slot's scratch arena with the
+// session context bound, so cancellation reaches the innermost BFS
+// loops; the admission token is released only after the Result has been
+// handed over, which is what makes MaxInFlight a resident-answer bound.
+func (s *Session) worker() {
+	defer s.wg.Done()
+	for sub := range s.queue {
+		s.queueDepth.Add(-1)
+		s.deliver(s.process(sub))
+		<-s.inflight
+		s.inFlight.Add(-1)
+	}
+}
+
+// process evaluates one submission (or fails it fast when the session
+// context is already dead).
+func (s *Session) process(sub submission) Result {
+	if err := s.ctx.Err(); err != nil {
+		s.cancelled.Inc()
+		return Result{ID: sub.id, Err: err}
+	}
+	var sc *dist.Scratch
+	select {
+	case sc = <-s.e.slots:
+	case <-s.ctx.Done():
+		// Never got a worker slot: the query is abandoned without having
+		// burnt any evaluation time.
+		s.cancelled.Inc()
+		return Result{ID: sub.id, Err: s.ctx.Err()}
+	}
+	t0 := time.Now()
+	r := s.e.runCtx(s.ctx, sub.req, sc)
+	s.e.slots <- sc
+	r.ID = sub.id
+	r.Elapsed = time.Since(t0)
+	switch {
+	case r.Err == nil:
+		s.completed.Inc()
+		s.latency.Observe(r.Elapsed)
+	case errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded):
+		s.cancelled.Inc()
+	default:
+		s.failed.Inc()
+	}
+	return r
+}
+
+// deliver hands a Result to the consumer. Before cancellation the send
+// blocks — that, plus the admission token released after it, is the
+// session's back-pressure. After cancellation the consumer may be gone,
+// so delivery degrades to one non-blocking attempt and the result is
+// otherwise dropped (counted); workers never block on a departed
+// consumer.
+func (s *Session) deliver(r Result) {
+	select {
+	case s.results <- r:
+		s.delivered.Inc()
+		return
+	case <-s.ctx.Done():
+	}
+	select {
+	case s.results <- r:
+		s.delivered.Inc()
+	default:
+		s.dropped.Inc()
+	}
+}

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := g.Load(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+}
+
+func TestLatencySnapshot(t *testing.T) {
+	var l Latency
+	if s := l.Snapshot(); s.Count != 0 {
+		t.Fatalf("empty snapshot count = %d", s.Count)
+	}
+	// 90 fast observations and 10 slow ones: the quantiles must separate
+	// them (bucket upper bounds are within 2x).
+	for i := 0; i < 90; i++ {
+		l.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		l.Observe(50 * time.Millisecond)
+	}
+	s := l.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Min != 100*time.Microsecond || s.Max != 50*time.Millisecond {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	wantMean := (90*100*time.Microsecond + 10*50*time.Millisecond) / 100
+	if s.Mean != wantMean {
+		t.Errorf("mean = %v, want %v", s.Mean, wantMean)
+	}
+	if s.P50 > time.Millisecond {
+		t.Errorf("p50 = %v, want <= 1ms (fast cluster)", s.P50)
+	}
+	if s.P99 < 10*time.Millisecond {
+		t.Errorf("p99 = %v, want >= 10ms (slow cluster)", s.P99)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Errorf("quantiles not monotone: %v %v %v", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestLatencyConcurrent(t *testing.T) {
+	var l Latency
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				l.Observe(time.Duration(k+1) * time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := l.Snapshot()
+	if s.Count != 2000 {
+		t.Errorf("count = %d, want 2000", s.Count)
+	}
+	if s.Min != time.Millisecond || s.Max != 4*time.Millisecond {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+}

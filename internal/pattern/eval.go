@@ -1,6 +1,8 @@
 package pattern
 
 import (
+	"context"
+
 	"regraph/internal/dist"
 	"regraph/internal/graph"
 	"regraph/internal/predicate"
@@ -139,17 +141,28 @@ type checker interface {
 }
 
 // matrixChecker: every normalized edge is a single atom; each pair check
-// is an O(1) matrix lookup, so the Join is O(|mat(u')|·|mat(u)|).
+// is an O(1) matrix lookup, so the Join is O(|mat(u')|·|mat(u)|). The
+// scratch is carried only for its cancellation binding: one refineSrc
+// sweep can be |V|·|V| lookups, the fixpoint's longest uninterruptible
+// stretch in matrix mode.
 type matrixChecker struct {
 	mx    *dist.Matrix
 	edges []normEdge
+	s     *dist.Scratch
 }
 
 func (c *matrixChecker) refineSrc(ei int, src, tgt []bool) (changed, nonEmpty bool) {
 	a := c.edges[ei].atom
+	seen := 0
 	for x := range src {
 		if !src[x] {
 			continue
+		}
+		seen++
+		if seen&255 == 0 && c.s.Canceled() {
+			// Abandoned evaluation: stop refining. The fixpoint loop
+			// re-checks the binding before using this partial answer.
+			return changed, true
 		}
 		keep := false
 		for y := range tgt {
@@ -190,6 +203,9 @@ func (c *searchChecker) refineSrc(ei int, src, tgt []bool) (changed, nonEmpty bo
 			if !src[x] {
 				continue
 			}
+			if c.scratch.Canceled() {
+				return changed, true
+			}
 			keep := false
 			for y := range tgt {
 				if tgt[y] && a.Sat(c.cache.DistScratch(a.Color, graph.NodeID(x), graph.NodeID(y), c.scratch)) {
@@ -207,6 +223,12 @@ func (c *searchChecker) refineSrc(ei int, src, tgt []bool) (changed, nonEmpty bo
 		return changed, nonEmpty
 	}
 	img := dist.BackwardClosureScratch(c.g, tgt, atoms, c.scratch)
+	if c.scratch.Canceled() {
+		// img is garbage from an abandoned closure; refining against it
+		// would prune wrongly. Report "no change" and let the fixpoint
+		// loop observe the cancellation.
+		return false, true
+	}
 	for x := range src {
 		if !src[x] {
 			continue
@@ -230,34 +252,54 @@ func (c *searchChecker) refineSrc(ei int, src, tgt []bool) (changed, nonEmpty bo
 // iterates to a fixpoint. Runs in O(|E'p| |V|^2) after preprocessing when
 // a distance matrix is used.
 func JoinMatch(g *graph.Graph, q *Query, opts Options) *Result {
+	res, _ := JoinMatchCtx(nil, g, q, opts)
+	return res
+}
+
+// JoinMatchCtx is JoinMatch with cancellation: the context is bound to
+// the evaluation's scratch arena, so the fixpoint loop, every per-edge
+// refinement sweep and every runtime-search closure under it observe
+// cancellation at periodic checkpoints. On cancellation the result is
+// nil and ctx's error is returned; a nil or non-cancellable ctx makes
+// the checkpoints free and the error always nil.
+func JoinMatchCtx(ctx context.Context, g *graph.Graph, q *Query, opts Options) (*Result, error) {
 	if q.NumEdges() == 0 {
 		// Degenerate pattern: only node conditions; the answer has no edge
 		// sets, so it is empty unless we report node matches — the paper
 		// defines answers per edge, so an edgeless pattern yields the
 		// empty answer.
-		return &Result{}
+		return &Result{}, nil
 	}
 	useMatrix := opts.Matrix != nil
 	nq, chains, ok := normalize(g, q, useMatrix)
 	if !ok {
-		return &Result{}
+		return &Result{}, nil
 	}
 	s, release := opts.scratch()
 	defer release()
+	unbind := s.BindContext(ctx)
+	defer unbind()
 	var ck checker
 	if useMatrix {
-		ck = &matrixChecker{mx: opts.Matrix, edges: nq.edges}
+		ck = &matrixChecker{mx: opts.Matrix, edges: nq.edges, s: s}
 	} else {
 		ck = &searchChecker{g: g, cache: opts.Cache, chains: chains, scratch: s}
 	}
 	mats := initialMats(g, nq, opts.Cands)
 	if mats == nil {
-		return &Result{}
+		return &Result{}, nil
 	}
-	if !refine(g, nq, ck, mats, opts.DisableTopoOrder) {
-		return &Result{}
+	if !refine(g, nq, ck, mats, opts.DisableTopoOrder, s) {
+		if s.Canceled() {
+			return nil, ctx.Err()
+		}
+		return &Result{}, nil
 	}
-	return collect(g, q, nq, chains, mats, opts, s)
+	res := collect(g, q, nq, chains, mats, opts, s)
+	if s.Canceled() {
+		return nil, ctx.Err()
+	}
+	return res, nil
 }
 
 // initialMats computes mat(u) = {x | x matches fv(u)} as bitsets; nil if
@@ -323,8 +365,9 @@ func initialMats(g *graph.Graph, nq *normQuery, cs reach.CandidateSource) [][]bo
 // refine runs the fixpoint of Fig. 7 (lines 6-14): components of the
 // pattern in reverse topological order; within each component, every edge
 // whose target lost matches re-triggers its sources. Returns false when
-// some match set empties.
-func refine(g *graph.Graph, nq *normQuery, ck checker, mats [][]bool, noOrder bool) bool {
+// some match set empties — or when the context bound to s is cancelled,
+// which callers distinguish via s.Canceled().
+func refine(g *graph.Graph, nq *normQuery, ck checker, mats [][]bool, noOrder bool, s *dist.Scratch) bool {
 	var comps [][]int
 	if noOrder {
 		// Ablation mode: one flat "component" holding every node, i.e. a
@@ -361,6 +404,9 @@ func refine(g *graph.Graph, nq *normQuery, ck checker, mats [][]bool, noOrder bo
 			}
 		}
 		for len(queue) > 0 {
+			if s.Canceled() {
+				return false
+			}
 			ei := queue[0]
 			queue = queue[1:]
 			queued[ei] = false
@@ -385,7 +431,9 @@ func refine(g *graph.Graph, nq *normQuery, ck checker, mats [][]bool, noOrder bo
 }
 
 // collect builds the final Se sets (Fig. 7 lines 15-17) from the match
-// sets of the original nodes.
+// sets of the original nodes. On cancellation (observed through s's
+// binding) the partial result is meaningless; callers must check
+// s.Canceled() before using it.
 func collect(g *graph.Graph, q *Query, nq *normQuery, chains [][]dist.CAtom, mats [][]bool, opts Options, s *dist.Scratch) *Result {
 	res := &Result{q: q, Sets: make([][]reach.Pair, q.NumEdges())}
 	for ei := 0; ei < q.NumEdges(); ei++ {
@@ -396,9 +444,14 @@ func collect(g *graph.Graph, q *Query, nq *normQuery, chains [][]dist.CAtom, mat
 		var pairs []reach.Pair
 		if len(atoms) == 1 {
 			a := atoms[0]
+			seen := 0
 			for x := range from {
 				if !from[x] {
 					continue
+				}
+				seen++
+				if seen&255 == 0 && s.Canceled() {
+					return &Result{}
 				}
 				for y := range to {
 					if !to[y] {
@@ -429,6 +482,9 @@ func collect(g *graph.Graph, q *Query, nq *normQuery, chains [][]dist.CAtom, mat
 				seed[x] = true
 				fc := dist.ForwardClosureScratch(g, seed, atoms, s)
 				seed[x] = false
+				if s.Canceled() {
+					return &Result{}
+				}
 				for y := range to {
 					if to[y] && fc[y] {
 						pairs = append(pairs, reach.Pair{From: graph.NodeID(x), To: graph.NodeID(y)})

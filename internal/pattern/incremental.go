@@ -38,7 +38,7 @@ type Incremental struct {
 	q      *Query
 	nq     *normQuery
 	chains [][]dist.CAtom
-	ck     checker
+	ck     *searchChecker
 	mats   [][]bool // nil when the current answer is empty
 	// relevantColors[c] reports whether color c occurs in some chain;
 	// anyWildcard is set when some atom is the wildcard.
@@ -137,7 +137,7 @@ func (inc *Incremental) analyze() {
 // graph evaluate through JoinMatch with Options.Cands instead.
 func (inc *Incremental) full() {
 	mats := initialMats(inc.g, inc.nq, nil)
-	if mats == nil || !refine(inc.g, inc.nq, inc.ck, mats, false) {
+	if mats == nil || !refine(inc.g, inc.nq, inc.ck, mats, false, inc.ck.scratch) {
 		inc.mats = nil
 		return
 	}
@@ -227,7 +227,7 @@ func (inc *Incremental) InsertEdge(from, to graph.NodeID, color string) {
 	if !changedAny {
 		return
 	}
-	if !refine(inc.g, inc.nq, inc.ck, inc.mats, false) {
+	if !refine(inc.g, inc.nq, inc.ck, inc.mats, false, inc.ck.scratch) {
 		inc.mats = nil
 	}
 }
@@ -264,7 +264,7 @@ func (inc *Incremental) DeleteEdge(from, to graph.NodeID, color string) error {
 	if inc.mats == nil || !inc.relevant(color) {
 		return nil
 	}
-	if !refine(inc.g, inc.nq, inc.ck, inc.mats, false) {
+	if !refine(inc.g, inc.nq, inc.ck, inc.mats, false, inc.ck.scratch) {
 		inc.mats = nil
 	}
 	return nil

@@ -1,6 +1,8 @@
 package pattern
 
 import (
+	"context"
+
 	"regraph/internal/graph"
 )
 
@@ -16,25 +18,36 @@ import (
 // computes; the block structure shares refinement work between pattern
 // nodes with overlapping match sets.
 func SplitMatch(g *graph.Graph, q *Query, opts Options) *Result {
+	res, _ := SplitMatchCtx(nil, g, q, opts)
+	return res
+}
+
+// SplitMatchCtx is SplitMatch with cancellation, under the same contract
+// as JoinMatchCtx: checkpoints in the partition-refinement worklist loop
+// and in every search primitive below it; nil result and ctx's error on
+// cancellation.
+func SplitMatchCtx(ctx context.Context, g *graph.Graph, q *Query, opts Options) (*Result, error) {
 	if q.NumEdges() == 0 {
-		return &Result{}
+		return &Result{}, nil
 	}
 	useMatrix := opts.Matrix != nil
 	nq, chains, ok := normalize(g, q, useMatrix)
 	if !ok {
-		return &Result{}
+		return &Result{}, nil
 	}
 	s, release := opts.scratch()
 	defer release()
+	unbind := s.BindContext(ctx)
+	defer unbind()
 	var ck checker
 	if useMatrix {
-		ck = &matrixChecker{mx: opts.Matrix, edges: nq.edges}
+		ck = &matrixChecker{mx: opts.Matrix, edges: nq.edges, s: s}
 	} else {
 		ck = &searchChecker{g: g, cache: opts.Cache, chains: chains, scratch: s}
 	}
 	mats := initialMats(g, nq, opts.Cands)
 	if mats == nil {
-		return &Result{}
+		return &Result{}, nil
 	}
 	st := newSplitState(g.NumNodes(), nq, mats)
 
@@ -47,6 +60,9 @@ func SplitMatch(g *graph.Graph, q *Query, opts Options) *Result {
 		queued[ei] = true
 	}
 	for len(queue) > 0 {
+		if s.Canceled() {
+			return nil, ctx.Err()
+		}
 		ei := queue[0]
 		queue = queue[1:]
 		queued[ei] = false
@@ -63,7 +79,10 @@ func SplitMatch(g *graph.Graph, q *Query, opts Options) *Result {
 		}
 		if !nonEmpty {
 			s.Recycle(work)
-			return &Result{}
+			if s.Canceled() {
+				return nil, ctx.Err()
+			}
+			return &Result{}, nil
 		}
 		rmv := s.Bitset(len(work))
 		for v := range work {
@@ -84,7 +103,11 @@ func SplitMatch(g *graph.Graph, q *Query, opts Options) *Result {
 			}
 		}
 	}
-	return collect(g, q, nq, chains, mats, opts, s)
+	res := collect(g, q, nq, chains, mats, opts, s)
+	if s.Canceled() {
+		return nil, ctx.Err()
+	}
+	return res, nil
 }
 
 // splitState is the partition-relation pair <par, rel>: a partition of the

@@ -123,53 +123,28 @@ func (q Query) EvalMatrix(g *graph.Graph, mx *dist.Matrix) []Pair {
 // cs falls back to the scan. Answers are identical by the
 // CandidateSource contract.
 func (q Query) EvalMatrixWith(g *graph.Graph, mx *dist.Matrix, cs CandidateSource) []Pair {
-	atoms, ok := dist.Compile(g, q.Expr)
-	if !ok {
-		return nil
-	}
-	cand1, rel1 := candsFrom(cs, g, q.From)
-	defer rel1()
-	cand2, rel2 := candsFrom(cs, g, q.To)
-	defer rel2()
-	if len(cand1) == 0 || len(cand2) == 0 {
-		return nil
-	}
-	h := len(atoms)
-	// layers[i] is the match set of the i-th dummy node: nodes from which
-	// atoms[i:] can reach some destination candidate. layers[h] = cand2.
-	layers := make([][]graph.NodeID, h+1)
-	layers[h] = cand2
-	var all []graph.NodeID
-	for i := h - 1; i >= 0; i-- {
-		var from []graph.NodeID
-		if i == 0 {
-			from = cand1
-		} else {
-			if all == nil {
-				all = allNodes(g)
-			}
-			from = all
-		}
-		layers[i] = refineLayer(mx, atoms[i], from, layers[i+1])
-		if len(layers[i]) == 0 {
-			return nil
-		}
-	}
-	// Forward enumeration: for each surviving source, walk the layers.
 	var out []Pair
-	for _, x := range layers[0] {
-		for _, y := range forwardImage(mx, atoms, x, layers) {
-			out = append(out, Pair{x, y})
-		}
-	}
+	// A nil context disables every checkpoint, so the materializing path
+	// pays nothing for the shared streaming implementation.
+	_ = q.StreamMatrix(nil, g, mx, cs, func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
 	return out
 }
 
 // refineLayer returns the nodes in from that satisfy the atom towards some
-// node in to, using O(1) matrix lookups.
-func refineLayer(mx *dist.Matrix, a dist.CAtom, from, to []graph.NodeID) []graph.NodeID {
+// node in to, using O(1) matrix lookups. The context probe runs every 256
+// sources — a refinement layer over all nodes is the matrix method's
+// longest uninterruptible stretch.
+func refineLayer(mx *dist.Matrix, a dist.CAtom, from, to []graph.NodeID, cc ctxCheck) ([]graph.NodeID, error) {
 	var out []graph.NodeID
-	for _, x := range from {
+	for i, x := range from {
+		if i&255 == 255 {
+			if err := cc.err(); err != nil {
+				return nil, err
+			}
+		}
 		for _, y := range to {
 			if a.SatMatrix(mx, x, y) {
 				out = append(out, x)
@@ -177,7 +152,7 @@ func refineLayer(mx *dist.Matrix, a dist.CAtom, from, to []graph.NodeID) []graph
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // forwardImage walks the refined layers from a single source, returning
@@ -230,29 +205,11 @@ func (q Query) EvalBFSScratch(g *graph.Graph, s *dist.Scratch) []Pair {
 // EvalBFSScratchWith is EvalBFSScratch with candidate sets drawn from
 // cs when non-nil (see CandidateSource) instead of the linear scan.
 func (q Query) EvalBFSScratchWith(g *graph.Graph, s *dist.Scratch, cs CandidateSource) []Pair {
-	atoms, ok := dist.Compile(g, q.Expr)
-	if !ok {
-		return nil
-	}
-	cand1, rel1 := candsFrom(cs, g, q.From)
-	defer rel1()
-	cand2, rel2 := candsFrom(cs, g, q.To)
-	defer rel2()
-	if len(cand1) == 0 || len(cand2) == 0 {
-		return nil
-	}
 	var out []Pair
-	seed := s.Seed(g.NumNodes())
-	for _, x := range cand1 {
-		seed[x] = true
-		res := dist.ForwardClosureScratch(g, seed, atoms, s)
-		seed[x] = false
-		for _, y := range cand2 {
-			if res[y] {
-				out = append(out, Pair{x, y})
-			}
-		}
-	}
+	_ = q.StreamBFS(nil, g, s, cs, func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
 	return out
 }
 
@@ -281,58 +238,11 @@ func (q Query) EvalBiBFSScratch(g *graph.Graph, ca *dist.Cache, s *dist.Scratch)
 // scan — the form internal/engine workers call with the engine's
 // shared memo.
 func (q Query) EvalBiBFSScratchWith(g *graph.Graph, ca *dist.Cache, s *dist.Scratch, cs CandidateSource) []Pair {
-	atoms, ok := dist.Compile(g, q.Expr)
-	if !ok {
-		return nil
-	}
-	cand1, rel1 := candsFrom(cs, g, q.From)
-	defer rel1()
-	cand2, rel2 := candsFrom(cs, g, q.To)
-	defer rel2()
-	if len(cand1) == 0 || len(cand2) == 0 {
-		return nil
-	}
 	var out []Pair
-	if len(atoms) == 1 && ca != nil {
-		for _, x := range cand1 {
-			for _, y := range cand2 {
-				if atoms[0].Sat(ca.DistScratch(atoms[0].Color, x, y, s)) {
-					out = append(out, Pair{x, y})
-				}
-			}
-		}
-		return out
-	}
-	n := g.NumNodes()
-	mid := len(atoms) / 2
-	// Backward closures of the suffix per destination are retained (in
-	// recycled bitsets); the forward closure of the prefix is then
-	// streamed one source at a time and intersected immediately, so only
-	// one forward buffer is ever live.
-	bwd := takeBitsetList(len(cand2))
-	defer putBitsetList(bwd)
-	seed := s.Seed(n)
-	for j, y := range cand2 {
-		seed[y] = true
-		res := dist.BackwardClosureScratch(g, seed, atoms[mid:], s)
-		seed[y] = false
-		b := s.Bitset(n)
-		copy(b, res)
-		(*bwd)[j] = b
-	}
-	for _, x := range cand1 {
-		seed[x] = true
-		fwd := dist.ForwardClosureScratch(g, seed, atoms[:mid], s)
-		seed[x] = false
-		for j, y := range cand2 {
-			if intersects(fwd, (*bwd)[j]) {
-				out = append(out, Pair{x, y})
-			}
-		}
-	}
-	for _, b := range *bwd {
-		s.Recycle(b)
-	}
+	_ = q.StreamBiBFS(nil, g, ca, s, cs, func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
 	return out
 }
 

@@ -121,12 +121,33 @@ type (
 	// EngineOptions configures NewEngine: worker count and the shared
 	// distance structure (Matrix, Cache, or an auto-created cache).
 	EngineOptions = engine.Options
-	// BatchRequest is one query of an Engine batch: exactly one of its
-	// RQ/PQ fields must be set.
+	// BatchRequest is one query of an Engine batch or Session: exactly
+	// one of its RQ/PQ fields must be set. Setting its Emit callback on
+	// an RQ streams the answer pairs instead of materializing them.
 	BatchRequest = engine.Request
-	// BatchResult is the answer to one BatchRequest, at the same index.
+	// BatchResult is the answer to one BatchRequest, tagged with the
+	// originating request id (the batch index for RunBatch, the
+	// Submit-returned id for a Session) and the evaluation latency.
 	BatchResult = engine.Result
+	// Session is a streaming query session over an Engine (see
+	// Engine.Open): Submit admits requests under an in-flight bound
+	// (back-pressure), Results streams answers in completion order, and
+	// context cancellation stops in-flight evaluators at periodic
+	// checkpoints and drains without goroutine leaks.
+	Session = engine.Session
+	// SessionOptions configures Engine.Open: the admission bound
+	// (MaxInFlight, which also caps resident answer memory) and the
+	// Results buffer.
+	SessionOptions = engine.SessionOptions
+	// SessionStats is a Session.Stats snapshot: submission/completion/
+	// cancellation counters, in-flight and queue-depth gauges, and a
+	// per-query latency summary.
+	SessionStats = engine.SessionStats
 )
+
+// ErrSessionClosed is returned by Session.Submit after Close (or after
+// the session's context was cancelled and the session drained).
+var ErrSessionClosed = engine.ErrSessionClosed
 
 // NewGraph returns an empty data graph.
 func NewGraph() *Graph { return graph.New() }
@@ -157,11 +178,13 @@ func NewMatrix(g *Graph) *Matrix { return dist.NewMatrix(g) }
 // matrix.
 func NewCache(g *Graph, capacity int) *Cache { return dist.NewCache(g, capacity) }
 
-// NewEngine builds a resident query engine over g: batches of RQs and
-// PQs submitted through Engine.RunBatch are evaluated concurrently
-// across a bounded worker pool, every worker reusing a persistent
-// Scratch arena against the engine's shared Matrix or Cache. The graph
-// must not be mutated while the engine is in use.
+// NewEngine builds a resident query engine over g: RQs and PQs are
+// evaluated concurrently across a bounded worker pool, every worker
+// reusing a persistent Scratch arena against the engine's shared
+// Matrix or Cache. Engine.Open starts a streaming Session
+// (Submit/Results with back-pressure and context cancellation);
+// Engine.RunBatch evaluates one whole batch at a time. The graph must
+// not be mutated while the engine is in use.
 func NewEngine(g *Graph, opts EngineOptions) *Engine { return engine.New(g, opts) }
 
 // NewCandidateIndex builds the attribute inverted index for the
