@@ -99,6 +99,24 @@ func BenchmarkEngineSession(b *testing.B) {
 	}
 }
 
+// HTTP/NDJSON serving layer vs in-process session (ISSUE 5): wall times
+// for the same count-only batch both ways, plus the wire-overhead
+// factor forwarded through ReportMetric so BENCH_server.json records it
+// alongside ns/op.
+func BenchmarkServerThroughput(b *testing.B) {
+	env := benchEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := bench.ServerThroughput(env)
+		if len(tab.Rows) == 0 {
+			b.Fatal("driver produced no rows")
+		}
+		for unit, v := range tab.Metrics {
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
 // Ablations (DESIGN.md §5).
 
 func BenchmarkAblationContainment(b *testing.B) { runDriver(b, bench.AblationContainment) }

@@ -22,13 +22,19 @@
 //	<from predicate> <TAB> <to predicate> <TAB> <expr>
 //
 // With -stream the batch runs through a streaming engine session and
-// each result is printed as one NDJSON line on stdout the moment it
-// completes (completion order, not input order), carrying the request
-// id, the answer-pair count (streamed — pairs are never materialized)
-// and the evaluation latency; the trailing summary goes to stderr so
-// stdout stays machine-readable:
+// each result is printed as one NDJSON line (the wire format of
+// internal/wire) on stdout the moment it completes (completion order,
+// not input order), carrying the request id, the answer-pair count
+// (streamed — pairs are never materialized) and the evaluation latency;
+// the trailing summary goes to stderr so stdout stays machine-readable:
 //
-//	{"id":3,"query":"RQ[...]","pairs":17,"latency_us":412}
+//	{"id":3,"kind":"rq","query":"RQ[...]","count":17,"latency_us":412}
+//
+// With -remote URL the query does not run locally at all: the batch (or
+// the single -from/-to/-expr query, or the -pattern file) is streamed
+// as NDJSON request lines to URL/v1/query on an rgserve instance and
+// the server's response lines are passed through to stdout as they
+// arrive.
 //
 // With -demo the built-in Fig. 1 Essembly graph is used.
 package main
@@ -36,7 +42,6 @@ package main
 import (
 	"bufio"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +51,7 @@ import (
 	"regraph"
 	"regraph/internal/graph"
 	"regraph/internal/qlang"
+	"regraph/internal/wire"
 )
 
 func main() {
@@ -58,12 +64,20 @@ func main() {
 		patPath   = flag.String("pattern", "", "PQ: pattern file")
 		batchPath = flag.String("batch", "", "batch of RQs, one per tab-separated line")
 		stream    = flag.Bool("stream", false, "batch: print each result as an NDJSON line the moment it completes")
+		remote    = flag.String("remote", "", "rgserve base URL: run the queries over the wire instead of locally")
 		workers   = flag.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
 		useMatrix = flag.Bool("matrix", true, "precompute the distance matrix")
 		candIdx   = flag.Bool("candidx", true, "use the attribute inverted index for predicate candidates (false = O(|V|) scan)")
 		minimize  = flag.Bool("minimize", false, "PQ: minimize before evaluating")
 	)
 	flag.Parse()
+
+	if *remote != "" {
+		if err := runRemote(*remote, *batchPath, *patPath, *from, *to, *expr); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	g, err := loadGraph(*graphPath, *demo)
 	if err != nil {
@@ -106,6 +120,79 @@ func main() {
 	}
 }
 
+// ---- remote mode -----------------------------------------------------------
+
+// runRemote ships the requested queries to an rgserve instance as
+// NDJSON request lines (internal/wire) and passes the server's response
+// lines through to stdout as they arrive. The upload is a pipe, so the
+// server's admission bound back-pressures request production too.
+func runRemote(base, batchPath, patPath, from, to, expr string) error {
+	reqs, err := remoteRequests(batchPath, patPath, from, to, expr)
+	if err != nil {
+		return err
+	}
+	// Pass lines through verbatim, tallying a stderr summary.
+	t0 := time.Now()
+	results, errors, pairs := 0, 0, 0
+	err = wire.PostStream(strings.TrimRight(base, "/")+"/v1/query", reqs,
+		func(raw []byte, r *wire.Response) error {
+			os.Stdout.Write(raw)
+			os.Stdout.Write([]byte{'\n'})
+			results++
+			pairs += r.Count
+			if r.Err != "" {
+				errors++
+			}
+			return nil
+		})
+	if err != nil {
+		return fmt.Errorf("remote: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "remote: %d results (%d errors), %d pairs total, %v wall\n",
+		results, errors, pairs, time.Since(t0).Round(time.Microsecond))
+	return nil
+}
+
+// remoteRequests builds the wire request lines for remote mode. Query
+// text is shipped verbatim — parsing (and per-line parse errors) happen
+// server-side, exactly as for any other client.
+func remoteRequests(batchPath, patPath, from, to, expr string) ([]wire.Request, error) {
+	switch {
+	case batchPath != "":
+		var reqs []wire.Request
+		err := forEachBatchLine(batchPath, func(lineNo int, line string) error {
+			from, to, qexpr, err := qlang.SplitRQLine(line)
+			if err != nil {
+				return fmt.Errorf("batch: line %d: %w", lineNo, err)
+			}
+			id := uint64(len(reqs))
+			reqs = append(reqs, wire.Request{
+				ID: &id,
+				RQ: &wire.RQSpec{From: from, To: to, Expr: qexpr},
+			})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return reqs, nil
+	case patPath != "":
+		text, err := os.ReadFile(patPath)
+		if err != nil {
+			return nil, err
+		}
+		id := uint64(0)
+		return []wire.Request{{ID: &id, PQ: string(text)}}, nil
+	case expr != "":
+		id := uint64(0)
+		return []wire.Request{{ID: &id, RQ: &wire.RQSpec{From: from, To: to, Expr: expr}}}, nil
+	default:
+		return nil, fmt.Errorf("-remote needs -batch, -pattern or -expr")
+	}
+}
+
+// ---- local modes -----------------------------------------------------------
+
 // runBatch parses the batch file and evaluates every query through a
 // resident engine — buffered (one answer-count line per query, input
 // order) or, with stream, as an NDJSON result stream in completion
@@ -134,23 +221,15 @@ func runBatch(g *regraph.Graph, mx *regraph.Matrix, path string, workers int, ca
 	return nil
 }
 
-// streamLine is one NDJSON result record of -stream mode.
-type streamLine struct {
-	ID        uint64  `json:"id"`
-	Query     string  `json:"query"`
-	Pairs     int     `json:"pairs"`
-	LatencyUS float64 `json:"latency_us"`
-	Err       string  `json:"err,omitempty"`
-}
-
 // streamBatch submits every query to a session and prints each result
-// the moment it completes. Answers are streamed through per-request
-// Emit counters, so no pair slice is ever materialized: resident answer
+// the moment it completes, as a wire.Response NDJSON line — the same
+// schema rgserve speaks. Answers are streamed through per-request Emit
+// counters, so no pair slice is ever materialized: resident answer
 // memory is bounded by the session's in-flight cap regardless of batch
 // size.
 func streamBatch(e *regraph.Engine, qs []regraph.RQ) error {
 	s := e.Open(context.Background(), regraph.SessionOptions{})
-	counts := make([]int, len(qs)) // one owner at a time: the evaluating worker, then the printer
+	counts := make([]int64, len(qs)) // one owner at a time: the evaluating worker, then the printer
 	go func() {
 		for i := range qs {
 			i := i
@@ -165,20 +244,13 @@ func streamBatch(e *regraph.Engine, qs []regraph.RQ) error {
 		}
 		s.Close()
 	}()
-	enc := json.NewEncoder(os.Stdout)
+	enc := wire.NewEncoder(os.Stdout)
 	t0 := time.Now()
 	total := 0
 	for r := range s.Results() {
-		line := streamLine{
-			ID:        r.ID,
-			Query:     qs[r.ID].String(),
-			Pairs:     counts[r.ID],
-			LatencyUS: float64(r.Elapsed.Nanoseconds()) / 1e3,
-		}
-		if r.Err != nil {
-			line.Err = r.Err.Error()
-		}
-		total += line.Pairs
+		line := wire.FromResult(r, "rq", nil, int(counts[r.ID]))
+		line.Query = qs[r.ID].String()
+		total += line.Count
 		if err := enc.Encode(line); err != nil {
 			return err
 		}
@@ -190,48 +262,53 @@ func streamBatch(e *regraph.Engine, qs []regraph.RQ) error {
 	return nil
 }
 
-// parseBatch reads the tab-separated RQ batch format.
+// parseBatch reads the tab-separated RQ batch format (qlang.ParseRQLine).
 func parseBatch(path string) ([]regraph.RQ, error) {
-	f, err := os.Open(path)
+	var qs []regraph.RQ
+	err := forEachBatchLine(path, func(lineNo int, line string) error {
+		q, err := qlang.ParseRQLine(line)
+		if err != nil {
+			return fmt.Errorf("batch: line %d: %w", lineNo, err)
+		}
+		qs = append(qs, q)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	return qs, nil
+}
+
+// forEachBatchLine scans a -batch file and calls fn for every
+// non-blank, non-comment line — the one owner of the file conventions
+// (1MiB line bound, '#' comments) for local and remote batch modes.
+func forEachBatchLine(path string, fn func(lineNo int, line string) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
 	defer f.Close()
-	var qs []regraph.RQ
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20) // generated predicates can exceed the 64KiB default
-	lineNo := 0
+	lineNo, queries := 0, 0
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		fields := strings.Split(line, "\t")
-		if len(fields) != 3 {
-			return nil, fmt.Errorf("batch: line %d: want 3 tab-separated fields, got %d", lineNo, len(fields))
+		if err := fn(lineNo, line); err != nil {
+			return err
 		}
-		fp, err := regraph.ParsePredicate(fields[0])
-		if err != nil {
-			return nil, fmt.Errorf("batch: line %d: from: %w", lineNo, err)
-		}
-		tp, err := regraph.ParsePredicate(fields[1])
-		if err != nil {
-			return nil, fmt.Errorf("batch: line %d: to: %w", lineNo, err)
-		}
-		re, err := regraph.ParseRegex(fields[2])
-		if err != nil {
-			return nil, fmt.Errorf("batch: line %d: expr: %w", lineNo, err)
-		}
-		qs = append(qs, regraph.RQ{From: fp, To: tp, Expr: re})
+		queries++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	if len(qs) == 0 {
-		return nil, fmt.Errorf("batch: no queries in %s", path)
+	if queries == 0 {
+		return fmt.Errorf("batch: no queries in %s", path)
 	}
-	return qs, nil
+	return nil
 }
 
 func loadGraph(path string, demo bool) (*regraph.Graph, error) {
@@ -250,19 +327,10 @@ func loadGraph(path string, demo bool) (*regraph.Graph, error) {
 }
 
 func runRQ(g *regraph.Graph, mx *regraph.Matrix, cands regraph.CandidateSource, from, to, expr string) error {
-	fp, err := regraph.ParsePredicate(from)
+	q, err := qlang.ParseRQ(from, to, expr)
 	if err != nil {
-		return fmt.Errorf("-from: %w", err)
+		return err
 	}
-	tp, err := regraph.ParsePredicate(to)
-	if err != nil {
-		return fmt.Errorf("-to: %w", err)
-	}
-	re, err := regraph.ParseRegex(expr)
-	if err != nil {
-		return fmt.Errorf("-expr: %w", err)
-	}
-	q := regraph.RQ{From: fp, To: tp, Expr: re}
 	var pairs []regraph.Pair
 	if mx != nil {
 		pairs = q.EvalMatrixWith(g, mx, cands)

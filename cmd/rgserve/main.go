@@ -1,0 +1,115 @@
+// Command rgserve serves a data graph as an HTTP query service speaking
+// the NDJSON wire format of internal/wire (see internal/server for the
+// endpoint contract).
+//
+//	rgserve -demo -addr :8080
+//	rgserve -graph g.tsv -addr :8080 -workers 8 -stream-timeout 30s
+//
+// Query it by streaming NDJSON request lines to POST /v1/query:
+//
+//	curl -sN -X POST --data-binary @queries.ndjson localhost:8080/v1/query
+//	curl -s localhost:8080/v1/stats
+//
+// or with cmd/rgquery's -remote mode:
+//
+//	rgquery -remote http://localhost:8080 -batch queries.tsv
+//
+// On SIGINT/SIGTERM the server drains: new streams are refused, live
+// ones run to completion, and after -drain-timeout any stragglers'
+// sessions are cancelled (their remaining requests answered with
+// context errors) before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"regraph"
+	"regraph/internal/graph"
+	"regraph/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		graphPath     = flag.String("graph", "", "graph file (TSV, see graph.WriteTSV)")
+		demo          = flag.Bool("demo", false, "use the built-in Fig. 1 Essembly graph")
+		workers       = flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
+		useMatrix     = flag.Bool("matrix", true, "precompute the distance matrix")
+		candIdx       = flag.Bool("candidx", true, "build the attribute inverted index")
+		maxInFlight   = flag.Int("maxinflight", 0, "per-stream admission bound (0 = 2x workers)")
+		streamTimeout = flag.Duration("stream-timeout", 0, "max duration of one query stream (0 = none)")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *demo)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "rgserve: graph: %d nodes, %d edges, colors %v\n",
+		g.NumNodes(), g.NumEdges(), g.Colors())
+
+	var mx *regraph.Matrix
+	if *useMatrix {
+		t0 := time.Now()
+		mx = regraph.NewMatrix(g)
+		fmt.Fprintf(os.Stderr, "rgserve: distance matrix built in %v\n", time.Since(t0).Round(time.Millisecond))
+	}
+	e := regraph.NewEngine(g, regraph.EngineOptions{
+		Workers: *workers, Matrix: mx, DisableCandidateIndex: !*candIdx,
+	})
+	srv := server.New(e, server.Options{
+		MaxInFlight:   *maxInFlight,
+		StreamTimeout: *streamTimeout,
+	})
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	fmt.Fprintf(os.Stderr, "rgserve: listening on %s (%d workers, matrix=%v)\n", *addr, e.Workers(), mx != nil)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "rgserve: %v: draining (budget %v)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "rgserve: forced shutdown: %v\n", err)
+		}
+		st := srv.Stats()
+		fmt.Fprintf(os.Stderr, "rgserve: served %d streams, %d queries (%d completed, %d cancelled, %d failed), p95 %v\n",
+			st.StreamsTotal, st.Submitted, st.Completed, st.Cancelled, st.Failed, st.Latency.P95)
+	}
+}
+
+func loadGraph(path string, demo bool) (*regraph.Graph, error) {
+	if demo {
+		return regraph.Essembly(), nil
+	}
+	if path == "" {
+		return nil, fmt.Errorf("need -graph FILE or -demo")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadTSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rgserve:", err)
+	os.Exit(1)
+}

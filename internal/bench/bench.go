@@ -263,6 +263,7 @@ func All() []NamedDriver {
 		{"engine-batch", EngineBatch},
 		{"engine-memo", EngineMemo},
 		{"engine-session", EngineSession},
+		{"server-throughput", ServerThroughput},
 		{"ablation-containment", AblationContainment},
 		{"ablation-filter", AblationFilter},
 		{"ablation-incremental", AblationIncremental},

@@ -100,11 +100,17 @@ func bucketOf(d time.Duration) int {
 
 // LatencySnapshot is a point-in-time summary of a Latency histogram.
 // Quantiles are upper bounds from the bucket boundaries (within 2× of
-// the true value by construction).
+// the true value by construction). The JSON form (used by the HTTP
+// service's /v1/stats) carries durations as integer nanoseconds, Go's
+// native time.Duration encoding.
 type LatencySnapshot struct {
-	Count          uint64
-	Mean, Min, Max time.Duration
-	P50, P95, P99  time.Duration
+	Count uint64        `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
 }
 
 // Snapshot summarizes the histogram. Concurrent Observe calls may be

@@ -55,10 +55,27 @@ type Clause struct {
 // String renders the clause in the syntax accepted by Parse.
 func (c Clause) String() string {
 	v := c.Value
-	if strings.ContainsAny(v, " ,\"") {
+	if needsQuoting(v) {
 		v = strconv.Quote(v)
 	}
 	return c.Attr + " " + c.Op.String() + " " + v
+}
+
+// needsQuoting reports whether a value must be rendered quoted to
+// round-trip through Parse — and, just as important, through the
+// line- and tab-oriented formats that embed predicates (qlang files,
+// rgquery batch lines, the NDJSON wire): any whitespace or control
+// character, clause-syntax metacharacters, or the empty string.
+func needsQuoting(v string) bool {
+	if v == "" {
+		return true
+	}
+	for _, r := range v {
+		if r <= ' ' || r == ',' || r == '"' || r == 0x7f {
+			return true
+		}
+	}
+	return false
 }
 
 // Pred is a conjunction of clauses. The zero value is the always-true
@@ -131,6 +148,9 @@ func MustParse(input string) Pred {
 }
 
 // splitClauses splits on commas that are not inside double quotes.
+// Inside quotes, a backslash escapes the next character (the encoding
+// strconv.Quote emits and strconv.Unquote reads), so escaped quotes do
+// not end the quoted region.
 func splitClauses(s string) []string {
 	var parts []string
 	depth := false
@@ -139,6 +159,10 @@ func splitClauses(s string) []string {
 		switch s[i] {
 		case '"':
 			depth = !depth
+		case '\\':
+			if depth && i+1 < len(s) {
+				i++
+			}
 		case ',':
 			if !depth {
 				parts = append(parts, s[start:i])
@@ -162,13 +186,29 @@ func parseClause(s string) (Clause, error) {
 	}
 	for _, cand := range ops {
 		idx := strings.Index(s, cand.text)
+		// A bare '<' or '>' that is really the start of "<="/">=" is not
+		// this candidate's operator: skip past such occurrences, so a
+		// malformed "a <=" (no value) errors instead of misparsing as
+		// a < "=".
+		for idx > 0 && len(cand.text) == 1 && (cand.text == "<" || cand.text == ">") &&
+			idx+1 < len(s) && s[idx+1] == '=' {
+			next := strings.Index(s[idx+2:], cand.text)
+			if next < 0 {
+				idx = -1
+			} else {
+				idx += 2 + next
+			}
+		}
 		if idx <= 0 {
 			continue
 		}
 		attr := strings.TrimSpace(s[:idx])
 		val := strings.TrimSpace(s[idx+len(cand.text):])
-		if attr == "" || val == "" {
-			return Clause{}, fmt.Errorf("predicate: malformed clause %q", s)
+		if !validAttr(attr) || val == "" {
+			// This operator occurrence is not the clause's operator (it may
+			// sit inside a quoted value, as in `a = "x<=y"`): try the next
+			// candidate rather than committing to a malformed split.
+			continue
 		}
 		if len(val) >= 2 && val[0] == '"' && val[len(val)-1] == '"' {
 			unq, err := strconv.Unquote(val)
@@ -180,6 +220,22 @@ func parseClause(s string) (Clause, error) {
 		return Clause{Attr: attr, Op: cand.op, Value: val}, nil
 	}
 	return Clause{}, fmt.Errorf("predicate: no comparison operator in %q", s)
+}
+
+// validAttr restricts attribute names to whitespace- and quote-free
+// tokens: anything else cannot round-trip through the line-oriented
+// formats (and, in practice, only ever arises from misparsing an
+// operator character inside a quoted value).
+func validAttr(a string) bool {
+	if a == "" {
+		return false
+	}
+	for _, r := range a {
+		if r <= ' ' || r == '"' || r == 0x7f {
+			return false
+		}
+	}
+	return true
 }
 
 // ---- evaluation ---------------------------------------------------------

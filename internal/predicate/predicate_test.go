@@ -40,7 +40,10 @@ func TestParseAndString(t *testing.T) {
 }
 
 func TestParseErrors(t *testing.T) {
-	for _, in := range []string{"job", "= doctor", "job =", "job ~ doctor", "a = 1, , b = 2"} {
+	// "job <=" / "job >=" pin the operator scan: a two-byte operator with
+	// no value must not re-match as the one-byte prefix with value "=".
+	for _, in := range []string{"job", "= doctor", "job =", "job ~ doctor", "a = 1, , b = 2",
+		"job <=", "job >=", "job !=", "a b = c"} {
 		if _, err := Parse(in); err == nil {
 			t.Errorf("Parse(%q): expected error", in)
 		}

@@ -1,0 +1,62 @@
+package qlang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePattern drives the pattern parser with arbitrary text: it
+// must never panic, and anything it accepts must survive a
+// WritePattern→ParsePattern round trip unchanged (the serving layer
+// relies on this — wire PQ requests are qlang text). Seed corpus in
+// testdata/fuzz/FuzzParsePattern runs on every plain `go test`.
+func FuzzParsePattern(f *testing.F) {
+	f.Add("node A\t*\nnode B\tjob = doctor\nedge A B\tfn+")
+	f.Add("# comment\nnode C   job = biologist, sp = cloning\nnode D   uid = Alice001\nedge C D   fa{2} sa{2}")
+	f.Add("node X\ta = \"quoted, value\"\nedge X X\t_{3}")
+	f.Add("edge A B fn")  // edge before node: error
+	f.Add("node\n")       // missing name: error
+	f.Add("garbage line") // unknown record: error
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := ParsePatternString(input)
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if err := WritePattern(&b, q); err != nil {
+			t.Fatalf("WritePattern on accepted query: %v", err)
+		}
+		q2, err := ParsePatternString(b.String())
+		if err != nil {
+			t.Fatalf("round trip rejected:\n%s\nerr: %v", b.String(), err)
+		}
+		if q.String() != q2.String() {
+			t.Fatalf("round trip changed the query:\n%s\nvs\n%s", q, q2)
+		}
+	})
+}
+
+// FuzzParseRQLine drives the tab-separated RQ parser: no panics, and
+// accepted queries round-trip through WriteRQLine.
+func FuzzParseRQLine(f *testing.F) {
+	f.Add("*\t*\tfn")
+	f.Add("job = doctor\tjob = biologist, sp = cloning\tfa{2} fn")
+	f.Add("a = \"tabs\tin quotes\"\t*\t_+")
+	f.Add("too\tfew")
+	f.Add("not a query at all")
+	f.Add("*\t*\t")
+	f.Fuzz(func(t *testing.T, line string) {
+		q, err := ParseRQLine(line)
+		if err != nil {
+			return
+		}
+		q2, err := ParseRQLine(WriteRQLine(q))
+		if err != nil {
+			t.Fatalf("round trip rejected %q: %v", WriteRQLine(q), err)
+		}
+		if q.String() != q2.String() {
+			t.Fatalf("round trip changed the query: %s vs %s", q, q2)
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package qlang
+
+import (
+	"fmt"
+	"strings"
+
+	"regraph/internal/predicate"
+	"regraph/internal/reach"
+	"regraph/internal/rex"
+)
+
+// This file is the RQ half of the text syntax: a reachability query is
+// three fields — source predicate, destination predicate, path
+// expression — written either as separate strings (the wire protocol's
+// "rq" object, rgquery's -from/-to/-expr flags) or as one tab-separated
+// line (rgquery's -batch files). Parse errors name the offending field
+// so a service can surface them per request line.
+
+// ParseRQ parses the three text fields of a reachability query. Either
+// predicate may be "*" (or empty) for always-true; the expression must
+// be a non-empty subclass-F regex.
+func ParseRQ(from, to, expr string) (reach.Query, error) {
+	fp, err := predicate.Parse(from)
+	if err != nil {
+		return reach.Query{}, fmt.Errorf("qlang: rq from: %v", err)
+	}
+	tp, err := predicate.Parse(to)
+	if err != nil {
+		return reach.Query{}, fmt.Errorf("qlang: rq to: %v", err)
+	}
+	re, err := rex.Parse(expr)
+	if err != nil {
+		return reach.Query{}, fmt.Errorf("qlang: rq expr: %v", err)
+	}
+	return reach.Query{From: fp, To: tp, Expr: re}, nil
+}
+
+// SplitRQLine splits one "from<TAB>to<TAB>expr" batch line into its
+// three raw text fields without parsing them — the single owner of the
+// field rule, shared by local parsing (ParseRQLine) and remote clients
+// that ship the fields verbatim. The line must contain exactly three
+// tab-separated fields — predicates may contain spaces, so only tabs
+// separate fields here.
+func SplitRQLine(line string) (from, to, expr string, err error) {
+	fields := strings.Split(line, "\t")
+	if len(fields) != 3 {
+		return "", "", "", fmt.Errorf("qlang: rq line: want 3 tab-separated fields, got %d", len(fields))
+	}
+	return fields[0], fields[1], fields[2], nil
+}
+
+// ParseRQLine parses one tab-separated batch line (the format of
+// rgquery -batch files; see WriteRQLine for the inverse).
+func ParseRQLine(line string) (reach.Query, error) {
+	from, to, expr, err := SplitRQLine(line)
+	if err != nil {
+		return reach.Query{}, err
+	}
+	return ParseRQ(from, to, expr)
+}
+
+// WriteRQLine renders a query in the tab-separated line format
+// ParseRQLine reads. Predicate and expression String() forms round-trip
+// through their parsers, so WriteRQLine∘ParseRQLine is the identity on
+// parsed queries.
+func WriteRQLine(q reach.Query) string {
+	return q.From.String() + "\t" + q.To.String() + "\t" + q.Expr.String()
+}

@@ -1,0 +1,68 @@
+package qlang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRQ(t *testing.T) {
+	q, err := ParseRQ("job = doctor", "*", "fa{2} fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.String(); got != "RQ[job = doctor --fa{2} fn--> *]" {
+		t.Errorf("parsed query renders %q", got)
+	}
+	// Empty predicates are always-true, like "*".
+	q2, err := ParseRQ("", "", "fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q2.From.IsTrue() || !q2.To.IsTrue() {
+		t.Error("empty predicates must parse as always-true")
+	}
+}
+
+// TestParseRQErrorsNameTheField: a service surfaces these verbatim, so
+// each error must say which of the three fields was bad.
+func TestParseRQErrorsNameTheField(t *testing.T) {
+	cases := []struct{ from, to, expr, want string }{
+		{"nope", "*", "fn", "rq from"},
+		{"*", "nope", "fn", "rq to"},
+		{"*", "*", "((", "rq expr"},
+		{"*", "*", "", "rq expr"},
+	}
+	for _, c := range cases {
+		_, err := ParseRQ(c.from, c.to, c.expr)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseRQ(%q,%q,%q): err %v, want mention of %q", c.from, c.to, c.expr, err, c.want)
+		}
+	}
+}
+
+func TestParseRQLineRoundTrip(t *testing.T) {
+	lines := []string{
+		"*\t*\tfn",
+		"job = doctor\tjob = biologist, sp = cloning\tfa{2} fn",
+		`cat = "Film & Animation", com <= 20	*	ic{2} dc+`,
+	}
+	for _, line := range lines {
+		q, err := ParseRQLine(line)
+		if err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+		q2, err := ParseRQLine(WriteRQLine(q))
+		if err != nil {
+			t.Fatalf("round trip of %q: %v", line, err)
+		}
+		if q.String() != q2.String() {
+			t.Errorf("round trip changed %q: %s vs %s", line, q, q2)
+		}
+	}
+	if _, err := ParseRQLine("only two\tfields"); err == nil {
+		t.Error("two fields must be rejected")
+	}
+	if _, err := ParseRQLine("a\tb\tc\td"); err == nil {
+		t.Error("four fields must be rejected")
+	}
+}

@@ -1,0 +1,371 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"regraph/internal/engine"
+	"regraph/internal/server"
+	"regraph/internal/wire"
+)
+
+// Stress and lifecycle tests: run them under -race. They mirror PR 4's
+// session cancel tests at the HTTP layer — concurrent clients on one
+// engine, mid-stream client disconnects and server shutdown, all
+// checked for goroutine leaks and well-formed partial output.
+
+// leakCheck records the goroutine count and returns a function that
+// fails the test if the count has not returned to the baseline once the
+// test's servers and clients are torn down.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= baseline {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				t.Fatalf("goroutine leak: %d now, %d at start\n%s", n, baseline,
+					buf[:runtime.Stack(buf, true)])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// tolerantDecode reads response lines until the stream errors or ends:
+// partial output after a cancellation must consist of complete,
+// well-formed lines, but the stream itself may end abruptly.
+func tolerantDecode(t *testing.T, r io.Reader) []wire.Response {
+	t.Helper()
+	var out []wire.Response
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), wire.MaxResponseLineBytes)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var resp wire.Response
+		if err := json.Unmarshal([]byte(line), &resp); err != nil {
+			t.Fatalf("partial output contains a malformed line %q: %v", line, err)
+		}
+		out = append(out, resp)
+	}
+	return out // a read error just ends the partial stream
+}
+
+// TestServerConcurrentClients: several clients stream distinct mixed
+// batches into one engine at once; every client must get exactly its
+// own answers, identical to a local RunBatch of its batch.
+func TestServerConcurrentClients(t *testing.T) {
+	defer leakCheck(t)()
+	g := testGraph(17)
+	e := engine.New(g, engine.Options{Workers: 4})
+	srv := server.New(e, server.Options{MaxInFlight: 4})
+	ts := httptest.NewServer(srv.Handler())
+
+	const clients = 6
+	batches := make([][]wire.Request, clients)
+	wants := make([]map[uint64]wire.Response, clients)
+	for c := range batches {
+		batches[c] = wireBatch(t, g, 24, int64(100+c))
+		wants[c] = wantResponses(t, e, batches[c])
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			got := postNDJSON(t, ts.URL, batches[c])
+			if len(got) != len(batches[c]) {
+				t.Errorf("client %d: %d responses, want %d", c, len(got), len(batches[c]))
+				return
+			}
+			for _, resp := range got {
+				resp.LatencyUS = 0
+				if w := wants[c][resp.ID]; !reflect.DeepEqual(resp, w) {
+					t.Errorf("client %d id %d: wire result differs from RunBatch:\n got %+v\nwant %+v",
+						c, resp.ID, resp, w)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st := srv.Stats()
+	total := uint64(clients * 24)
+	if st.Submitted != total || st.Completed != total || st.Delivered != total {
+		t.Errorf("server stats after %d clients: %+v", clients, st)
+	}
+	if st.StreamsTotal != clients || st.StreamsActive != 0 {
+		t.Errorf("stream accounting: %+v", st)
+	}
+	ts.Close()
+	srv.Close()
+}
+
+// TestServerClientDisconnectMidStream: a client walks away (context
+// cancel) with requests still in flight. The server must drain the
+// stream's session, keep every line it did deliver well-formed, keep
+// the session counter invariants, and leak nothing.
+func TestServerClientDisconnectMidStream(t *testing.T) {
+	defer leakCheck(t)()
+	g := testGraph(23)
+	e := engine.New(g, engine.Options{Workers: 4})
+	srv := server.New(e, server.Options{MaxInFlight: 4})
+	ts := httptest.NewServer(srv.Handler())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/query", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Feed requests forever (until the pipe breaks on disconnect).
+	go func() {
+		enc := json.NewEncoder(pw)
+		for i := uint64(0); ; i++ {
+			id := i
+			if enc.Encode(&wire.Request{ID: &id, RQ: &wire.RQSpec{Expr: "fa{2} fn"}}) != nil {
+				return
+			}
+		}
+	}()
+
+	// Read a few results, then vanish mid-stream.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), wire.MaxResponseLineBytes)
+	reads := 0
+	for sc.Scan() && reads < 5 {
+		var r wire.Response
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %d malformed: %v", reads, err)
+		}
+		reads++
+	}
+	cancel()
+	resp.Body.Close()
+	pw.Close()
+
+	// The stream must unwind completely on its own.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().StreamsActive > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream still live after disconnect: %+v", srv.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := srv.Stats()
+	if st.Submitted == 0 {
+		t.Fatal("test never submitted anything")
+	}
+	if st.Completed+st.Cancelled+st.Failed != st.Submitted {
+		t.Errorf("completed %d + cancelled %d + failed %d != submitted %d",
+			st.Completed, st.Cancelled, st.Failed, st.Submitted)
+	}
+	if st.Delivered+st.Dropped != st.Submitted {
+		t.Errorf("delivered %d + dropped %d != submitted %d", st.Delivered, st.Dropped, st.Submitted)
+	}
+	ts.Close()
+	srv.Close()
+}
+
+// TestServerShutdownGraceful: Drain lets a live stream finish on its
+// own terms — its late requests are still served — while refusing new
+// work, and Shutdown returns nil with nothing leaked.
+func TestServerShutdownGraceful(t *testing.T) {
+	defer leakCheck(t)()
+	g := testGraph(29)
+	e := engine.New(g, engine.Options{Workers: 2})
+	srv := server.New(e, server.Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	url := "http://" + l.Addr().String()
+
+	// A live stream: two requests in, responses read, body held open.
+	pr, pw := io.Pipe()
+	respc := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/query", "application/x-ndjson", pr)
+		if err != nil {
+			t.Error(err)
+			respc <- nil
+			return
+		}
+		respc <- resp
+	}()
+	send := func(id uint64) {
+		line, _ := json.Marshal(&wire.Request{ID: &id, RQ: &wire.RQSpec{Expr: "fn"}})
+		if _, err := pw.Write(append(line, '\n')); err != nil {
+			t.Error(err)
+		}
+	}
+	send(0)
+	resp := <-respc
+	if resp == nil {
+		t.FailNow()
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no response to request 0: %v", sc.Err())
+	}
+
+	shutDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutDone <- srv.Shutdown(ctx)
+	}()
+	// Draining must become observable while our stream lives on.
+	waitDraining(t, url)
+	if resp2, err := http.Post(url+"/v1/query", "application/x-ndjson", strings.NewReader(`{"rq":{"expr":"fn"}}`)); err == nil {
+		if resp2.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("new stream during drain: %s", resp2.Status)
+		}
+		resp2.Body.Close()
+	}
+
+	// The live stream still works mid-drain, then ends cleanly.
+	send(1)
+	if !sc.Scan() {
+		t.Fatalf("no response to mid-drain request: %v", sc.Err())
+	}
+	var r wire.Response
+	if err := json.Unmarshal(sc.Bytes(), &r); err != nil || r.ID != 1 || r.Err != "" {
+		t.Fatalf("mid-drain response %q: %v", sc.Bytes(), err)
+	}
+	pw.Close()
+	for sc.Scan() {
+	}
+	if err := sc.Err(); err != nil {
+		t.Errorf("stream did not end cleanly: %v", err)
+	}
+	resp.Body.Close()
+
+	if err := <-shutDone; err != nil {
+		t.Errorf("graceful shutdown returned %v", err)
+	}
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v", err)
+	}
+	st := srv.Stats()
+	if st.Submitted != 2 || st.Completed != 2 || st.StreamsActive != 0 {
+		t.Errorf("stats after graceful shutdown: %+v", st)
+	}
+}
+
+// TestServerShutdownForced: a stream that never ends is force-cancelled
+// when the drain budget expires; partial output stays well-formed, the
+// session is accounted for, and nothing leaks.
+func TestServerShutdownForced(t *testing.T) {
+	defer leakCheck(t)()
+	g := testGraph(31)
+	e := engine.New(g, engine.Options{Workers: 2})
+	srv := server.New(e, server.Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	url := "http://" + l.Addr().String()
+
+	pr, pw := io.Pipe()
+	respc := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/query", "application/x-ndjson", pr)
+		if err != nil {
+			t.Error(err)
+			respc <- nil
+			return
+		}
+		respc <- resp
+	}()
+	id := uint64(0)
+	line, _ := json.Marshal(&wire.Request{ID: &id, RQ: &wire.RQSpec{Expr: "fn"}})
+	if _, err := pw.Write(append(line, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	resp := <-respc
+	if resp == nil {
+		t.FailNow()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Errorf("forced shutdown returned %v, want DeadlineExceeded", err)
+	}
+	// The held-open stream was force-ended server-side; whatever arrived
+	// must be whole lines, including the answer to the one request.
+	got := tolerantDecode(t, resp.Body)
+	foundAnswer := false
+	for _, r := range got {
+		if r.ID == 0 && r.Err == "" {
+			foundAnswer = true
+		}
+	}
+	if !foundAnswer {
+		t.Errorf("submitted request unanswered in partial output: %+v", got)
+	}
+	resp.Body.Close()
+	pw.Close()
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().StreamsActive > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream still live after forced shutdown: %+v", srv.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitDraining polls /healthz until it reports 503.
+func waitDraining(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusServiceUnavailable {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never reported draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

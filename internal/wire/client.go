@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// PostStream is the client side of the wire: it streams the request
+// lines to a /v1/query endpoint and invokes fn for every response line
+// as it arrives, with both the raw line (for pass-through) and the
+// decoded Response. The upload runs through a pipe, so a server
+// stalling its body reads (admission-bound flow control) back-pressures
+// request production here too. A non-nil error from fn stops the read
+// loop and is returned. cmd/rgquery -remote and bench.ServerThroughput
+// share this one implementation.
+func PostStream(url string, reqs []Request, fn func(raw []byte, resp *Response) error) error {
+	pr, pw := io.Pipe()
+	go func() {
+		enc := json.NewEncoder(pw)
+		for i := range reqs {
+			if err := enc.Encode(&reqs[i]); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.Close()
+	}()
+	httpResp, err := http.Post(url, "application/x-ndjson", pr)
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4<<10))
+		return fmt.Errorf("wire: %s: %s", httpResp.Status, strings.TrimSpace(string(body)))
+	}
+	sc := bufio.NewScanner(httpResp.Body)
+	sc.Buffer(make([]byte, 64<<10), MaxResponseLineBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var resp Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			return fmt.Errorf("wire: malformed response line %q: %w", line, err)
+		}
+		if err := fn(line, &resp); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("wire: response stream: %w", err)
+	}
+	return nil
+}

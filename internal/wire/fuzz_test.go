@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode drives the NDJSON request decoder (and, for lines that
+// decode, the qlang compile path behind it) with arbitrary input. The
+// contract under fuzz: never panic, classify every line as either a
+// request, a recoverable *LineError, or a terminal stream error — a
+// malformed line must never take the stream down. Seed corpus lives in
+// testdata/fuzz/FuzzDecode and runs on every plain `go test`.
+func FuzzDecode(f *testing.F) {
+	f.Add(`{"id":1,"rq":{"from":"job = doctor","to":"*","expr":"fa{2} fn"}}`)
+	f.Add(`{"pq":"node A\t*\nnode B\t*\nedge A B\tfn+"}`)
+	f.Add(`{"id":3,"rq":{"expr":"_+"},"count":true}` + "\n" + `{"id":4}`)
+	f.Add("not json\n\n{\"rq\":{\"expr\":\"fn\"}}")
+	f.Add(`{"id":18446744073709551615,"rq":{"expr":"fn{999999999999}"}}`)
+	f.Add(`{"rq":{"from":"a = \"quo\\\"ted\"","expr":"fn"},"pq":"x"}`)
+	f.Add("\x00\xff\xfe")
+	f.Fuzz(func(t *testing.T, input string) {
+		dec := NewDecoder(strings.NewReader(input))
+		for i := 0; i < 1<<16; i++ { // hard stop; EOF must arrive long before
+			req, err := dec.Next()
+			if err == io.EOF {
+				return
+			}
+			var le *LineError
+			if errors.As(err, &le) {
+				if le.Line <= 0 {
+					t.Fatalf("LineError without a line number: %v", err)
+				}
+				if req.ID == nil {
+					t.Fatal("malformed line lost its ordinal id")
+				}
+				continue
+			}
+			if err != nil {
+				return // terminal stream error (e.g. oversized line): allowed
+			}
+			if req.ID == nil {
+				t.Fatal("decoded request without an id")
+			}
+			// Compiling may fail (that is the structured per-line error the
+			// service returns) but must never panic.
+			ereq, kind, cerr := req.Compile()
+			if cerr == nil {
+				switch kind {
+				case "rq":
+					if ereq.RQ == nil {
+						t.Fatal("rq compiled to empty request")
+					}
+				case "pq":
+					if ereq.PQ == nil {
+						t.Fatal("pq compiled to empty request")
+					}
+				default:
+					t.Fatalf("compile succeeded with kind %q", kind)
+				}
+			}
+		}
+		t.Fatal("decoder failed to reach EOF")
+	})
+}

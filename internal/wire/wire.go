@@ -1,0 +1,312 @@
+// Package wire defines the NDJSON wire format shared by the HTTP query
+// service (internal/server, cmd/rgserve) and the CLI clients
+// (cmd/rgquery -stream and -remote): one JSON object per line, requests
+// in, responses out, streamed in completion order.
+//
+// A request line names exactly one query — a reachability query as its
+// three text fields, or a pattern query as embedded qlang text:
+//
+//	{"id":1,"rq":{"from":"job = doctor","to":"*","expr":"fa{2} fn"}}
+//	{"id":2,"pq":"node A *\nnode B job = doctor\nedge A B fn+"}
+//	{"id":3,"rq":{"from":"*","to":"*","expr":"_+"},"count":true}
+//
+// The id is optional; lines without one are numbered by their ordinal
+// (0-based) in the stream. "count":true asks for the answer cardinality
+// only — the service streams pairs through an Emit callback and never
+// materializes them, so huge answers cost no resident memory.
+//
+// A response line echoes the id and carries the answer, a structured
+// per-line error, and the evaluation latency:
+//
+//	{"id":1,"kind":"rq","count":2,"pairs":[[0,3],[7,3]],"latency_us":412}
+//	{"id":2,"kind":"pq","count":1,"match":[{"from":"A","to":"B","expr":"fn+","pairs":[[4,9]]}],"latency_us":88}
+//	{"id":3,"error":"qlang: rq expr: ...","latency_us":0}
+//
+// Malformed lines yield an error response for that line only; the
+// stream continues. The schema is covered by golden-file tests
+// (testdata/*.golden) — change it there first.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"regraph/internal/engine"
+	"regraph/internal/pattern"
+	"regraph/internal/qlang"
+	"regraph/internal/reach"
+)
+
+// MaxLineBytes bounds one NDJSON request line; longer lines are a
+// stream-level error, because a line-oriented reader cannot
+// resynchronize past an oversized record.
+const MaxLineBytes = 1 << 20
+
+// MaxResponseLineBytes is the response-side scanner bound for clients.
+// A materialized RQ answer legitimately grows with the graph (tens of
+// bytes per pair), so response lines get far more headroom than
+// request lines; clients that expect huge answers should send
+// "count":true or page their queries instead of raising this further.
+const MaxResponseLineBytes = 64 << 20
+
+// Request is one NDJSON request line: exactly one of RQ/PQ must be set.
+type Request struct {
+	// ID tags the request's response. Optional: when absent the decoder
+	// assigns the line's 0-based ordinal in the stream.
+	ID *uint64 `json:"id,omitempty"`
+
+	// RQ is a reachability query given as its three text fields.
+	RQ *RQSpec `json:"rq,omitempty"`
+
+	// PQ is a pattern query as qlang text (newline-separated node/edge
+	// declarations; see internal/qlang).
+	PQ string `json:"pq,omitempty"`
+
+	// Count, on an RQ, requests only the answer cardinality: the service
+	// counts pairs through a streaming Emit callback and the response
+	// carries count but no pairs array. Invalid on a PQ.
+	Count bool `json:"count,omitempty"`
+}
+
+// RQSpec is the textual form of a reachability query (the syntax of
+// qlang.ParseRQ: predicates may be "*" or empty for always-true).
+type RQSpec struct {
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	Expr string `json:"expr"`
+}
+
+// Response is one NDJSON response line.
+type Response struct {
+	// ID echoes the request id (or the line ordinal when none was given).
+	ID uint64 `json:"id"`
+
+	// Kind is "rq" or "pq"; empty when the line never compiled to a
+	// query. The sentinel "stream" marks an error of the stream itself
+	// (unreadable request body) rather than of the request whose id the
+	// line carries — id is meaningless on such lines.
+	Kind string `json:"kind,omitempty"`
+
+	// Query optionally echoes the query's text form (rgquery -stream sets
+	// it; the server leaves it empty — clients have the request line).
+	Query string `json:"query,omitempty"`
+
+	// Count is the total number of answer pairs (across all pattern
+	// edges for a PQ). Present even when pairs were streamed, not sent.
+	Count int `json:"count"`
+
+	// Pairs is the RQ answer as [from,to] node-id pairs; omitted for
+	// count-only requests, PQs and empty answers.
+	Pairs [][2]int64 `json:"pairs,omitempty"`
+
+	// Match is the PQ answer: one entry per pattern edge.
+	Match []MatchEdge `json:"match,omitempty"`
+
+	// Err is the structured per-line error: a parse/compile failure, an
+	// evaluation error, or a cancellation (deadline, shutdown).
+	Err string `json:"error,omitempty"`
+
+	// LatencyUS is the evaluation time in microseconds, excluding queue
+	// wait; zero for requests that never ran.
+	LatencyUS float64 `json:"latency_us"`
+}
+
+// MatchEdge is one pattern edge's match set in a PQ response.
+type MatchEdge struct {
+	From  string     `json:"from"`
+	To    string     `json:"to"`
+	Expr  string     `json:"expr"`
+	Pairs [][2]int64 `json:"pairs"`
+}
+
+// LineError reports one malformed request line. It is recoverable: the
+// decoder has consumed the line and Next may be called again.
+type LineError struct {
+	Line int // physical line number, 1-based
+	Err  error
+}
+
+func (e *LineError) Error() string { return fmt.Sprintf("wire: line %d: %v", e.Line, e.Err) }
+func (e *LineError) Unwrap() error { return e.Err }
+
+// Decoder reads NDJSON request lines. Blank lines are skipped; a
+// malformed line yields a *LineError (recoverable — keep calling Next);
+// any other error is a stream-level failure.
+type Decoder struct {
+	sc   *bufio.Scanner
+	line int    // physical line number of the last scanned line
+	ord  uint64 // request ordinal: counts consumed non-blank lines
+}
+
+// NewDecoder wraps r in a request decoder accepting lines up to
+// MaxLineBytes.
+func NewDecoder(r io.Reader) *Decoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), MaxLineBytes)
+	return &Decoder{sc: sc}
+}
+
+// Next returns the next request. At end of input it returns io.EOF. A
+// malformed line returns a *LineError together with a Request whose ID
+// is the line's assigned ordinal, so the caller can attribute an error
+// response; decoding then continues on the following line.
+func (d *Decoder) Next() (Request, error) {
+	for d.sc.Scan() {
+		d.line++
+		text := strings.TrimSpace(d.sc.Text())
+		if text == "" {
+			continue
+		}
+		id := d.ord
+		d.ord++
+		var req Request
+		if err := json.Unmarshal([]byte(text), &req); err != nil {
+			return Request{ID: &id}, &LineError{Line: d.line, Err: err}
+		}
+		if req.ID == nil {
+			req.ID = &id
+		}
+		return req, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return Request{}, fmt.Errorf("wire: read: %w", err)
+	}
+	return Request{}, io.EOF
+}
+
+// Compile parses the request's text into an evaluable engine request
+// and reports its kind ("rq" or "pq"). The error, if any, is a per-line
+// semantic error the caller should surface as an error response.
+func (r *Request) Compile() (engine.Request, string, error) {
+	switch {
+	case r.RQ != nil && r.PQ != "":
+		return engine.Request{}, "", fmt.Errorf("wire: request sets both rq and pq")
+	case r.RQ != nil:
+		q, err := qlang.ParseRQ(r.RQ.From, r.RQ.To, r.RQ.Expr)
+		if err != nil {
+			return engine.Request{}, "rq", err
+		}
+		return engine.Request{RQ: &q}, "rq", nil
+	case r.PQ != "":
+		if r.Count {
+			return engine.Request{}, "pq", fmt.Errorf("wire: count applies to rq requests only")
+		}
+		q, err := qlang.ParsePatternString(r.PQ)
+		if err != nil {
+			return engine.Request{}, "pq", err
+		}
+		return engine.Request{PQ: q}, "pq", nil
+	default:
+		return engine.Request{}, "", fmt.Errorf("wire: request needs rq or pq")
+	}
+}
+
+// PairsOf converts an RQ answer to the wire representation.
+func PairsOf(ps []reach.Pair) [][2]int64 {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([][2]int64, len(ps))
+	for i, p := range ps {
+		out[i] = [2]int64{int64(p.From), int64(p.To)}
+	}
+	return out
+}
+
+// MatchOf converts a PQ answer to the wire representation; q must be
+// the pattern the result answers (the result does not expose it).
+func MatchOf(q *pattern.Query, res *pattern.Result) []MatchEdge {
+	if q == nil || res.Empty() {
+		return nil
+	}
+	out := make([]MatchEdge, q.NumEdges())
+	for i := range out {
+		e := q.Edge(i)
+		out[i] = MatchEdge{
+			From:  q.Node(e.From).Name,
+			To:    q.Node(e.To).Name,
+			Expr:  e.Expr.String(),
+			Pairs: PairsOf(res.EdgePairs(i)),
+		}
+	}
+	return out
+}
+
+// FromResult builds the response line for one engine result. kind and
+// pq are what Compile reported for the originating request (pq may be
+// nil for an RQ); count-only requests pass their streamed count and get
+// no pairs array. The response id is the result's session id — callers
+// that map session ids to client ids overwrite it.
+func FromResult(res engine.Result, kind string, pq *pattern.Query, streamedCount int) Response {
+	out := Response{
+		ID:        res.ID,
+		Kind:      kind,
+		LatencyUS: float64(res.Elapsed.Nanoseconds()) / 1e3,
+	}
+	if res.Err != nil {
+		out.Err = res.Err.Error()
+		return out
+	}
+	switch {
+	case res.Match != nil:
+		out.Match = MatchOf(pq, res.Match)
+		out.Count = res.Match.Size()
+	case res.Pairs != nil:
+		out.Pairs = PairsOf(res.Pairs)
+		out.Count = len(res.Pairs)
+	default:
+		// Streamed (Emit) or legitimately empty answer.
+		out.Count = streamedCount
+	}
+	return out
+}
+
+// flusher is the subset of http.Flusher / bufio.Writer the encoder
+// pushes each line through, so results reach a streaming client the
+// moment they complete.
+type flusher interface{ Flush() }
+
+type errFlusher interface{ Flush() error }
+
+// Encoder writes NDJSON response lines. It is safe for concurrent use
+// (the service writes parse errors from its reader goroutine and
+// results from its consumer loop); each line is flushed when the
+// underlying writer supports it.
+type Encoder struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	f   flusher
+	ef  errFlusher
+}
+
+// NewEncoder wraps w in a response encoder.
+func NewEncoder(w io.Writer) *Encoder {
+	e := &Encoder{enc: json.NewEncoder(w)}
+	switch f := w.(type) {
+	case flusher:
+		e.f = f
+	case errFlusher:
+		e.ef = f
+	}
+	return e
+}
+
+// Encode writes one response line (and flushes it through to the
+// client when the writer supports flushing).
+func (e *Encoder) Encode(r Response) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.enc.Encode(r); err != nil {
+		return err
+	}
+	if e.f != nil {
+		e.f.Flush()
+	} else if e.ef != nil {
+		return e.ef.Flush()
+	}
+	return nil
+}

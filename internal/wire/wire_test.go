@@ -1,0 +1,202 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the wire-schema golden files")
+
+// goldenRequests are the canonical request lines: every feature of the
+// request schema (explicit and implicit ids, rq, pq, count mode,
+// quoted/empty predicates). Their encodings are pinned by
+// testdata/requests.golden — a diff there is a wire-format change.
+func goldenRequests() []Request {
+	id := func(v uint64) *uint64 { return &v }
+	return []Request{
+		{ID: id(1), RQ: &RQSpec{From: "job = doctor", To: "*", Expr: "fa{2} fn"}},
+		{ID: id(2), PQ: "node A\t*\nnode B\tjob = doctor\nedge A B\tfn+"},
+		{ID: id(3), RQ: &RQSpec{From: "*", To: "*", Expr: "_+"}, Count: true},
+		{RQ: &RQSpec{From: `cat = "Film & Animation", com <= 20`, Expr: "ic{2} dc+"}},
+	}
+}
+
+// goldenResponses are the canonical response lines: rq answers with and
+// without pairs, a pq match, a count-only answer and a per-line error.
+// Pinned by testdata/responses.golden.
+func goldenResponses() []Response {
+	return []Response{
+		{ID: 1, Kind: "rq", Count: 2, Pairs: [][2]int64{{0, 3}, {7, 3}}, LatencyUS: 412},
+		{ID: 2, Kind: "pq", Count: 1, Match: []MatchEdge{
+			{From: "A", To: "B", Expr: "fn+", Pairs: [][2]int64{{4, 9}}},
+		}, LatencyUS: 88.25},
+		{ID: 3, Kind: "rq", Count: 12345, LatencyUS: 9.5},
+		{ID: 4, Err: "wire: request needs rq or pq"},
+		{ID: 5, Kind: "rq", Query: "RQ[* --fn--> *]", Count: 0, LatencyUS: 3.1},
+	}
+}
+
+// encodeLines renders values the way the wire does: one JSON object per
+// line via Encoder for responses, raw json.Marshal order for requests
+// (clients encode requests with encoding/json directly).
+func encodeResponses(t *testing.T, rs []Response) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, r := range rs {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: wire schema drifted.\n got:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestGoldenResponses pins the response schema byte for byte.
+func TestGoldenResponses(t *testing.T) {
+	goldenCompare(t, "responses.golden", encodeResponses(t, goldenResponses()))
+}
+
+// TestGoldenRequests pins the request schema: fixtures encode to the
+// golden bytes, and the golden bytes decode back to the fixtures.
+func TestGoldenRequests(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf) // reuse the line encoder's json settings
+	for _, r := range goldenRequests() {
+		if err := enc.enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goldenCompare(t, "requests.golden", buf.Bytes())
+
+	// Round-trip: decoding the golden file yields the fixtures (with the
+	// implicit id filled in by ordinal).
+	data, err := os.ReadFile(filepath.Join("testdata", "requests.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(bytes.NewReader(data))
+	want := goldenRequests()
+	ord := uint64(3) // the id-less fixture is the 4th line
+	want[3].ID = &ord
+	for i := range want {
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("request %d: decoded %+v, want %+v", i, got, want[i])
+		}
+		if _, _, err := got.Compile(); err != nil {
+			t.Errorf("request %d: compile: %v", i, err)
+		}
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("after last request: %v, want EOF", err)
+	}
+}
+
+// TestDecoderRecoversPerLine: a malformed line yields a *LineError with
+// the line's assigned id, and decoding continues with the next line.
+func TestDecoderRecoversPerLine(t *testing.T) {
+	input := strings.Join([]string{
+		`{"rq":{"expr":"fn"}}`,
+		`{definitely not json`,
+		``, // blank lines are skipped, not numbered
+		`{"id":9,"rq":{"expr":"fa"}}`,
+	}, "\n")
+	dec := NewDecoder(strings.NewReader(input))
+
+	r0, err := dec.Next()
+	if err != nil || *r0.ID != 0 {
+		t.Fatalf("line 1: %+v, %v", r0, err)
+	}
+	r1, err := dec.Next()
+	var le *LineError
+	if !errors.As(err, &le) || le.Line != 2 {
+		t.Fatalf("line 2: expected *LineError at line 2, got %v", err)
+	}
+	if r1.ID == nil || *r1.ID != 1 {
+		t.Fatalf("malformed line must still carry its ordinal id, got %+v", r1)
+	}
+	r2, err := dec.Next()
+	if err != nil || *r2.ID != 9 {
+		t.Fatalf("line 4: %+v, %v", r2, err)
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("end: %v, want EOF", err)
+	}
+}
+
+// TestDecoderOversizedLine: a line beyond MaxLineBytes is a
+// stream-level (non-LineError) failure.
+func TestDecoderOversizedLine(t *testing.T) {
+	dec := NewDecoder(strings.NewReader(`{"pq":"` + strings.Repeat("x", MaxLineBytes+16) + `"}`))
+	_, err := dec.Next()
+	var le *LineError
+	if err == nil || err == io.EOF || errors.As(err, &le) {
+		t.Fatalf("oversized line: got %v, want a stream-level error", err)
+	}
+}
+
+// TestCompileErrors: every invalid request shape is a structured error,
+// and valid shapes compile to the right engine request kind.
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		req     Request
+		wantErr bool
+		kind    string
+	}{
+		{"empty", Request{}, true, ""},
+		{"both", Request{RQ: &RQSpec{Expr: "fn"}, PQ: "node A\t*"}, true, ""},
+		{"count on pq", Request{PQ: "node A\t*", Count: true}, true, "pq"},
+		{"bad predicate", Request{RQ: &RQSpec{From: "no operator here", Expr: "fn"}}, true, "rq"},
+		{"bad expr", Request{RQ: &RQSpec{Expr: "(("}}, true, "rq"},
+		{"bad pattern", Request{PQ: "edge A B\tfn"}, true, "pq"},
+		{"rq ok", Request{RQ: &RQSpec{From: "*", To: "*", Expr: "fn"}}, false, "rq"},
+		{"pq ok", Request{PQ: "node A\t*\nnode B\t*\nedge A B\tfn"}, false, "pq"},
+	}
+	for _, c := range cases {
+		ereq, kind, err := c.req.Compile()
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: err = %v, wantErr %v", c.name, err, c.wantErr)
+			continue
+		}
+		if kind != c.kind {
+			t.Errorf("%s: kind = %q, want %q", c.name, kind, c.kind)
+		}
+		if err == nil {
+			if (kind == "rq") != (ereq.RQ != nil) || (kind == "pq") != (ereq.PQ != nil) {
+				t.Errorf("%s: compiled request %+v inconsistent with kind %q", c.name, ereq, kind)
+			}
+		}
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"regraph/internal/reachidx"
 	"regraph/internal/rex"
 	"regraph/internal/rexfull"
+	"regraph/internal/server"
 )
 
 // Core graph types.
@@ -148,6 +149,21 @@ type (
 // ErrSessionClosed is returned by Session.Submit after Close (or after
 // the session's context was cancelled and the session drained).
 var ErrSessionClosed = engine.ErrSessionClosed
+
+// Serving types (the HTTP/NDJSON front end; see NewServer).
+type (
+	// Server serves an Engine over HTTP speaking the NDJSON wire format:
+	// POST /v1/query streams request lines in and response lines out in
+	// completion order, GET /v1/stats snapshots the serving counters,
+	// GET /healthz reports liveness. cmd/rgserve is the ready-made
+	// binary; cmd/rgquery -remote is the matching client.
+	Server = server.Server
+	// ServerOptions configures NewServer: per-stream admission bound
+	// (the wire-level flow control) and the server-side stream deadline.
+	ServerOptions = server.Options
+	// ServerStats is a Server.Stats snapshot (the /v1/stats payload).
+	ServerStats = server.Stats
+)
 
 // NewGraph returns an empty data graph.
 func NewGraph() *Graph { return graph.New() }
@@ -330,3 +346,9 @@ func YouTubeGraph(seed int64, scale float64) *Graph { return gen.YouTube(seed, s
 // TerrorGraph generates the terrorist-organization collaboration network
 // of the paper's experiments (818 nodes, 1,600 edges).
 func TerrorGraph(seed int64) *Graph { return gen.Terror(seed) }
+
+// NewServer wraps an engine in the HTTP/NDJSON query service. Mount
+// Handler() on any listener (or call ListenAndServe), stop with
+// Shutdown — graceful drain first, forced session cancellation only
+// when the context expires.
+func NewServer(e *Engine, opts ServerOptions) *Server { return server.New(e, opts) }
