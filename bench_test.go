@@ -117,6 +117,25 @@ func BenchmarkServerThroughput(b *testing.B) {
 	}
 }
 
+// Distance backends (ISSUE 6): 2-hop labels vs matrix vs cold cache on
+// the single-atom RQ workload, at the configured scale and on a graph
+// whose matrix exceeds that scale's byte budget. Label build time,
+// bytes/node and the cold-cache-over-twohop factor are forwarded
+// through ReportMetric into BENCH_twohop.json.
+func BenchmarkTwoHop(b *testing.B) {
+	env := benchEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := bench.TwoHop(env)
+		if len(tab.Rows) == 0 {
+			b.Fatal("driver produced no rows")
+		}
+		for unit, v := range tab.Metrics {
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
 // Ablations (DESIGN.md §5).
 
 func BenchmarkAblationContainment(b *testing.B) { runDriver(b, bench.AblationContainment) }

@@ -36,6 +36,15 @@
 // the server's response lines are passed through to stdout as they
 // arrive.
 //
+// Local evaluation picks its distance backend with -backend: matrix
+// (precomputed, fastest, (m+1)·|V|²·4 bytes), twohop (2-hop labels —
+// index-fast lookups on graphs whose matrix does not fit), cache (LRU
+// over bidirectional search) or auto (matrix if it fits -membudget
+// bytes, else 2-hop under the same budget, else cache). -grail K
+// fronts a searching backend with a GRAIL negative reachability
+// filter. The legacy -matrix bool remains a shorthand for
+// matrix/cache.
+//
 // With -demo the built-in Fig. 1 Essembly graph is used.
 package main
 
@@ -66,7 +75,10 @@ func main() {
 		stream    = flag.Bool("stream", false, "batch: print each result as an NDJSON line the moment it completes")
 		remote    = flag.String("remote", "", "rgserve base URL: run the queries over the wire instead of locally")
 		workers   = flag.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
-		useMatrix = flag.Bool("matrix", true, "precompute the distance matrix")
+		useMatrix = flag.Bool("matrix", true, "precompute the distance matrix (shorthand for -backend matrix/cache)")
+		backend   = flag.String("backend", "", "distance backend: matrix, twohop, cache or auto (overrides -matrix)")
+		memBudget = flag.Int64("membudget", 1<<30, "auto backend: index memory budget in bytes")
+		grailK    = flag.Int("grail", 0, "install a GRAIL reachability filter with k traversals in front of the backend (0 = off; not with matrix)")
 		candIdx   = flag.Bool("candidx", true, "use the attribute inverted index for predicate candidates (false = O(|V|) scan)")
 		minimize  = flag.Bool("minimize", false, "PQ: minimize before evaluating")
 	)
@@ -89,35 +101,64 @@ func main() {
 	}
 	fmt.Fprintf(banner, "graph: %d nodes, %d edges, colors %v\n", g.NumNodes(), g.NumEdges(), g.Colors())
 
-	var mx *regraph.Matrix
-	if *useMatrix {
-		mx = regraph.NewMatrix(g)
+	opts, err := engineOptions(g, *backend, *useMatrix, *workers, *grailK, *memBudget, *candIdx)
+	if err != nil {
+		fatal(err)
 	}
-	// Single-query modes share one inverted index (nil keeps the linear
-	// scan); batch mode doesn't build it here — the engine constructs
-	// and owns its own memoized index.
-	cands := func() regraph.CandidateSource {
-		if *candIdx {
-			return regraph.NewCandidateIndex(g)
-		}
-		return nil
+	e, err := regraph.NewEngine(g, opts)
+	if err != nil {
+		fatal(err)
 	}
+	fmt.Fprintf(banner, "backend: %s\n", e.BackendKind())
+
 	switch {
 	case *batchPath != "":
-		if err := runBatch(g, mx, *batchPath, *workers, *candIdx, *stream); err != nil {
+		if err := runBatch(e, *batchPath, *stream); err != nil {
 			fatal(err)
 		}
 	case *expr != "":
-		if err := runRQ(g, mx, cands(), *from, *to, *expr); err != nil {
+		if err := runRQ(e, *from, *to, *expr); err != nil {
 			fatal(err)
 		}
 	case *patPath != "":
-		if err := runPQ(g, mx, cands(), *patPath, *minimize); err != nil {
+		if err := runPQ(e, *patPath, *minimize); err != nil {
 			fatal(err)
 		}
 	default:
 		fatal(fmt.Errorf("nothing to do: give -expr (RQ), -pattern (PQ) or -batch (RQ file)"))
 	}
+}
+
+// engineOptions translates the backend flags into EngineOptions. The
+// legacy -matrix bool is honored when -backend is not given: true
+// means "matrix", false means "cache".
+func engineOptions(g *regraph.Graph, backend string, useMatrix bool, workers, grailK int, memBudget int64, candIdx bool) (regraph.EngineOptions, error) {
+	o := regraph.EngineOptions{Workers: workers, DisableCandidateIndex: !candIdx}
+	if backend == "" {
+		if useMatrix {
+			backend = "matrix"
+		} else {
+			backend = "cache"
+		}
+	}
+	switch backend {
+	case "matrix":
+		if grailK > 0 {
+			return o, fmt.Errorf("-grail needs a searching backend (twohop, cache or auto), not matrix")
+		}
+		o.Matrix = regraph.NewMatrix(g)
+	case "twohop":
+		o.Backend = regraph.NewTwoHop(g)
+	case "cache":
+		// The engine creates its own cache.
+	case "auto":
+		o.AutoBackend = true
+		o.MemoryBudget = memBudget
+	default:
+		return o, fmt.Errorf("unknown -backend %q (want matrix, twohop, cache or auto)", backend)
+	}
+	o.ReachFilterK = grailK
+	return o, nil
 }
 
 // ---- remote mode -----------------------------------------------------------
@@ -197,14 +238,11 @@ func remoteRequests(batchPath, patPath, from, to, expr string) ([]wire.Request, 
 // resident engine — buffered (one answer-count line per query, input
 // order) or, with stream, as an NDJSON result stream in completion
 // order.
-func runBatch(g *regraph.Graph, mx *regraph.Matrix, path string, workers int, candIdx, stream bool) error {
+func runBatch(e *regraph.Engine, path string, stream bool) error {
 	qs, err := parseBatch(path)
 	if err != nil {
 		return err
 	}
-	e := regraph.NewEngine(g, regraph.EngineOptions{
-		Workers: workers, Matrix: mx, DisableCandidateIndex: !candIdx,
-	})
 	if stream {
 		return streamBatch(e, qs)
 	}
@@ -326,17 +364,13 @@ func loadGraph(path string, demo bool) (*regraph.Graph, error) {
 	return graph.ReadTSV(f)
 }
 
-func runRQ(g *regraph.Graph, mx *regraph.Matrix, cands regraph.CandidateSource, from, to, expr string) error {
+func runRQ(e *regraph.Engine, from, to, expr string) error {
 	q, err := qlang.ParseRQ(from, to, expr)
 	if err != nil {
 		return err
 	}
-	var pairs []regraph.Pair
-	if mx != nil {
-		pairs = q.EvalMatrixWith(g, mx, cands)
-	} else {
-		pairs = q.EvalBiBFSScratchWith(g, regraph.NewCache(g, 1<<16), regraph.NewScratch(), cands)
-	}
+	g := e.Graph()
+	pairs := e.RunRQs([]regraph.RQ{q})[0]
 	fmt.Printf("%s: %d pairs\n", q, len(pairs))
 	for _, p := range pairs {
 		fmt.Printf("  %s -> %s\n", g.Node(p.From).Name, g.Node(p.To).Name)
@@ -344,7 +378,7 @@ func runRQ(g *regraph.Graph, mx *regraph.Matrix, cands regraph.CandidateSource, 
 	return nil
 }
 
-func runPQ(g *regraph.Graph, mx *regraph.Matrix, cands regraph.CandidateSource, path string, minimize bool) error {
+func runPQ(e *regraph.Engine, path string, minimize bool) error {
 	q, err := loadPattern(path)
 	if err != nil {
 		return err
@@ -354,12 +388,15 @@ func runPQ(g *regraph.Graph, mx *regraph.Matrix, cands regraph.CandidateSource, 
 		q = regraph.Minimize(q)
 		fmt.Printf("minimized: size %d -> %d\n", before, q.Size())
 	}
-	res := regraph.JoinMatch(g, q, regraph.EvalOptions{Matrix: mx, Cands: cands})
-	if res.Empty() {
+	r := e.RunBatch([]regraph.BatchRequest{{PQ: q}})[0]
+	if r.Err != nil {
+		return r.Err
+	}
+	if r.Match.Empty() {
 		fmt.Println("no matches")
 		return nil
 	}
-	fmt.Print(res.String(g))
+	fmt.Print(r.Match.String(e.Graph()))
 	return nil
 }
 

@@ -41,7 +41,10 @@ func main() {
 		graphPath     = flag.String("graph", "", "graph file (TSV, see graph.WriteTSV)")
 		demo          = flag.Bool("demo", false, "use the built-in Fig. 1 Essembly graph")
 		workers       = flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
-		useMatrix     = flag.Bool("matrix", true, "precompute the distance matrix")
+		useMatrix     = flag.Bool("matrix", true, "precompute the distance matrix (shorthand for -backend matrix/cache)")
+		backend       = flag.String("backend", "", "distance backend: matrix, twohop, cache or auto (overrides -matrix)")
+		memBudget     = flag.Int64("membudget", 1<<30, "auto backend: index memory budget in bytes")
+		grailK        = flag.Int("grail", 0, "install a GRAIL reachability filter with k traversals in front of the backend (0 = off; not with matrix)")
 		candIdx       = flag.Bool("candidx", true, "build the attribute inverted index")
 		maxInFlight   = flag.Int("maxinflight", 0, "per-stream admission bound (0 = 2x workers)")
 		streamTimeout = flag.Duration("stream-timeout", 0, "max duration of one query stream (0 = none)")
@@ -56,15 +59,37 @@ func main() {
 	fmt.Fprintf(os.Stderr, "rgserve: graph: %d nodes, %d edges, colors %v\n",
 		g.NumNodes(), g.NumEdges(), g.Colors())
 
-	var mx *regraph.Matrix
-	if *useMatrix {
-		t0 := time.Now()
-		mx = regraph.NewMatrix(g)
-		fmt.Fprintf(os.Stderr, "rgserve: distance matrix built in %v\n", time.Since(t0).Round(time.Millisecond))
+	kind := *backend
+	if kind == "" {
+		if *useMatrix {
+			kind = "matrix"
+		} else {
+			kind = "cache"
+		}
 	}
-	e := regraph.NewEngine(g, regraph.EngineOptions{
-		Workers: *workers, Matrix: mx, DisableCandidateIndex: !*candIdx,
-	})
+	opts := regraph.EngineOptions{Workers: *workers, DisableCandidateIndex: !*candIdx, ReachFilterK: *grailK}
+	t0 := time.Now()
+	switch kind {
+	case "matrix":
+		if *grailK > 0 {
+			fatal(fmt.Errorf("-grail needs a searching backend (twohop, cache or auto), not matrix"))
+		}
+		opts.Matrix = regraph.NewMatrix(g)
+	case "twohop":
+		opts.Backend = regraph.NewTwoHop(g)
+	case "cache":
+		// The engine creates its own cache.
+	case "auto":
+		opts.AutoBackend = true
+		opts.MemoryBudget = *memBudget
+	default:
+		fatal(fmt.Errorf("unknown -backend %q (want matrix, twohop, cache or auto)", kind))
+	}
+	e, err := regraph.NewEngine(g, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "rgserve: %s backend ready in %v\n", e.BackendKind(), time.Since(t0).Round(time.Millisecond))
 	srv := server.New(e, server.Options{
 		MaxInFlight:   *maxInFlight,
 		StreamTimeout: *streamTimeout,
@@ -72,7 +97,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
-	fmt.Fprintf(os.Stderr, "rgserve: listening on %s (%d workers, matrix=%v)\n", *addr, e.Workers(), mx != nil)
+	fmt.Fprintf(os.Stderr, "rgserve: listening on %s (%d workers, backend=%s)\n", *addr, e.Workers(), e.BackendKind())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

@@ -93,7 +93,7 @@ func ExamplePQContains() {
 // allocating per query.
 func ExampleEngine_RunBatch() {
 	g := regraph.Essembly()
-	eng := regraph.NewEngine(g, regraph.EngineOptions{Workers: 2})
+	eng := regraph.MustEngine(g, regraph.EngineOptions{Workers: 2})
 
 	q1 := regraph.RQ{
 		From: regraph.MustPredicate("job = biologist, sp = cloning"),
@@ -121,7 +121,7 @@ func ExampleEngine_RunBatch() {
 // ID to restore submission order.
 func ExampleEngine_Open() {
 	g := regraph.Essembly()
-	eng := regraph.NewEngine(g, regraph.EngineOptions{Workers: 2})
+	eng := regraph.MustEngine(g, regraph.EngineOptions{Workers: 2})
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -167,7 +167,7 @@ func ExampleEngine_Open() {
 // serving counters.
 func ExampleSession_Submit() {
 	g := regraph.Essembly()
-	eng := regraph.NewEngine(g, regraph.EngineOptions{Workers: 1})
+	eng := regraph.MustEngine(g, regraph.EngineOptions{Workers: 1})
 	s := eng.Open(context.Background(), regraph.SessionOptions{MaxInFlight: 1})
 
 	q := regraph.RQ{

@@ -44,9 +44,9 @@ func EngineBatch(e *Env) *Table {
 				q.EvalBiBFS(g, caSerial)
 			}
 		})
-		e1 := engine.New(g, engine.Options{Workers: 1, CacheSize: e.Cfg.CacheSize})
+		e1 := engine.MustNew(g, engine.Options{Workers: 1, CacheSize: e.Cfg.CacheSize})
 		one := timeIt(func() { e1.RunRQs(qs) })
-		eN := engine.New(g, engine.Options{Workers: maxW, CacheSize: e.Cfg.CacheSize})
+		eN := engine.MustNew(g, engine.Options{Workers: maxW, CacheSize: e.Cfg.CacheSize})
 		many := timeIt(func() { eN.RunRQs(qs) })
 		t.Add(fmt.Sprint(nq), map[string]float64{
 			"Serial": serial, "Engine-1": one, engineN: many,
@@ -86,10 +86,10 @@ func EngineMemo(e *Env) *Table {
 				en.RunRQs(qs)
 			})
 		}
-		scan := run(engine.New(g, engine.Options{
+		scan := run(engine.MustNew(g, engine.Options{
 			CacheSize: e.Cfg.CacheSize, DisableCandidateIndex: true,
 		}))
-		memo := run(engine.New(g, engine.Options{CacheSize: e.Cfg.CacheSize}))
+		memo := run(engine.MustNew(g, engine.Options{CacheSize: e.Cfg.CacheSize}))
 		t.Add(fmt.Sprint(nq), map[string]float64{"Scan": scan, "IndexMemo": memo})
 	}
 	t.Notes = append(t.Notes,

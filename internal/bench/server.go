@@ -30,7 +30,7 @@ func ServerThroughput(e *Env) *Table {
 		Series: []string{"Session", "HTTP"},
 	}
 	g, mx, _ := e.YouTube()
-	en := engine.New(g, engine.Options{Matrix: mx})
+	en := engine.MustNew(g, engine.Options{Matrix: mx})
 	srv := server.New(en, server.Options{})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -30,7 +30,7 @@ func EngineSession(e *Env) *Table {
 		Series: []string{"RunBatch", "Session", "SessionEmit"},
 	}
 	g, mx, _ := e.YouTube()
-	en := engine.New(g, engine.Options{Matrix: mx})
+	en := engine.MustNew(g, engine.Options{Matrix: mx})
 	for _, base := range []int{128, 512} {
 		nq := base * e.Cfg.QueriesPerPoint
 		r := e.Rand(int64(9900 + nq))

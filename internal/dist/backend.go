@@ -1,0 +1,70 @@
+package dist
+
+import (
+	"context"
+
+	"regraph/internal/graph"
+)
+
+// Backend is the engine-facing distance oracle: the one primitive every
+// evaluation method reduces to — the shortest non-empty distance from v1
+// to v2 over one color layer (graph.AnyColor for any edge), or
+// graph.Unreachable. Matrix, Cache and TwoHop all satisfy it, so the
+// evaluators (reach.StreamBackend, pattern.Options.Backend) and the
+// engine select among them without knowing which one they hold.
+//
+// Contract:
+//
+//   - Results are exact and identical across implementations: for any
+//     graph, Backend.Dist must agree bit-for-bit with Matrix.Dist.
+//   - Implementations are safe for concurrent use by multiple
+//     goroutines.
+//   - DistScratch is Dist with an explicit per-worker search arena for
+//     implementations that search on demand (Cache misses); index-backed
+//     implementations ignore s. A nil s borrows from the package pool.
+//   - Cancellation flows through the arena: callers that need it bind a
+//     context with Scratch.BindContext (as reach.StreamBackend does) and
+//     searching implementations observe it at their checkpoints. O(1)
+//     and O(label) lookups ignore it — they finish faster than a poll.
+type Backend interface {
+	Dist(c graph.ColorID, v1, v2 graph.NodeID) int32
+	DistScratch(c graph.ColorID, v1, v2 graph.NodeID, s *Scratch) int32
+}
+
+// Statically assert the three shipped backends satisfy the interface.
+var (
+	_ Backend = (*Matrix)(nil)
+	_ Backend = (*Cache)(nil)
+	_ Backend = (*TwoHop)(nil)
+)
+
+// DistScratch satisfies Backend for the precomputed matrix; the lookup
+// is O(1), so the arena is ignored.
+func (mx *Matrix) DistScratch(c graph.ColorID, v1, v2 graph.NodeID, _ *Scratch) int32 {
+	return mx.Dist(c, v1, v2)
+}
+
+// DistCtx is the matrix's ctx-aware face, for symmetry with
+// Cache.DistCtx: the lookup cannot be abandoned, so the error is ctx's
+// error only when it was already cancelled on entry.
+func (mx *Matrix) DistCtx(ctx context.Context, c graph.ColorID, v1, v2 graph.NodeID, _ *Scratch) (int32, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return graph.Unreachable, ctx.Err()
+	}
+	return mx.Dist(c, v1, v2), nil
+}
+
+// MatrixBytes predicts the distance-matrix footprint for a graph with
+// the given node and color counts: (m+1)·|V|²·4 bytes. This is the
+// quantity the engine's automatic backend selection compares against
+// its memory budget — at large |V| it crosses any real budget long
+// before allocation would be attempted.
+func MatrixBytes(nodes, colors int) int64 {
+	n := int64(nodes)
+	return int64(colors+1) * n * n * 4
+}
+
+// PredictMatrixBytes is MatrixBytes for a concrete graph.
+func PredictMatrixBytes(g *graph.Graph) int64 {
+	return MatrixBytes(g.NumNodes(), g.NumColors())
+}

@@ -24,13 +24,13 @@ import (
 func TestConcurrentBatchesSharedMemo(t *testing.T) {
 	g := testGraph(29)
 	qs := testRQs(g, 40, 31)
-	oracle := engine.New(g, engine.Options{Workers: 1, DisableCandidateIndex: true})
+	oracle := engine.MustNew(g, engine.Options{Workers: 1, DisableCandidateIndex: true})
 	want := make([]string, len(qs))
 	for i, res := range oracle.RunRQs(qs) {
 		want[i] = pairsKey(res)
 	}
 
-	e := engine.New(g, engine.Options{Workers: 4})
+	e := engine.MustNew(g, engine.Options{Workers: 4})
 	if e.Cands() == nil {
 		t.Fatal("engine built without its candidate memo")
 	}

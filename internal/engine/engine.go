@@ -34,6 +34,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -43,9 +44,15 @@ import (
 	"regraph/internal/graph"
 	"regraph/internal/pattern"
 	"regraph/internal/reach"
+	"regraph/internal/reachidx"
 )
 
-// Options configures an Engine.
+// Options configures an Engine. At most one of Matrix, Cache, Backend
+// and AutoBackend may be set — they are four answers to the same
+// question (which distance backend serves this engine), and New rejects
+// ambiguous combinations instead of applying a quiet precedence rule.
+// With none set, the engine creates an LRU cache of CacheSize entries,
+// the historical default.
 type Options struct {
 	// Workers bounds evaluation concurrency (and the number of resident
 	// scratch arenas). Zero or negative means GOMAXPROCS.
@@ -56,13 +63,49 @@ type Options struct {
 	// lookups. The matrix is immutable and shared by all workers freely.
 	Matrix *dist.Matrix
 
-	// Cache is the shared LRU distance cache used when Matrix is nil.
-	// When both are nil, the engine creates one of CacheSize entries.
+	// Cache is a shared LRU distance cache to use as the backend.
 	Cache *dist.Cache
 
-	// CacheSize sizes the auto-created cache (default 1<<16). Ignored
-	// when Matrix or Cache is set.
+	// Backend supplies any other distance backend (typically a
+	// dist.TwoHop built by the caller). Single-atom RQ and PQ edge
+	// checks become backend lookups; multi-atom expressions use the
+	// closure search as in cache mode.
+	Backend dist.Backend
+
+	// AutoBackend picks the backend from the graph and MemoryBudget:
+	// the matrix when its (m+1)·|V|²·4 bytes fit the budget (fastest
+	// lookups), else a 2-hop label index built under the same budget,
+	// else — when even the labels exceed the budget — a fresh LRU
+	// cache of CacheSize entries. The choice is observable via
+	// BackendKind.
+	AutoBackend bool
+
+	// MemoryBudget bounds AutoBackend's index memory in bytes
+	// (default 1 GiB). Ignored unless AutoBackend is set.
+	MemoryBudget int64
+
+	// CacheSize sizes the engine-created cache (default 1<<16) — the
+	// default backend, or AutoBackend's last resort. Setting it
+	// together with Matrix, Cache or Backend is a configuration error:
+	// it would be silently ignored.
 	CacheSize int
+
+	// ReachFilter installs a sound negative reachability oracle
+	// (typically a GRAIL interval index, regraph.NewReachIndex) in
+	// front of the selected backend: pairs the filter refutes skip the
+	// backend entirely. Negative-only soundness means answers are
+	// unchanged. The backend must support filtering (Cache and TwoHop
+	// do; a Matrix lookup is already O(1) and has no filter hook, so
+	// combining ReachFilter with an explicit Matrix is a configuration
+	// error; AutoBackend simply drops the filter if it picks the
+	// matrix).
+	ReachFilter dist.Filter
+
+	// ReachFilterK builds a GRAIL filter with k interval traversals at
+	// construction and installs it like ReachFilter (2-3 is typical).
+	// Setting both ReachFilterK and ReachFilter is a configuration
+	// error.
+	ReachFilterK int
 
 	// DisableCandidateIndex turns off the attribute inverted index and
 	// the engine-wide predicate→candidates memo, reverting every
@@ -73,12 +116,19 @@ type Options struct {
 	DisableCandidateIndex bool
 }
 
+// filterable is satisfied by backends that accept a front filter.
+type filterable interface {
+	SetFilter(dist.Filter)
+}
+
 // Engine is a resident query engine over one graph. Create it with New;
 // an Engine is safe for concurrent use by multiple goroutines.
 type Engine struct {
 	g       *graph.Graph
 	mx      *dist.Matrix
 	cache   *dist.Cache
+	be      dist.Backend // active backend when mx is nil (cache, 2-hop, custom)
+	kind    string       // "matrix" | "twohop" | "cache" | "custom"
 	workers int
 
 	// slots hands out (arena, worker identity) pairs; its capacity is
@@ -91,29 +141,140 @@ type Engine struct {
 	cands *candidx.Memo
 }
 
-// New builds an engine over g. The graph must not be mutated afterwards
-// while the engine is in use.
-func New(g *graph.Graph, opts Options) *Engine {
+// ErrOptions wraps every configuration error New returns, so callers
+// can distinguish "bad options" from future construction failures with
+// errors.Is.
+var ErrOptions = errors.New("engine: conflicting options")
+
+// validate rejects ambiguous Option combinations. Each check names the
+// fields in conflict; all errors wrap ErrOptions.
+func (o Options) validate() error {
+	set := 0
+	names := ""
+	for _, f := range []struct {
+		on   bool
+		name string
+	}{
+		{o.Matrix != nil, "Matrix"},
+		{o.Cache != nil, "Cache"},
+		{o.Backend != nil, "Backend"},
+		{o.AutoBackend, "AutoBackend"},
+	} {
+		if f.on {
+			set++
+			if names != "" {
+				names += "+"
+			}
+			names += f.name
+		}
+	}
+	if set > 1 {
+		return fmt.Errorf("%w: %s — set at most one backend selector", ErrOptions, names)
+	}
+	if o.CacheSize > 0 && (o.Matrix != nil || o.Cache != nil || o.Backend != nil) {
+		return fmt.Errorf("%w: CacheSize with an explicit backend would be silently ignored", ErrOptions)
+	}
+	if o.MemoryBudget != 0 && !o.AutoBackend {
+		return fmt.Errorf("%w: MemoryBudget without AutoBackend would be silently ignored", ErrOptions)
+	}
+	if o.ReachFilter != nil && o.ReachFilterK > 0 {
+		return fmt.Errorf("%w: ReachFilter and ReachFilterK — supply the filter or ask for one, not both", ErrOptions)
+	}
+	wantFilter := o.ReachFilter != nil || o.ReachFilterK > 0
+	if wantFilter && o.Matrix != nil {
+		return fmt.Errorf("%w: ReachFilter with Matrix — matrix lookups have no filter hook", ErrOptions)
+	}
+	if wantFilter && o.Backend != nil {
+		if _, ok := o.Backend.(filterable); !ok {
+			return fmt.Errorf("%w: ReachFilter with a backend that has no SetFilter", ErrOptions)
+		}
+	}
+	return nil
+}
+
+// New builds an engine over g, selecting the distance backend from
+// opts (see Options). The graph must not be mutated afterwards while
+// the engine is in use. Conflicting options return an error wrapping
+// ErrOptions; AutoBackend construction itself cannot fail (the cache
+// is the always-available last resort).
+func New(g *graph.Graph, opts Options) (*Engine, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	cache := opts.Cache
-	if cache == nil && opts.Matrix == nil {
-		size := opts.CacheSize
-		if size <= 0 {
-			size = 1 << 16
-		}
-		cache = dist.NewCache(g, size)
+	cacheSize := opts.CacheSize
+	if cacheSize <= 0 {
+		cacheSize = 1 << 16
 	}
+
+	mx := opts.Matrix
+	be := opts.Backend
+	cache := opts.Cache
+	kind := "custom"
+	switch {
+	case mx != nil:
+		kind = "matrix"
+	case cache != nil:
+		kind = "cache"
+	case be != nil:
+		switch b := be.(type) {
+		case *dist.TwoHop:
+			kind = "twohop"
+		case *dist.Cache:
+			kind = "cache"
+			cache = b
+		}
+	case opts.AutoBackend:
+		budget := opts.MemoryBudget
+		if budget <= 0 {
+			budget = 1 << 30
+		}
+		if dist.PredictMatrixBytes(g) <= budget {
+			mx = dist.NewMatrix(g)
+			kind = "matrix"
+		} else if th, err := dist.NewTwoHopBudget(context.Background(), g, budget); err == nil {
+			be = th
+			kind = "twohop"
+		} else {
+			// Labels blew the budget too: the O(capacity) cache is the
+			// only backend whose footprint does not depend on the graph.
+			cache = dist.NewCache(g, cacheSize)
+			kind = "cache"
+		}
+	default:
+		cache = dist.NewCache(g, cacheSize)
+		kind = "cache"
+	}
+	if cache != nil {
+		be = cache
+	}
+
+	if opts.ReachFilter != nil || opts.ReachFilterK > 0 {
+		f := opts.ReachFilter
+		if f == nil {
+			f = reachidx.Build(g, opts.ReachFilterK)
+		}
+		// validate guaranteed explicit backends are filterable; the
+		// auto-selected matrix is the one combination that drops the
+		// filter (documented on Options.ReachFilter).
+		if fb, ok := be.(filterable); ok && mx == nil {
+			fb.SetFilter(f)
+		}
+	}
+
 	// Freeze the graph's lazy per-color index now: pattern normalization
 	// probes Succ/Pred, and building the index on first use from several
 	// workers at once would race.
 	g.BuildColorIndex()
 	e := &Engine{
 		g:       g,
-		mx:      opts.Matrix,
+		mx:      mx,
 		cache:   cache,
+		be:      be,
+		kind:    kind,
 		workers: workers,
 		slots:   make(chan *dist.Scratch, workers),
 	}
@@ -125,17 +286,44 @@ func New(g *graph.Graph, opts Options) *Engine {
 	for i := 0; i < workers; i++ {
 		e.slots <- dist.NewScratch()
 	}
+	return e, nil
+}
+
+// MustNew is New for configurations known statically valid (tests,
+// examples, fixed internal setups); it panics on a configuration error.
+func MustNew(g *graph.Graph, opts Options) *Engine {
+	e, err := New(g, opts)
+	if err != nil {
+		panic(err)
+	}
 	return e
 }
 
 // Graph returns the engine's graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
-// Matrix returns the shared distance matrix, nil in cache mode.
+// Matrix returns the shared distance matrix, nil unless the engine is
+// in matrix mode.
 func (e *Engine) Matrix() *dist.Matrix { return e.mx }
 
-// Cache returns the shared distance cache, nil in matrix mode.
+// Cache returns the shared distance cache, nil unless the engine's
+// backend is a cache.
 func (e *Engine) Cache() *dist.Cache { return e.cache }
+
+// Backend returns the active distance backend: the matrix in matrix
+// mode, otherwise whatever New selected or was given (cache, 2-hop
+// labels, custom).
+func (e *Engine) Backend() dist.Backend {
+	if e.mx != nil {
+		return e.mx
+	}
+	return e.be
+}
+
+// BackendKind names the active backend — "matrix", "twohop", "cache"
+// or "custom" — mainly so AutoBackend's choice is observable (servers
+// log it; tests assert on it).
+func (e *Engine) BackendKind() string { return e.kind }
 
 // Workers returns the engine's concurrency bound.
 func (e *Engine) Workers() int { return e.workers }
@@ -269,7 +457,7 @@ func (e *Engine) runCtx(ctx context.Context, r Request, s *dist.Scratch) Result 
 			if e.mx != nil {
 				err = r.RQ.StreamMatrix(ctx, e.g, e.mx, e.candSource(), r.Emit)
 			} else {
-				err = r.RQ.StreamBiBFS(ctx, e.g, e.cache, s, e.candSource(), r.Emit)
+				err = r.RQ.StreamBackend(ctx, e.g, e.be, s, e.candSource(), r.Emit)
 			}
 			return Result{Err: err}
 		}
@@ -282,7 +470,7 @@ func (e *Engine) runCtx(ctx context.Context, r Request, s *dist.Scratch) Result 
 		if e.mx != nil {
 			err = r.RQ.StreamMatrix(ctx, e.g, e.mx, e.candSource(), collect)
 		} else {
-			err = r.RQ.StreamBiBFS(ctx, e.g, e.cache, s, e.candSource(), collect)
+			err = r.RQ.StreamBackend(ctx, e.g, e.be, s, e.candSource(), collect)
 		}
 		if err != nil {
 			return Result{Err: err}
@@ -290,7 +478,7 @@ func (e *Engine) runCtx(ctx context.Context, r Request, s *dist.Scratch) Result 
 		return Result{Pairs: pairs}
 	case r.PQ != nil:
 		match, err := pattern.JoinMatchCtx(ctx, e.g, r.PQ, pattern.Options{
-			Matrix: e.mx, Cache: e.cache, Scratch: s, Cands: e.candSource(),
+			Matrix: e.mx, Backend: e.be, Scratch: s, Cands: e.candSource(),
 		})
 		if err != nil {
 			return Result{Err: err}

@@ -57,7 +57,7 @@ func TestBatchMatchesSerial(t *testing.T) {
 		"no-candidx":    {Workers: 4, DisableCandidateIndex: true},
 		"matrix-no-idx": {Workers: 4, Matrix: mx, DisableCandidateIndex: true},
 	} {
-		e := engine.New(g, opts)
+		e := engine.MustNew(g, opts)
 		got := e.RunRQs(qs)
 		for i := range qs {
 			if pairsKey(got[i]) != want[i] {
@@ -82,7 +82,7 @@ func TestMixedBatch(t *testing.T) {
 			reqs = append(reqs, engine.Request{PQ: q})
 		}
 	}
-	e := engine.New(g, engine.Options{Workers: 3})
+	e := engine.MustNew(g, engine.Options{Workers: 3})
 	res := e.RunBatch(reqs)
 	for i, r := range res {
 		if r.Err != nil {
@@ -116,7 +116,7 @@ func TestConcurrentBatchesSharedCache(t *testing.T) {
 	}
 
 	ca := dist.NewCache(g, 1<<12)
-	e := engine.New(g, engine.Options{Workers: 4, Cache: ca})
+	e := engine.MustNew(g, engine.Options{Workers: 4, Cache: ca})
 	var wg sync.WaitGroup
 	errs := make(chan string, 64)
 	for b := 0; b < 8; b++ {
@@ -148,7 +148,7 @@ func TestConcurrentBatchesSharedCache(t *testing.T) {
 // panicking or being silently dropped.
 func TestRequestValidation(t *testing.T) {
 	g := testGraph(1)
-	e := engine.New(g, engine.Options{Workers: 2})
+	e := engine.MustNew(g, engine.Options{Workers: 2})
 	q := testRQs(g, 1, 1)[0]
 	pq := gen.Query(g, gen.Spec{Nodes: 2, Edges: 1, Preds: 1, Bound: 2, Colors: 1}, rand.New(rand.NewSource(2)))
 	res := e.RunBatch([]engine.Request{
@@ -165,7 +165,7 @@ func TestRequestValidation(t *testing.T) {
 
 // TestEmptyBatch must not hang on zero requests.
 func TestEmptyBatch(t *testing.T) {
-	e := engine.New(testGraph(2), engine.Options{})
+	e := engine.MustNew(testGraph(2), engine.Options{})
 	if res := e.RunBatch(nil); len(res) != 0 {
 		t.Errorf("RunBatch(nil) = %v", res)
 	}

@@ -45,7 +45,7 @@ func TestSessionMatchesRunBatch(t *testing.T) {
 		"cache":  {Workers: 4},
 		"matrix": {Workers: 4, Matrix: mx},
 	} {
-		e := engine.New(g, opts)
+		e := engine.MustNew(g, opts)
 		want := e.RunBatch(reqs)
 
 		s := e.Open(context.Background(), engine.SessionOptions{MaxInFlight: 6})
@@ -105,7 +105,7 @@ func TestSessionMatchesRunBatch(t *testing.T) {
 func TestSessionCancelMidBatch(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 	g := gen.Synthetic(3, 1200, 6000, 3, gen.DefaultColors)
-	e := engine.New(g, engine.Options{Workers: 4})
+	e := engine.MustNew(g, engine.Options{Workers: 4})
 	r := rand.New(rand.NewSource(2))
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -186,7 +186,7 @@ func TestSessionCancelMidBatch(t *testing.T) {
 // second Submit must block until the first result is consumed.
 func TestSessionBackpressure(t *testing.T) {
 	g := testGraph(5)
-	e := engine.New(g, engine.Options{Workers: 2})
+	e := engine.MustNew(g, engine.Options{Workers: 2})
 	s := e.Open(context.Background(), engine.SessionOptions{MaxInFlight: 1})
 	q := testRQs(g, 3, 9)
 
@@ -226,7 +226,7 @@ func TestSessionBackpressure(t *testing.T) {
 func TestSessionEmitStreams(t *testing.T) {
 	g := testGraph(7)
 	qs := testRQs(g, 20, 13)
-	e := engine.New(g, engine.Options{Workers: 3})
+	e := engine.MustNew(g, engine.Options{Workers: 3})
 	want := e.RunRQs(qs)
 
 	s := e.Open(context.Background(), engine.SessionOptions{MaxInFlight: 4})
@@ -271,7 +271,7 @@ func TestRunBatchCtxPreCancelled(t *testing.T) {
 	for i := range qs {
 		reqs[i] = engine.Request{RQ: &qs[i]}
 	}
-	e := engine.New(g, engine.Options{Workers: 2})
+	e := engine.MustNew(g, engine.Options{Workers: 2})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	out := e.RunBatchCtx(ctx, reqs)
@@ -293,7 +293,7 @@ func TestRunBatchCtxPreCancelled(t *testing.T) {
 func TestRunBatchTagsIDs(t *testing.T) {
 	g := testGraph(5)
 	q := testRQs(g, 1, 3)[0]
-	e := engine.New(g, engine.Options{Workers: 2})
+	e := engine.MustNew(g, engine.Options{Workers: 2})
 	out := e.RunBatch([]engine.Request{
 		{RQ: &q},
 		{}, // malformed: empty

@@ -2,8 +2,10 @@ package gen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
+	"regraph/internal/dist"
 	"regraph/internal/graph"
 )
 
@@ -91,6 +93,50 @@ func YouTube(seed int64, scale float64) *graph.Graph {
 		g.AddEdge(graph.NodeID(from), graph.NodeID(to), colors[r.Intn(len(colors))])
 	}
 	return g
+}
+
+// YouTubeUnbuildable builds the smallest YouTube-shaped graph whose
+// distance matrix would NOT fit in budget bytes, returning the graph
+// and the scale it corresponds to. This is the bench harness's knob
+// for the "matrix unbuildable" regime: instead of claiming a graph is
+// too big, the driver derives one from the same byte budget the engine
+// heuristic uses, so dist.PredictMatrixBytes(g) > budget holds by
+// construction (verified, not assumed).
+func YouTubeUnbuildable(seed int64, budget int64) (*graph.Graph, float64) {
+	// YouTube has 4 colors, so the matrix is 5 layers of n²·4 bytes:
+	// the smallest offending n is √(budget/20)+1.
+	n := 1
+	for int64(n)*int64(n)*20 <= budget {
+		// Direct jump with a linear safety loop on top — float sqrt
+		// rounding must never hand back a graph that still fits.
+		next := intSqrt(budget/20) + 1
+		if next <= n {
+			next = n + 1
+		}
+		n = next
+	}
+	scale := float64(n) / 8350
+	g := YouTube(seed, scale)
+	for dist.PredictMatrixBytes(g) <= budget {
+		// Scale quantization (nodes = int(8350·scale)) undershot; nudge up.
+		scale *= 1.01
+		g = YouTube(seed, scale)
+	}
+	return g, scale
+}
+
+func intSqrt(x int64) int {
+	if x < 0 {
+		return 0
+	}
+	r := int64(math.Sqrt(float64(x)))
+	for r*r > x {
+		r--
+	}
+	for (r+1)*(r+1) <= x {
+		r++
+	}
+	return int(r)
 }
 
 // Terror builds the terrorist-organization collaboration network of

@@ -1,0 +1,26 @@
+package gen
+
+import (
+	"testing"
+
+	"regraph/internal/dist"
+)
+
+// TestYouTubeUnbuildable: the generated graph's predicted matrix bytes
+// must exceed the budget, and the graph must stay close to the minimum
+// offending size (no runaway scaling).
+func TestYouTubeUnbuildable(t *testing.T) {
+	for _, budget := range []int64{1 << 20, 1 << 24, 100 << 20} {
+		g, scale := YouTubeUnbuildable(1, budget)
+		got := dist.PredictMatrixBytes(g)
+		if got <= budget {
+			t.Fatalf("budget %d: matrix bytes %d still fit", budget, got)
+		}
+		if got > budget*2 {
+			t.Fatalf("budget %d: overshot to %d bytes (scale %.4f)", budget, got, scale)
+		}
+		if g.NumColors() != 4 {
+			t.Fatalf("expected the 4 YouTube colors, got %d", g.NumColors())
+		}
+	}
+}

@@ -22,6 +22,15 @@ type Options struct {
 	Matrix *dist.Matrix
 	Cache  *dist.Cache
 
+	// Backend optionally supplies a general distance backend (Matrix,
+	// TwoHop, Cache — see dist.Backend) for the runtime-search mode's
+	// single-atom pair checks, taking precedence over Cache. It does
+	// not switch on the normalized matrix algorithm — that needs the
+	// concrete Matrix field — but any backend makes single-atom edges a
+	// pairwise lookup instead of a closure search. Answers are
+	// identical across backends by the Backend contract.
+	Backend dist.Backend
+
 	// Scratch optionally supplies a reusable search arena for the
 	// runtime-search configurations; nil borrows one from the dist
 	// package pool per evaluation. Engine workers pass their own so
@@ -39,6 +48,20 @@ type Options struct {
 	// identical (the fixpoint is unique); exposed for the ablation
 	// benchmark quantifying what the ordering buys.
 	DisableTopoOrder bool
+}
+
+// distBackend resolves the pairwise distance oracle for the
+// runtime-search mode: the explicit Backend when set, else the Cache
+// (lifted into the interface only when non-nil — a nil *Cache must
+// become a nil interface), else nil, which means closure search only.
+func (o Options) distBackend() dist.Backend {
+	if o.Backend != nil {
+		return o.Backend
+	}
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return nil
 }
 
 // scratch returns the arena evaluation should run on plus a put function
@@ -182,22 +205,24 @@ func (c *matrixChecker) refineSrc(ei int, src, tgt []bool) (changed, nonEmpty bo
 }
 
 // searchChecker: edges keep their whole atom chains. Single-atom edges
-// are checked pair by pair through the LRU distance cache, exactly the
-// paper's cache configuration (a miss recomputes the distance from
-// scratch with bi-directional BFS). Multi-atom edges use the paper's
+// are checked pair by pair through the distance backend when one is
+// configured — the LRU cache is the paper's configuration (a miss
+// recomputes the distance from scratch with bi-directional BFS), but
+// any dist.Backend (TwoHop labels, a Matrix used without normalized
+// splitting) slots in identically. Multi-atom edges use the paper's
 // multi-color runtime evaluation: the whole target set's backward image
 // under the expression, by multi-source bounded BFS, intersected with the
 // source set.
 type searchChecker struct {
 	g       *graph.Graph
-	cache   *dist.Cache
+	be      dist.Backend
 	chains  [][]dist.CAtom // per normalized edge (== original edge here)
 	scratch *dist.Scratch
 }
 
 func (c *searchChecker) refineSrc(ei int, src, tgt []bool) (changed, nonEmpty bool) {
 	atoms := c.chains[ei]
-	if len(atoms) == 1 && c.cache != nil {
+	if len(atoms) == 1 && c.be != nil {
 		a := atoms[0]
 		for x := range src {
 			if !src[x] {
@@ -208,7 +233,7 @@ func (c *searchChecker) refineSrc(ei int, src, tgt []bool) (changed, nonEmpty bo
 			}
 			keep := false
 			for y := range tgt {
-				if tgt[y] && a.Sat(c.cache.DistScratch(a.Color, graph.NodeID(x), graph.NodeID(y), c.scratch)) {
+				if tgt[y] && a.Sat(c.be.DistScratch(a.Color, graph.NodeID(x), graph.NodeID(y), c.scratch)) {
 					keep = true
 					break
 				}
@@ -283,7 +308,7 @@ func JoinMatchCtx(ctx context.Context, g *graph.Graph, q *Query, opts Options) (
 	if useMatrix {
 		ck = &matrixChecker{mx: opts.Matrix, edges: nq.edges, s: s}
 	} else {
-		ck = &searchChecker{g: g, cache: opts.Cache, chains: chains, scratch: s}
+		ck = &searchChecker{g: g, be: opts.distBackend(), chains: chains, scratch: s}
 	}
 	mats := initialMats(g, nq, opts.Cands)
 	if mats == nil {
@@ -460,8 +485,8 @@ func collect(g *graph.Graph, q *Query, nq *normQuery, chains [][]dist.CAtom, mat
 					sat := false
 					if opts.Matrix != nil {
 						sat = a.SatMatrix(opts.Matrix, graph.NodeID(x), graph.NodeID(y))
-					} else if opts.Cache != nil {
-						sat = a.Sat(opts.Cache.DistScratch(a.Color, graph.NodeID(x), graph.NodeID(y), s))
+					} else if be := opts.distBackend(); be != nil {
+						sat = a.Sat(be.DistScratch(a.Color, graph.NodeID(x), graph.NodeID(y), s))
 					} else {
 						sat = a.Sat(dist.BiDistScratch(g, a.Color, graph.NodeID(x), graph.NodeID(y), s))
 					}

@@ -43,7 +43,7 @@ func SplitMatchCtx(ctx context.Context, g *graph.Graph, q *Query, opts Options) 
 	if useMatrix {
 		ck = &matrixChecker{mx: opts.Matrix, edges: nq.edges, s: s}
 	} else {
-		ck = &searchChecker{g: g, cache: opts.Cache, chains: chains, scratch: s}
+		ck = &searchChecker{g: g, be: opts.distBackend(), chains: chains, scratch: s}
 	}
 	mats := initialMats(g, nq, opts.Cands)
 	if mats == nil {

@@ -246,6 +246,26 @@ func (q Query) EvalBiBFSScratchWith(g *graph.Graph, ca *dist.Cache, s *dist.Scra
 	return out
 }
 
+// EvalBackend evaluates the query against any distance backend (see
+// dist.Backend and StreamBackend) with a pooled search arena.
+func (q Query) EvalBackend(g *graph.Graph, be dist.Backend) []Pair {
+	s := dist.GetScratch()
+	defer dist.PutScratch(s)
+	return q.EvalBackendScratchWith(g, be, s, nil)
+}
+
+// EvalBackendScratchWith is EvalBackend with an explicit arena and
+// candidate source — the form engine workers call once a backend other
+// than the cache is selected.
+func (q Query) EvalBackendScratchWith(g *graph.Graph, be dist.Backend, s *dist.Scratch, cs CandidateSource) []Pair {
+	var out []Pair
+	_ = q.StreamBackend(nil, g, be, s, cs, func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
 // bitsetListPool recycles the slice-of-bitset headers EvalBiBFSScratch
 // retains its backward closures in.
 var bitsetListPool = sync.Pool{

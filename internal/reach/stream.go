@@ -153,11 +153,29 @@ func (q Query) StreamBFS(ctx context.Context, g *graph.Graph, s *dist.Scratch, c
 
 // StreamBiBFS evaluates the query with the bi-directional runtime search
 // (see EvalBiBFS), emitting answers as each source's forward closure is
-// intersected with the retained backward closures. The context is bound
-// to s for the duration, so every closure and cache-miss search under
-// this call observes cancellation; a cancelled cache-miss distance is
-// never stored (see dist.Cache.DistScratch).
+// intersected with the retained backward closures. It is StreamBackend
+// with the cache as the (optional) distance backend; the indirection
+// keeps the historical cache-typed API while the engine speaks Backend.
 func (q Query) StreamBiBFS(ctx context.Context, g *graph.Graph, ca *dist.Cache, s *dist.Scratch, cs CandidateSource, yield func(Pair) bool) error {
+	// The nil *Cache must become a nil interface, not a non-nil
+	// interface holding a nil pointer — StreamBackend branches on it.
+	var be dist.Backend
+	if ca != nil {
+		be = ca
+	}
+	return q.StreamBackend(ctx, g, be, s, cs, yield)
+}
+
+// StreamBackend evaluates the query against any distance backend
+// (Matrix, TwoHop, Cache — see dist.Backend): single-atom expressions
+// become pairwise backend lookups over the candidate sets; longer
+// expressions fall back to the split closure search, which never needs
+// per-pair distances. A nil backend always uses closures. The context
+// is bound to s for the duration, so every closure and cache-miss
+// search under this call observes cancellation; a cancelled cache-miss
+// distance is never stored (see dist.Cache.DistScratch). Index-backed
+// backends answer O(1)/O(label) lookups regardless of ctx.
+func (q Query) StreamBackend(ctx context.Context, g *graph.Graph, be dist.Backend, s *dist.Scratch, cs CandidateSource, yield func(Pair) bool) error {
 	atoms, ok := dist.Compile(g, q.Expr)
 	if !ok {
 		return nil
@@ -171,14 +189,14 @@ func (q Query) StreamBiBFS(ctx context.Context, g *graph.Graph, ca *dist.Cache, 
 	if len(cand1) == 0 || len(cand2) == 0 {
 		return nil
 	}
-	if len(atoms) == 1 && ca != nil {
+	if len(atoms) == 1 && be != nil {
 		a := atoms[0]
 		for _, x := range cand1 {
 			if s.Canceled() {
 				return ctx.Err()
 			}
 			for _, y := range cand2 {
-				if a.Sat(ca.DistScratch(a.Color, x, y, s)) {
+				if a.Sat(be.DistScratch(a.Color, x, y, s)) {
 					if !yield(Pair{x, y}) {
 						return nil
 					}

@@ -151,7 +151,7 @@ func TestServerMatchesRunBatch(t *testing.T) {
 		"matrix": {Workers: 4, Matrix: mx},
 	} {
 		t.Run(name, func(t *testing.T) {
-			e := engine.New(g, opts)
+			e := engine.MustNew(g, opts)
 			want := wantResponses(t, e, reqs)
 
 			srv := server.New(e, server.Options{})
@@ -196,7 +196,7 @@ func TestServerMatchesRunBatch(t *testing.T) {
 // with the line's id while the stream keeps serving the valid lines.
 func TestServerPerLineErrors(t *testing.T) {
 	g := testGraph(3)
-	e := engine.New(g, engine.Options{Workers: 2})
+	e := engine.MustNew(g, engine.Options{Workers: 2})
 	srv := server.New(e, server.Options{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -254,7 +254,7 @@ func TestServerPerLineErrors(t *testing.T) {
 // draining flip.
 func TestServerStatsAndHealth(t *testing.T) {
 	g := testGraph(3)
-	e := engine.New(g, engine.Options{Workers: 2})
+	e := engine.MustNew(g, engine.Options{Workers: 2})
 	srv := server.New(e, server.Options{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -306,7 +306,7 @@ func TestServerStatsAndHealth(t *testing.T) {
 // the session drains.
 func TestServerStreamDeadline(t *testing.T) {
 	g := testGraph(3)
-	e := engine.New(g, engine.Options{Workers: 2})
+	e := engine.MustNew(g, engine.Options{Workers: 2})
 	srv := server.New(e, server.Options{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

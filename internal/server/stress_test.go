@@ -77,7 +77,7 @@ func tolerantDecode(t *testing.T, r io.Reader) []wire.Response {
 func TestServerConcurrentClients(t *testing.T) {
 	defer leakCheck(t)()
 	g := testGraph(17)
-	e := engine.New(g, engine.Options{Workers: 4})
+	e := engine.MustNew(g, engine.Options{Workers: 4})
 	srv := server.New(e, server.Options{MaxInFlight: 4})
 	ts := httptest.NewServer(srv.Handler())
 
@@ -129,7 +129,7 @@ func TestServerConcurrentClients(t *testing.T) {
 func TestServerClientDisconnectMidStream(t *testing.T) {
 	defer leakCheck(t)()
 	g := testGraph(23)
-	e := engine.New(g, engine.Options{Workers: 4})
+	e := engine.MustNew(g, engine.Options{Workers: 4})
 	srv := server.New(e, server.Options{MaxInFlight: 4})
 	ts := httptest.NewServer(srv.Handler())
 
@@ -199,7 +199,7 @@ func TestServerClientDisconnectMidStream(t *testing.T) {
 func TestServerShutdownGraceful(t *testing.T) {
 	defer leakCheck(t)()
 	g := testGraph(29)
-	e := engine.New(g, engine.Options{Workers: 2})
+	e := engine.MustNew(g, engine.Options{Workers: 2})
 	srv := server.New(e, server.Options{})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -287,7 +287,7 @@ func TestServerShutdownGraceful(t *testing.T) {
 func TestServerShutdownForced(t *testing.T) {
 	defer leakCheck(t)()
 	g := testGraph(31)
-	e := engine.New(g, engine.Options{Workers: 2})
+	e := engine.MustNew(g, engine.Options{Workers: 2})
 	srv := server.New(e, server.Options{})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -37,6 +37,8 @@
 package regraph
 
 import (
+	"context"
+
 	"regraph/internal/candidx"
 	"regraph/internal/contain"
 	"regraph/internal/dist"
@@ -83,6 +85,15 @@ type (
 	Matrix = dist.Matrix
 	// Cache is the LRU distance cache for matrix-free evaluation.
 	Cache = dist.Cache
+	// DistBackend is the pluggable distance oracle behind single-atom
+	// evaluation: Matrix, Cache and TwoHop all implement it, and
+	// EngineOptions.Backend accepts any of them (or a caller-supplied
+	// implementation honoring the same exactness contract).
+	DistBackend = dist.Backend
+	// TwoHop is the 2-hop-labeling distance index: per-color sorted hub
+	// labels answering Dist by sorted merge — between Matrix and Cache
+	// in both space and lookup cost. See NewTwoHop.
+	TwoHop = dist.TwoHop
 	// CAtom is one compiled atom of a subclass-F expression: an interned
 	// color layer plus an occurrence bound.
 	CAtom = dist.CAtom
@@ -194,14 +205,51 @@ func NewMatrix(g *Graph) *Matrix { return dist.NewMatrix(g) }
 // matrix.
 func NewCache(g *Graph, capacity int) *Cache { return dist.NewCache(g, capacity) }
 
+// NewTwoHop builds the 2-hop label index for every color layer (plus
+// the wildcard layer) with degree-ranked pruned landmark BFS,
+// parallelized across layers. Distances agree bit-for-bit with
+// NewMatrix's at a fraction of its (m+1)·|V|² memory on sparse graphs;
+// pass it as EngineOptions.Backend or to RQ.EvalBackend.
+func NewTwoHop(g *Graph) *TwoHop { return dist.NewTwoHop(g) }
+
+// NewTwoHopBudget is NewTwoHop under a context and a label-storage
+// byte budget (0 = unlimited): construction aborts with
+// ErrTwoHopBudget when the labels exceed the budget, and with ctx's
+// error on cancellation.
+func NewTwoHopBudget(ctx context.Context, g *Graph, maxBytes int64) (*TwoHop, error) {
+	return dist.NewTwoHopBudget(ctx, g, maxBytes)
+}
+
+// ErrTwoHopBudget reports that 2-hop label construction exceeded its
+// byte budget; fall back to a Cache (see EngineOptions.AutoBackend,
+// which does exactly that).
+var ErrTwoHopBudget = dist.ErrTwoHopBudget
+
+// PredictMatrixBytes returns the exact bytes NewMatrix would allocate
+// for g — (m+1)·|V|²·4 — without allocating them; the quantity
+// EngineOptions.AutoBackend compares against its MemoryBudget.
+func PredictMatrixBytes(g *Graph) int64 { return dist.PredictMatrixBytes(g) }
+
 // NewEngine builds a resident query engine over g: RQs and PQs are
 // evaluated concurrently across a bounded worker pool, every worker
 // reusing a persistent Scratch arena against the engine's shared
-// Matrix or Cache. Engine.Open starts a streaming Session
-// (Submit/Results with back-pressure and context cancellation);
-// Engine.RunBatch evaluates one whole batch at a time. The graph must
-// not be mutated while the engine is in use.
-func NewEngine(g *Graph, opts EngineOptions) *Engine { return engine.New(g, opts) }
+// distance backend (an explicit Matrix, Cache or DistBackend, the
+// AutoBackend memory-budget heuristic, or the default auto-created
+// cache). Engine.Open starts a streaming Session (Submit/Results with
+// back-pressure and context cancellation); Engine.RunBatch evaluates
+// one whole batch at a time. The graph must not be mutated while the
+// engine is in use. Conflicting options (two backends at once, a
+// CacheSize that would be ignored, a filter the backend cannot hold)
+// return an error wrapping ErrEngineOptions.
+func NewEngine(g *Graph, opts EngineOptions) (*Engine, error) { return engine.New(g, opts) }
+
+// MustEngine is NewEngine for statically known-valid configurations;
+// it panics on a configuration error.
+func MustEngine(g *Graph, opts EngineOptions) *Engine { return engine.MustNew(g, opts) }
+
+// ErrEngineOptions is the sentinel every NewEngine configuration error
+// wraps.
+var ErrEngineOptions = engine.ErrOptions
 
 // NewCandidateIndex builds the attribute inverted index for the
 // graph's current state. Pass it (or a CandidateMemo) to
