@@ -136,6 +136,25 @@ func BenchmarkTwoHop(b *testing.B) {
 	}
 }
 
+// QoS under open-loop load (ISSUE 7): a loopback rgserve with
+// adaptive admission driven below, at and above its calibrated
+// saturation rate by internal/loadgen. The per-rate offered/achieved
+// QPS, exact p50/p99/p999 and shed/deadline-miss rates are forwarded
+// through ReportMetric so BENCH_load.json records the saturation story.
+func BenchmarkServerLoad(b *testing.B) {
+	env := benchEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := bench.ServerLoad(env)
+		if len(tab.Rows) == 0 {
+			b.Fatal("driver produced no rows")
+		}
+		for unit, v := range tab.Metrics {
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
 // Ablations (DESIGN.md §5).
 
 func BenchmarkAblationContainment(b *testing.B) { runDriver(b, bench.AblationContainment) }

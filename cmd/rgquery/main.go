@@ -74,6 +74,8 @@ func main() {
 		batchPath = flag.String("batch", "", "batch of RQs, one per tab-separated line")
 		stream    = flag.Bool("stream", false, "batch: print each result as an NDJSON line the moment it completes")
 		remote    = flag.String("remote", "", "rgserve base URL: run the queries over the wire instead of locally")
+		priority  = flag.Int("priority", 0, "remote: scheduling priority for every request (0-7, higher = more weight)")
+		deadline  = flag.Duration("deadline", 0, "remote: per-request deadline budget, e.g. 250ms (0 = none)")
 		workers   = flag.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
 		useMatrix = flag.Bool("matrix", true, "precompute the distance matrix (shorthand for -backend matrix/cache)")
 		backend   = flag.String("backend", "", "distance backend: matrix, twohop, cache or auto (overrides -matrix)")
@@ -85,7 +87,7 @@ func main() {
 	flag.Parse()
 
 	if *remote != "" {
-		if err := runRemote(*remote, *batchPath, *patPath, *from, *to, *expr); err != nil {
+		if err := runRemote(*remote, *batchPath, *patPath, *from, *to, *expr, *priority, *deadline); err != nil {
 			fatal(err)
 		}
 		return
@@ -166,11 +168,19 @@ func engineOptions(g *regraph.Graph, backend string, useMatrix bool, workers, gr
 // runRemote ships the requested queries to an rgserve instance as
 // NDJSON request lines (internal/wire) and passes the server's response
 // lines through to stdout as they arrive. The upload is a pipe, so the
-// server's admission bound back-pressures request production too.
-func runRemote(base, batchPath, patPath, from, to, expr string) error {
+// server's admission bound back-pressures request production too. A
+// -priority or -deadline flag stamps every request line with the QoS
+// fields; the deadline budget starts when the server receives the line.
+func runRemote(base, batchPath, patPath, from, to, expr string, priority int, deadline time.Duration) error {
 	reqs, err := remoteRequests(batchPath, patPath, from, to, expr)
 	if err != nil {
 		return err
+	}
+	if priority != 0 || deadline > 0 {
+		for i := range reqs {
+			reqs[i].Priority = priority
+			reqs[i].DeadlineMS = deadline.Milliseconds()
+		}
 	}
 	// Pass lines through verbatim, tallying a stderr summary.
 	t0 := time.Now()

@@ -47,6 +47,7 @@ func main() {
 		grailK        = flag.Int("grail", 0, "install a GRAIL reachability filter with k traversals in front of the backend (0 = off; not with matrix)")
 		candIdx       = flag.Bool("candidx", true, "build the attribute inverted index")
 		maxInFlight   = flag.Int("maxinflight", 0, "per-stream admission bound (0 = 2x workers)")
+		adaptive      = flag.Bool("adaptive", false, "adaptive admission: shrink the in-flight bound when p99 latency nears the requests' deadline budgets")
 		streamTimeout = flag.Duration("stream-timeout", 0, "max duration of one query stream (0 = none)")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
 	)
@@ -91,8 +92,9 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "rgserve: %s backend ready in %v\n", e.BackendKind(), time.Since(t0).Round(time.Millisecond))
 	srv := server.New(e, server.Options{
-		MaxInFlight:   *maxInFlight,
-		StreamTimeout: *streamTimeout,
+		MaxInFlight:      *maxInFlight,
+		AdaptiveInFlight: *adaptive,
+		StreamTimeout:    *streamTimeout,
 	})
 
 	errc := make(chan error, 1)
@@ -114,8 +116,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rgserve: forced shutdown: %v\n", err)
 		}
 		st := srv.Stats()
-		fmt.Fprintf(os.Stderr, "rgserve: served %d streams, %d queries (%d completed, %d cancelled, %d failed), p95 %v\n",
-			st.StreamsTotal, st.Submitted, st.Completed, st.Cancelled, st.Failed, st.Latency.P95)
+		fmt.Fprintf(os.Stderr, "rgserve: served %d streams, %d queries (%d completed, %d cancelled, %d failed, %d shed, %d deadline-missed), p95 %v p99 %v\n",
+			st.StreamsTotal, st.Submitted, st.Completed, st.Cancelled, st.Failed, st.Expired, st.Missed, st.Latency.P95, st.Latency.P99)
 	}
 }
 

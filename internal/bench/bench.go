@@ -264,6 +264,7 @@ func All() []NamedDriver {
 		{"engine-memo", EngineMemo},
 		{"engine-session", EngineSession},
 		{"server-throughput", ServerThroughput},
+		{"load", ServerLoad},
 		{"twohop", TwoHop},
 		{"ablation-containment", AblationContainment},
 		{"ablation-filter", AblationFilter},

@@ -354,6 +354,24 @@ type Request struct {
 	// the enumeration early. Ignored for PQ requests (pattern answers
 	// are per-edge sets, not a pair stream).
 	Emit func(reach.Pair) bool
+
+	// Priority selects the session scheduling band: under contention,
+	// band p receives a worker share proportional to 2^p (earliest
+	// deadline first within a band), so higher-priority requests wait
+	// less without ever fully starving lower bands. Values clamp to
+	// [0, MaxPriority]; zero — the default — is the lowest band. With
+	// every request at one priority and no deadlines, scheduling is
+	// exact FIFO. Ignored by RunBatch (which waits for the whole batch
+	// anyway) unless requests carry distinct priorities.
+	Priority int
+
+	// Deadline, when nonzero, is the absolute time after which the
+	// answer is worthless. A request whose deadline passes while it is
+	// still queued is shed — completed with ErrDeadlineExpired, without
+	// consuming evaluation time — and one that is mid-evaluation at the
+	// deadline is abandoned at the evaluators' next cancellation
+	// checkpoint with context.DeadlineExceeded. Zero means no deadline.
+	Deadline time.Time
 }
 
 // Result is the answer to one Request. ID is the originating request's
@@ -370,6 +388,11 @@ type Result struct {
 	Match   *pattern.Result // PQ answer
 	Err     error
 	Elapsed time.Duration
+
+	// Wait is the time the request spent queued between Submit and the
+	// start of processing (or its shed) — the scheduling delay the QoS
+	// layer bounds. Zero for RunBatch-internal bookkeeping errors.
+	Wait time.Duration
 }
 
 // RunBatch evaluates every request and returns the results in request

@@ -1,0 +1,233 @@
+package engine
+
+import "time"
+
+// This file is the session scheduler's data structure: a priority-band
+// queue with earliest-deadline-first ordering inside each band and
+// stride scheduling (weighted fair pick) across bands. The Session owns
+// one schedQueue behind its mutex; workers pop from it, the reaper
+// sweeps expired entries out of it. See DESIGN.md §11.
+
+// numBands is the number of priority bands; Request.Priority values
+// clamp into [0, MaxPriority]. Band p carries weight 2^p, so adjacent
+// priorities differ by a factor of two in scheduling share.
+const numBands = 8
+
+// MaxPriority is the highest request priority; larger values are
+// treated as MaxPriority, negative ones as 0.
+const MaxPriority = numBands - 1
+
+// strideOne is the pass increment of the weight-1 band (priority 0);
+// band p advances by strideOne >> p per pick, so its long-run share is
+// proportional to 2^p.
+const strideOne = 1 << numBands
+
+func clampPriority(p int) int {
+	if p < 0 {
+		return 0
+	}
+	if p > MaxPriority {
+		return MaxPriority
+	}
+	return p
+}
+
+// schedItem is one admitted request waiting for a worker.
+type schedItem struct {
+	id       uint64
+	req      Request
+	seq      uint64    // admission order, session-wide
+	deadline time.Time // zero = none
+	enq      time.Time // admission instant (queue-wait measurement)
+}
+
+// before orders two items of the same band: earliest deadline first
+// (no deadline sorts after every deadline), admission order on ties.
+func (a schedItem) before(b schedItem) bool {
+	switch {
+	case a.deadline.IsZero() && b.deadline.IsZero():
+		return a.seq < b.seq
+	case a.deadline.IsZero():
+		return false
+	case b.deadline.IsZero():
+		return true
+	case a.deadline.Equal(b.deadline):
+		return a.seq < b.seq
+	default:
+		return a.deadline.Before(b.deadline)
+	}
+}
+
+// bandHeap is a binary min-heap of schedItems. In seq mode (the FIFO
+// control) it orders by admission only; otherwise by before().
+type bandHeap struct {
+	items []schedItem
+	bySeq bool
+}
+
+func (h *bandHeap) len() int { return len(h.items) }
+
+func (h *bandHeap) less(i, j int) bool {
+	if h.bySeq {
+		return h.items[i].seq < h.items[j].seq
+	}
+	return h.items[i].before(h.items[j])
+}
+
+func (h *bandHeap) push(it schedItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *bandHeap) pop() schedItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[last] = schedItem{} // drop the request reference
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.items) && h.less(l, small) {
+			small = l
+		}
+		if r < len(h.items) && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}
+
+// schedQueue orders a session's admitted-but-unstarted requests. Not
+// safe for concurrent use — the Session serializes access behind its
+// mutex. In fifo mode everything lands in one admission-ordered queue
+// (the PR 4 scheduling, kept as the measurable control); otherwise
+// requests are binned by clamped priority and picked by stride
+// scheduling, EDF within the band.
+type schedQueue struct {
+	fifo  bool
+	bands [numBands]bandHeap
+	pass  [numBands]uint64 // stride-scheduling virtual time per band
+	size  int
+	seq   uint64
+}
+
+func newSchedQueue(fifo bool) *schedQueue {
+	sq := &schedQueue{fifo: fifo}
+	if fifo {
+		sq.bands[0].bySeq = true
+	}
+	return sq
+}
+
+// push enqueues one item, stamping its admission sequence.
+func (sq *schedQueue) push(it schedItem) {
+	it.seq = sq.seq
+	sq.seq++
+	p := 0
+	if !sq.fifo {
+		p = clampPriority(it.req.Priority)
+	}
+	if sq.bands[p].len() == 0 {
+		// A band joining the competition starts at the current virtual
+		// time: an idle band must not bank credit and then monopolize the
+		// workers when traffic arrives.
+		min, found := uint64(0), false
+		for q := 0; q < numBands; q++ {
+			if sq.bands[q].len() > 0 && (!found || sq.pass[q] < min) {
+				min, found = sq.pass[q], true
+			}
+		}
+		if found && sq.pass[p] < min {
+			sq.pass[p] = min
+		}
+	}
+	sq.bands[p].push(it)
+	sq.size++
+}
+
+// pop removes the next item to run; the caller guarantees size > 0.
+// Already-expired items go first (they are answered without evaluation,
+// so clearing them never delays live work); otherwise the non-empty
+// band with the least pass wins and is advanced by its stride — higher
+// bands have smaller strides, hence proportionally larger shares.
+func (sq *schedQueue) pop(now time.Time) schedItem {
+	if it, ok := sq.popExpired(now); ok {
+		return it
+	}
+	best := -1
+	for p := numBands - 1; p >= 0; p-- { // high → low: higher band wins pass ties
+		if sq.bands[p].len() > 0 && (best < 0 || sq.pass[p] < sq.pass[best]) {
+			best = p
+		}
+	}
+	sq.pass[best] += strideOne >> uint(best)
+	sq.size--
+	return sq.bands[best].pop()
+}
+
+// popExpired removes one queued item whose deadline has passed (the
+// earliest such, for determinism), reporting false when there is none.
+// In fifo mode nothing is ever shed early: expired requests wait their
+// admission-order turn — exactly the head-of-line behavior the QoS
+// scheduler exists to fix.
+func (sq *schedQueue) popExpired(now time.Time) (schedItem, bool) {
+	if sq.fifo {
+		return schedItem{}, false
+	}
+	best := -1
+	for p := 0; p < numBands; p++ {
+		if sq.bands[p].len() == 0 {
+			continue
+		}
+		// EDF ordering puts each band's earliest deadline at its head.
+		d := sq.bands[p].items[0].deadline
+		if d.IsZero() || now.Before(d) {
+			continue
+		}
+		if best < 0 || d.Before(sq.bands[best].items[0].deadline) {
+			best = p
+		}
+	}
+	if best < 0 {
+		return schedItem{}, false
+	}
+	sq.size--
+	return sq.bands[best].pop(), true
+}
+
+// earliestDeadline is the soonest deadline among queued items (zero
+// when none carries one) — what the session's reaper arms its timer to.
+func (sq *schedQueue) earliestDeadline() time.Time {
+	if sq.fifo {
+		return time.Time{}
+	}
+	var min time.Time
+	for p := 0; p < numBands; p++ {
+		if sq.bands[p].len() == 0 {
+			continue
+		}
+		d := sq.bands[p].items[0].deadline
+		if d.IsZero() {
+			continue
+		}
+		if min.IsZero() || d.Before(min) {
+			min = d
+		}
+	}
+	return min
+}

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// White-box tests pinning the schedQueue contract the Session relies
+// on: exact FIFO when no QoS fields are set (PR 4 equivalence), EDF
+// inside a band, weighted stride fairness across bands with no credit
+// banking, and early shedding of expired entries — except in fifo
+// mode, which must reproduce head-of-line blocking by design.
+
+func item(priority int, deadline time.Time) schedItem {
+	return schedItem{req: Request{Priority: priority, Deadline: deadline}, deadline: deadline}
+}
+
+// TestSchedFIFOWhenUniform: with no priorities and no deadlines the
+// QoS queue must pop in exact admission order — bit-identical
+// scheduling to the PR 4 session — and so must the fifo control.
+func TestSchedFIFOWhenUniform(t *testing.T) {
+	now := time.Now()
+	for _, fifo := range []bool{false, true} {
+		sq := newSchedQueue(fifo)
+		for i := 0; i < 100; i++ {
+			sq.push(item(0, time.Time{}))
+		}
+		for i := 0; i < 100; i++ {
+			it := sq.pop(now)
+			if it.seq != uint64(i) {
+				t.Fatalf("fifo=%v: pop %d returned seq %d", fifo, i, it.seq)
+			}
+		}
+		if sq.size != 0 {
+			t.Fatalf("fifo=%v: size %d after draining", fifo, sq.size)
+		}
+	}
+}
+
+// TestSchedEDFWithinBand: same band, shuffled deadlines → pops in
+// deadline order, deadline-less items after every deadline, admission
+// order breaking ties.
+func TestSchedEDFWithinBand(t *testing.T) {
+	now := time.Now()
+	sq := newSchedQueue(false)
+	deadlines := []time.Duration{40, 10, 0, 30, 0, 20, 50} // minutes from now; 0 = none
+	for _, m := range deadlines {
+		var d time.Time
+		if m != 0 {
+			d = now.Add(m * time.Minute)
+		}
+		sq.push(item(3, d))
+	}
+	wantSeq := []uint64{1, 5, 3, 0, 6, 2, 4} // 10,20,30,40,50 then the two deadline-less in seq order
+	for i, want := range wantSeq {
+		it := sq.pop(now)
+		if it.seq != want {
+			t.Fatalf("pop %d: got seq %d, want %d", i, it.seq, want)
+		}
+	}
+}
+
+// TestSchedPriorityWeights: band 7 has 2^7 the weight of band 0, so
+// with both continuously backlogged the pick ratio must be 128:1.
+func TestSchedPriorityWeights(t *testing.T) {
+	now := time.Now()
+	sq := newSchedQueue(false)
+	const n = 516 // 4 full stride cycles of band 0 vs band 7
+	for i := 0; i < n; i++ {
+		sq.push(item(0, time.Time{}))
+		sq.push(item(7, time.Time{}))
+	}
+	picks := [numBands]int{}
+	for i := 0; i < n; i++ { // pop half; both bands stay backlogged
+		it := sq.pop(now)
+		picks[clampPriority(it.req.Priority)]++
+	}
+	// 516 picks at a 128:1 ratio: 512 from band 7, 4 from band 0.
+	if picks[7] != 512 || picks[0] != 4 {
+		t.Fatalf("band picks = 7:%d 0:%d, want 512 and 4 (128:1)", picks[7], picks[0])
+	}
+}
+
+// TestSchedNoCreditBanking: a band that sat idle while another ran
+// must not monopolize the workers when it joins — its pass catches up
+// to the current virtual time.
+func TestSchedNoCreditBanking(t *testing.T) {
+	now := time.Now()
+	sq := newSchedQueue(false)
+	sq.push(item(7, time.Time{})) // keep band 7 backlogged throughout
+	for i := 0; i < 300; i++ {    // band 7 runs alone, advancing its pass
+		sq.push(item(7, time.Time{}))
+		sq.pop(now)
+	}
+	// Band 0 joins with fresh traffic alongside more band-7 work.
+	for i := 0; i < 300; i++ {
+		sq.push(item(0, time.Time{}))
+		sq.push(item(7, time.Time{}))
+	}
+	// Without pass catch-up band 0's pass would sit ~300*256 behind and
+	// it would drain its entire backlog first. With it, band 0 joins at
+	// band 7's virtual time and the high band (winning ties) runs on.
+	if got := clampPriority(sq.pop(now).req.Priority); got != 7 {
+		t.Fatalf("first pick after join went to band %d, want 7", got)
+	}
+}
+
+// TestSchedExpiredPopsFirst: queued items past their deadline are
+// returned before any live work, earliest deadline first, regardless
+// of band weight — and never in fifo mode.
+func TestSchedExpiredPopsFirst(t *testing.T) {
+	now := time.Now()
+	sq := newSchedQueue(false)
+	sq.push(item(7, time.Time{}))             // live, heavy band: seq 0
+	sq.push(item(0, now.Add(-time.Second)))   // expired: seq 1
+	sq.push(item(3, now.Add(-2*time.Second))) // expired earlier: seq 2
+	sq.push(item(0, now.Add(time.Hour)))      // live: seq 3
+
+	if it, ok := sq.popExpired(now); !ok || it.seq != 2 {
+		t.Fatalf("first popExpired: got (%+v, %v), want seq 2", it, ok)
+	}
+	if it := sq.pop(now); it.seq != 1 { // pop clears remaining expired first
+		t.Fatalf("pop after sweep: got seq %d, want expired seq 1", it.seq)
+	}
+	if it, ok := sq.popExpired(now); ok {
+		t.Fatalf("no expired left, popExpired returned seq %d", it.seq)
+	}
+	if it := sq.pop(now); it.seq != 0 { // band 7 outweighs band 0
+		t.Fatalf("live pop: got seq %d, want band-7 seq 0", it.seq)
+	}
+
+	fq := newSchedQueue(true)
+	fq.push(item(0, now.Add(-time.Second)))
+	if _, ok := fq.popExpired(now); ok {
+		t.Fatal("fifo mode must never shed early")
+	}
+	if d := fq.earliestDeadline(); !d.IsZero() {
+		t.Fatalf("fifo mode reported a reaper deadline %v", d)
+	}
+}
+
+// TestSchedEarliestDeadline: the reaper timer target is the soonest
+// queued deadline across bands, zero when nothing carries one.
+func TestSchedEarliestDeadline(t *testing.T) {
+	now := time.Now()
+	sq := newSchedQueue(false)
+	if !sq.earliestDeadline().IsZero() {
+		t.Fatal("empty queue reported a deadline")
+	}
+	sq.push(item(2, time.Time{}))
+	if !sq.earliestDeadline().IsZero() {
+		t.Fatal("deadline-less queue reported a deadline")
+	}
+	sq.push(item(0, now.Add(3*time.Minute)))
+	sq.push(item(5, now.Add(1*time.Minute)))
+	sq.push(item(7, now.Add(2*time.Minute)))
+	if d := sq.earliestDeadline(); !d.Equal(now.Add(1 * time.Minute)) {
+		t.Fatalf("earliestDeadline = %v, want now+1m", d)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"regraph/internal/dist"
@@ -14,6 +15,26 @@ import (
 // session's context was cancelled and the session drained).
 var ErrSessionClosed = errors.New("engine: session closed")
 
+// deadlineExpiredError is ErrDeadlineExpired's concrete type: it also
+// matches context.DeadlineExceeded under errors.Is, so generic
+// deadline handling (retry policies, error classification) treats a
+// shed request like any other deadline failure, while errors.Is(err,
+// ErrDeadlineExpired) still distinguishes "never ran" from "abandoned
+// mid-evaluation".
+type deadlineExpiredError struct{}
+
+func (deadlineExpiredError) Error() string { return "engine: deadline expired before evaluation" }
+func (deadlineExpiredError) Is(target error) bool {
+	return target == context.DeadlineExceeded
+}
+
+// ErrDeadlineExpired marks a request that was shed: its deadline passed
+// while it waited in the session queue (or for a worker slot), so it
+// was completed with this error instead of being evaluated. It matches
+// context.DeadlineExceeded under errors.Is; a deadline miss during
+// evaluation carries plain context.DeadlineExceeded instead.
+var ErrDeadlineExpired error = deadlineExpiredError{}
+
 // SessionOptions configures Engine.Open.
 type SessionOptions struct {
 	// MaxInFlight bounds admission: at most this many requests may be
@@ -22,7 +43,8 @@ type SessionOptions struct {
 	// request's answer is materialized only while it is in flight, this
 	// bound also caps the session's resident answer memory at
 	// MaxInFlight (+ ResultBuffer) answers. Zero or negative means twice
-	// the engine's worker count.
+	// the engine's worker count. With AdaptiveInFlight set this is the
+	// ceiling of the adaptive bound.
 	MaxInFlight int
 
 	// ResultBuffer sizes the Results channel. Zero (the default) makes
@@ -32,12 +54,27 @@ type SessionOptions struct {
 	// per-result work, at the cost of up to ResultBuffer extra resident
 	// answers.
 	ResultBuffer int
-}
 
-// submission is one accepted request travelling to a session worker.
-type submission struct {
-	id  uint64
-	req Request
+	// FIFO reverts scheduling to strict admission order: Priority is
+	// ignored and queued requests are never shed before their turn —
+	// a request whose deadline expired in the queue still waits for a
+	// worker (and is then completed with ErrDeadlineExpired without
+	// being evaluated). Deadlines are still enforced once a request
+	// reaches a worker. This is the pre-QoS scheduling, kept as the
+	// measurable control; the default scheduler behaves identically
+	// whenever no request sets Priority or Deadline.
+	FIFO bool
+
+	// AdaptiveInFlight enables adaptive admission: the effective
+	// in-flight bound shrinks below MaxInFlight when the observed p99
+	// evaluation latency approaches the typical deadline budget of
+	// submitted requests (so admitted requests retain a chance of
+	// finishing inside their deadlines instead of queueing into certain
+	// expiry), and grows back under headroom. MaxInFlight stays the
+	// ceiling; the engine's worker count is the floor. Without
+	// deadline-carrying requests the controller has no target and the
+	// bound stays at MaxInFlight.
+	AdaptiveInFlight bool
 }
 
 // Session is a streaming query session over an Engine: requests arrive
@@ -46,6 +83,14 @@ type submission struct {
 // Results in completion order, tagged with their request ids, and
 // cancelling the context passed to Engine.Open stops in-flight
 // evaluation at the evaluators' cancellation checkpoints.
+//
+// Scheduling: queued requests run earliest-deadline-first within
+// weighted priority bands (see Request.Priority); with no priorities or
+// deadlines set this degenerates to exact FIFO. A request whose
+// Deadline passes while it is still queued is shed — completed with
+// ErrDeadlineExpired, without consuming evaluation time — and one whose
+// deadline fires mid-evaluation is abandoned at the evaluators' next
+// cancellation checkpoint with context.DeadlineExceeded.
 //
 // Lifecycle contract:
 //
@@ -72,13 +117,17 @@ type Session struct {
 	cancel context.CancelFunc
 
 	maxInFlight int
-	queue       chan submission
+	nworkers    int
 	results     chan Result
 	inflight    chan struct{} // admission tokens; released on delivery
 
-	mu     sync.Mutex
+	mu     sync.Mutex // guards closed, nextID and sq
+	cond   *sync.Cond // workers wait here for queued work
 	closed bool
 	nextID uint64
+	sq     *schedQueue
+
+	reapKick chan struct{} // wakes the reaper when the earliest deadline changes
 
 	wg   sync.WaitGroup
 	done chan struct{} // closed after results is closed
@@ -87,11 +136,20 @@ type Session struct {
 	completed  metrics.Counter
 	cancelled  metrics.Counter
 	failed     metrics.Counter
+	expired    metrics.Counter // shed: deadline passed before evaluation
+	missed     metrics.Counter // deadline fired mid-evaluation
 	delivered  metrics.Counter
 	dropped    metrics.Counter
 	inFlight   metrics.Gauge // admitted, result not yet handed over
 	queueDepth metrics.Gauge // admitted, not yet picked up by a worker
+	effBound   metrics.Gauge // adaptive admission's current effective bound
 	latency    metrics.Latency
+	queueWait  metrics.Latency
+
+	// budgetEWMA tracks the typical deadline budget (deadline minus
+	// submit time) of deadline-carrying requests, in nanoseconds — the
+	// adaptive controller's target. Zero until a deadline is seen.
+	budgetEWMA atomic.Int64
 }
 
 // SessionStats is a point-in-time snapshot of a session's counters and
@@ -99,19 +157,30 @@ type Session struct {
 type SessionStats struct {
 	// Submitted counts requests accepted by Submit. Completed counts
 	// evaluations that produced an answer, Cancelled those abandoned by
-	// context cancellation, Failed malformed requests. Delivered counts
-	// Results handed to the consumer (or its buffer); Dropped counts
-	// post-cancellation results no consumer picked up.
+	// context cancellation, Failed malformed requests. Expired counts
+	// requests shed because their deadline passed before evaluation
+	// began (ErrDeadlineExpired); Missed those whose deadline fired
+	// mid-evaluation. Delivered counts Results handed to the consumer
+	// (or its buffer); Dropped counts post-cancellation results no
+	// consumer picked up.
 	Submitted, Completed, Cancelled, Failed uint64
+	Expired, Missed                         uint64
 	Delivered, Dropped                      uint64
 
 	// InFlight is the current number of admitted requests whose results
 	// have not yet been handed over; QueueDepth is how many of those are
-	// still waiting for a worker. MaxInFlight echoes the admission bound.
+	// still waiting for a worker. MaxInFlight echoes the admission
+	// bound; EffectiveInFlight is the adaptive controller's current
+	// bound (equal to MaxInFlight when adaptive admission is off or has
+	// no deadline signal).
 	InFlight, QueueDepth, MaxInFlight int
+	EffectiveInFlight                 int
 
-	// Latency summarizes per-query evaluation time (queue wait excluded).
-	Latency metrics.LatencySnapshot
+	// Latency summarizes per-query evaluation time (queue wait
+	// excluded); QueueWait summarizes the time requests spent queued
+	// before evaluation or shed — the delay the scheduler controls.
+	Latency   metrics.LatencySnapshot
+	QueueWait metrics.LatencySnapshot
 }
 
 // Open starts a streaming session on the engine. Cancelling ctx aborts
@@ -137,21 +206,35 @@ func (e *Engine) Open(ctx context.Context, opts SessionOptions) *Session {
 		ctx:         sctx,
 		cancel:      cancel,
 		maxInFlight: m,
-		// queue capacity equals the admission bound: a Submit that holds a
-		// token always finds queue space, so the only blocking point is
-		// token acquisition.
-		queue:    make(chan submission, m),
-		results:  make(chan Result, rb),
-		inflight: make(chan struct{}, m),
-		done:     make(chan struct{}),
+		results:     make(chan Result, rb),
+		inflight:    make(chan struct{}, m),
+		sq:          newSchedQueue(opts.FIFO),
+		reapKick:    make(chan struct{}, 1),
+		done:        make(chan struct{}),
 	}
+	s.cond = sync.NewCond(&s.mu)
+	s.effBound.Set(int64(m))
 	workers := e.workers
 	if workers > m {
 		workers = m
 	}
+	s.nworkers = workers
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if !opts.FIFO {
+		// The reaper sheds expired queued requests the moment their
+		// deadline passes, even while every worker is busy — which is what
+		// frees their admission tokens for requests that can still make
+		// their deadlines. (In FIFO mode expiry is only discovered when
+		// the request's turn comes: the control preserves head-of-line
+		// blocking by design.)
+		s.wg.Add(1)
+		go s.reaper()
+	}
+	if opts.AdaptiveInFlight {
+		go s.adapt()
 	}
 	// Monitor: a cancelled context must end the session even if Close is
 	// never called, or workers would block on the queue forever.
@@ -207,12 +290,44 @@ func (s *Session) Submit(ctx context.Context, req Request) (uint64, error) {
 	s.submitted.Inc()
 	s.inFlight.Add(1)
 	s.queueDepth.Add(1)
-	// Guaranteed not to block: the token bounds outstanding submissions
-	// by the queue's capacity, and the send happens under the same lock
-	// closeQueue takes, so the channel cannot close mid-send.
-	s.queue <- submission{id: id, req: req}
+	hasDeadline := !req.Deadline.IsZero()
+	if hasDeadline {
+		if b := time.Until(req.Deadline); b > 0 {
+			s.noteBudget(b)
+		}
+	}
+	// Bounded by the admission token, so the queue never outgrows
+	// MaxInFlight entries.
+	s.sq.push(schedItem{id: id, req: req, deadline: req.Deadline, enq: time.Now()})
+	s.cond.Signal()
 	s.mu.Unlock()
+	if hasDeadline {
+		s.kickReaper() // the earliest queued deadline may have moved up
+	}
 	return id, nil
+}
+
+// noteBudget folds one deadline budget into the EWMA the adaptive
+// controller targets (alpha 1/8; first observation seeds it).
+func (s *Session) noteBudget(b time.Duration) {
+	for {
+		cur := s.budgetEWMA.Load()
+		next := int64(b)
+		if cur != 0 {
+			next = cur + (int64(b)-cur)/8
+		}
+		if s.budgetEWMA.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// kickReaper nudges the reaper to re-arm its timer; never blocks.
+func (s *Session) kickReaper() {
+	select {
+	case s.reapKick <- struct{}{}:
+	default:
+	}
 }
 
 // Results is the stream of answers, in completion order (not submission
@@ -237,16 +352,20 @@ func (s *Session) Close() error {
 // Stats returns a point-in-time snapshot of the session's metrics.
 func (s *Session) Stats() SessionStats {
 	return SessionStats{
-		Submitted:   s.submitted.Load(),
-		Completed:   s.completed.Load(),
-		Cancelled:   s.cancelled.Load(),
-		Failed:      s.failed.Load(),
-		Delivered:   s.delivered.Load(),
-		Dropped:     s.dropped.Load(),
-		InFlight:    int(s.inFlight.Load()),
-		QueueDepth:  int(s.queueDepth.Load()),
-		MaxInFlight: s.maxInFlight,
-		Latency:     s.latency.Snapshot(),
+		Submitted:         s.submitted.Load(),
+		Completed:         s.completed.Load(),
+		Cancelled:         s.cancelled.Load(),
+		Failed:            s.failed.Load(),
+		Expired:           s.expired.Load(),
+		Missed:            s.missed.Load(),
+		Delivered:         s.delivered.Load(),
+		Dropped:           s.dropped.Load(),
+		InFlight:          int(s.inFlight.Load()),
+		QueueDepth:        int(s.queueDepth.Load()),
+		MaxInFlight:       s.maxInFlight,
+		EffectiveInFlight: int(s.effBound.Load()),
+		Latency:           s.latency.Snapshot(),
+		QueueWait:         s.queueWait.Snapshot(),
 	}
 }
 
@@ -256,57 +375,281 @@ func (s *Session) closeQueue() {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.queue)
+		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
+	s.kickReaper()
 }
 
-// worker consumes submissions until the queue is closed and drained.
-// Each request is evaluated on an engine slot's scratch arena with the
-// session context bound, so cancellation reaches the innermost BFS
-// loops; the admission token is released only after the Result has been
-// handed over, which is what makes MaxInFlight a resident-answer bound.
+// next blocks until there is queued work (returning the scheduler's
+// pick) or the session is closed and drained (returning false).
+func (s *Session) next() (schedItem, bool) {
+	s.mu.Lock()
+	for s.sq.size == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if s.sq.size == 0 {
+		s.mu.Unlock()
+		return schedItem{}, false
+	}
+	it := s.sq.pop(time.Now())
+	drained := s.closed && s.sq.size == 0
+	s.mu.Unlock()
+	if drained {
+		s.kickReaper() // let the reaper observe closed-and-empty and exit
+	}
+	return it, true
+}
+
+// worker consumes scheduled items until the session is closed and the
+// queue drained. Each request is evaluated on an engine slot's scratch
+// arena with the session context (bounded by the request deadline, if
+// any), so cancellation reaches the innermost BFS loops; the admission
+// token is released only after the Result has been handed over, which
+// is what makes MaxInFlight a resident-answer bound.
 func (s *Session) worker() {
 	defer s.wg.Done()
-	for sub := range s.queue {
+	for {
+		it, ok := s.next()
+		if !ok {
+			return
+		}
 		s.queueDepth.Add(-1)
-		s.deliver(s.process(sub))
+		s.deliver(s.process(it))
 		<-s.inflight
 		s.inFlight.Add(-1)
 	}
 }
 
-// process evaluates one submission (or fails it fast when the session
-// context is already dead).
-func (s *Session) process(sub submission) Result {
+// reaper sheds queued requests the moment their deadline passes: it
+// sleeps until the earliest queued deadline, sweeps everything expired
+// into error Results (releasing their admission tokens), and re-arms.
+// Submit kicks it when a new deadline may be the soonest; it exits once
+// the session is closed and drained, or on cancellation (after which
+// the workers fast-fail whatever remains queued).
+func (s *Session) reaper() {
+	defer s.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		s.mu.Lock()
+		if s.closed && s.sq.size == 0 {
+			s.mu.Unlock()
+			return
+		}
+		next := s.sq.earliestDeadline()
+		s.mu.Unlock()
+		var fire <-chan time.Time
+		if !next.IsZero() {
+			d := time.Until(next)
+			if d < 0 {
+				d = 0
+			}
+			timer.Reset(d)
+			fire = timer.C
+		}
+		select {
+		case <-fire:
+			s.sweepExpired()
+		case <-s.reapKick:
+			if fire != nil && !timer.Stop() {
+				<-timer.C
+			}
+		case <-s.ctx.Done():
+			if fire != nil && !timer.Stop() {
+				<-timer.C
+			}
+			return
+		}
+	}
+}
+
+// sweepExpired pops and completes every queued item whose deadline has
+// passed.
+func (s *Session) sweepExpired() {
+	for {
+		s.mu.Lock()
+		it, ok := s.sq.popExpired(time.Now())
+		drained := ok && s.closed && s.sq.size == 0
+		s.mu.Unlock()
+		if !ok {
+			return
+		}
+		if drained {
+			s.kickReaper()
+		}
+		s.queueDepth.Add(-1)
+		s.deliver(s.shed(it))
+		<-s.inflight
+		s.inFlight.Add(-1)
+	}
+}
+
+// shed completes one expired request without evaluating it.
+func (s *Session) shed(it schedItem) Result {
+	wait := time.Since(it.enq)
+	s.queueWait.Observe(wait)
+	s.expired.Inc()
+	return Result{ID: it.id, Err: ErrDeadlineExpired, Wait: wait}
+}
+
+// process evaluates one scheduled item (or fails it fast when the
+// session context is already dead or the item's deadline has passed).
+func (s *Session) process(it schedItem) Result {
+	wait := time.Since(it.enq)
+	s.queueWait.Observe(wait)
 	if err := s.ctx.Err(); err != nil {
 		s.cancelled.Inc()
-		return Result{ID: sub.id, Err: err}
+		return Result{ID: it.id, Err: err, Wait: wait}
 	}
-	var sc *dist.Scratch
-	select {
-	case sc = <-s.e.slots:
-	case <-s.ctx.Done():
-		// Never got a worker slot: the query is abandoned without having
-		// burnt any evaluation time.
-		s.cancelled.Inc()
-		return Result{ID: sub.id, Err: s.ctx.Err()}
+	hasDeadline := !it.deadline.IsZero()
+	if hasDeadline && !time.Now().Before(it.deadline) {
+		s.expired.Inc()
+		return Result{ID: it.id, Err: ErrDeadlineExpired, Wait: wait}
+	}
+	sc, err := s.acquireSlot(it.deadline)
+	if err != nil {
+		// Never got a worker slot: the query is abandoned (or shed, if its
+		// own deadline ran out first) without having burnt any evaluation
+		// time.
+		if errors.Is(err, ErrDeadlineExpired) {
+			s.expired.Inc()
+		} else {
+			s.cancelled.Inc()
+		}
+		return Result{ID: it.id, Err: err, Wait: time.Since(it.enq)}
+	}
+	ctx := s.ctx
+	var cancel context.CancelFunc
+	if hasDeadline {
+		ctx, cancel = context.WithDeadline(s.ctx, it.deadline)
 	}
 	t0 := time.Now()
-	r := s.e.runCtx(s.ctx, sub.req, sc)
+	r := s.e.runCtx(ctx, it.req, sc)
+	if cancel != nil {
+		cancel()
+	}
 	s.e.slots <- sc
-	r.ID = sub.id
+	r.ID = it.id
+	r.Wait = wait
 	r.Elapsed = time.Since(t0)
 	switch {
 	case r.Err == nil:
 		s.completed.Inc()
 		s.latency.Observe(r.Elapsed)
+	case hasDeadline && errors.Is(r.Err, context.DeadlineExceeded) && s.ctx.Err() == nil:
+		// The request's own deadline fired mid-evaluation: a miss, not a
+		// session-level cancellation.
+		s.missed.Inc()
 	case errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded):
 		s.cancelled.Inc()
 	default:
 		s.failed.Inc()
 	}
 	return r
+}
+
+// acquireSlot borrows an engine scratch arena, giving up at the
+// request's deadline (ErrDeadlineExpired) or on session cancellation.
+func (s *Session) acquireSlot(deadline time.Time) (*dist.Scratch, error) {
+	if deadline.IsZero() {
+		select {
+		case sc := <-s.e.slots:
+			return sc, nil
+		case <-s.ctx.Done():
+			return nil, s.ctx.Err()
+		}
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case sc := <-s.e.slots:
+		return sc, nil
+	case <-timer.C:
+		return nil, ErrDeadlineExpired
+	case <-s.ctx.Done():
+		return nil, s.ctx.Err()
+	}
+}
+
+// adaptInterval is the adaptive admission controller's control period:
+// long enough to amortize a latency snapshot, short against any
+// deadline a network client would set.
+const adaptInterval = 10 * time.Millisecond
+
+// adapt is the adaptive admission controller (SessionOptions.
+// AdaptiveInFlight): a control loop that holds back admission tokens to
+// shrink the effective in-flight bound when the observed p99 evaluation
+// latency approaches the typical deadline budget, and releases them
+// under headroom.
+//
+// Control law: with W session workers and p99 per-query evaluation
+// time, an admitted request at queue position k waits ≈ (k/W)·p99, so
+// the largest bound whose worst-case queue wait still fits the budget
+// is (budget/p99)·W. The target is clamped to [W, MaxInFlight]: the
+// floor keeps the workers busy (adaptive admission sheds queueing, not
+// evaluation), the ceiling is the configured bound. Shrinking acquires
+// tokens non-blockingly — it takes effect as in-flight work drains
+// rather than fighting submitters — and growing releases them
+// immediately.
+func (s *Session) adapt() {
+	ticker := time.NewTicker(adaptInterval)
+	defer ticker.Stop()
+	held := 0
+	defer func() {
+		for ; held > 0; held-- {
+			<-s.inflight
+		}
+	}()
+	floor := s.nworkers
+	if floor > s.maxInFlight {
+		floor = s.maxInFlight
+	}
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		target := s.maxInFlight
+		if budget := time.Duration(s.budgetEWMA.Load()); budget > 0 {
+			if p99 := s.latency.Snapshot().P99; p99 > 0 {
+				waves := int(budget / p99)
+				if waves < 1 {
+					waves = 1
+				}
+				target = waves * s.nworkers
+				if target < floor {
+					target = floor
+				}
+				if target > s.maxInFlight {
+					target = s.maxInFlight
+				}
+			}
+		}
+		eff := s.maxInFlight - held
+		for eff > target {
+			select {
+			case s.inflight <- struct{}{}:
+				held++
+				eff--
+			default:
+				// Tokens are all with real requests right now; retry at the
+				// next tick as in-flight work drains.
+				eff = target
+			}
+		}
+		for eff < target && held > 0 {
+			<-s.inflight
+			held--
+			eff++
+		}
+		s.effBound.Set(int64(s.maxInFlight - held))
+	}
 }
 
 // deliver hands a Result to the consumer. Before cancellation the send

@@ -1,0 +1,315 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"regraph/internal/engine"
+	"regraph/internal/graph"
+	"regraph/internal/qlang"
+	"regraph/internal/reach"
+)
+
+// sleepGraph is a two-node graph with one fn edge whose single RQ
+// answer pair is known: attaching an Emit callback that sleeps turns
+// the query into a request of any chosen service time, which is how
+// these tests build deterministic overload.
+func sleepGraph(t *testing.T) (*graph.Graph, reach.Query) {
+	t.Helper()
+	g := graph.New()
+	a := g.AddNode("src", map[string]string{"job": "x"})
+	b := g.AddNode("dst", map[string]string{"job": "y"})
+	g.AddEdge(a, b, "fn")
+	q, err := qlang.ParseRQ("job = x", "job = y", "fn")
+	if err != nil {
+		t.Fatalf("ParseRQ: %v", err)
+	}
+	return g, q
+}
+
+// TestSessionQoSMatchesRunBatch: priorities and generous deadlines
+// reorder scheduling but must not change a single answer — the
+// QoS-field variant of the session≡RunBatch property.
+func TestSessionQoSMatchesRunBatch(t *testing.T) {
+	g := testGraph(7)
+	reqs := mixedRequests(g, 48, 11)
+	far := time.Now().Add(time.Hour)
+	for i := range reqs {
+		reqs[i].Priority = i % (engine.MaxPriority + 1)
+		if i%2 == 0 {
+			reqs[i].Deadline = far
+		}
+	}
+	e := engine.MustNew(g, engine.Options{Workers: 4})
+	want := e.RunBatch(reqs)
+
+	s := e.Open(context.Background(), engine.SessionOptions{MaxInFlight: 8})
+	reqOf := make([]int64, len(reqs))
+	go func() {
+		for i := range reqs {
+			id, err := s.Submit(context.Background(), reqs[i])
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				break
+			}
+			atomic.StoreInt64(&reqOf[id], int64(i))
+		}
+		s.Close()
+	}()
+	got := 0
+	for r := range s.Results() {
+		i := atomic.LoadInt64(&reqOf[r.ID])
+		w := want[i]
+		if r.Err != nil {
+			t.Errorf("request %d (id %d): unexpected error %v", i, r.ID, r.Err)
+			continue
+		}
+		if !reflect.DeepEqual(r.Pairs, w.Pairs) || !reflect.DeepEqual(r.Match, w.Match) || (w.Err != nil) {
+			t.Errorf("request %d (id %d): QoS session result differs from RunBatch", i, r.ID)
+		}
+		got++
+	}
+	if got != len(reqs) {
+		t.Fatalf("received %d results, want %d", got, len(reqs))
+	}
+	st := s.Stats()
+	if st.Expired != 0 || st.Missed != 0 {
+		t.Errorf("generous deadlines expired: %+v", st)
+	}
+	if st.Completed != uint64(len(reqs)) {
+		t.Errorf("completed %d, want %d", st.Completed, len(reqs))
+	}
+}
+
+// TestSessionOverloadExactlyOnce floods a 2-worker session with slow
+// high-priority work plus low-priority tight-deadline probes that
+// cannot all make it, and checks the overload contract under -race:
+// exactly one result per accepted id, expired-in-queue results carry
+// ErrDeadlineExpired (which also satisfies errors.Is(...,
+// context.DeadlineExceeded)), the outcome counters partition the
+// submissions, and no goroutine outlives the session.
+func TestSessionOverloadExactlyOnce(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	g, q := sleepGraph(t)
+	e := engine.MustNew(g, engine.Options{Workers: 2})
+	s := e.Open(context.Background(), engine.SessionOptions{MaxInFlight: 128})
+
+	const nSlow, nProbe = 60, 40
+	slow := engine.Request{RQ: &q, Priority: 7,
+		Emit: func(reach.Pair) bool { time.Sleep(2 * time.Millisecond); return true }}
+	var submitted atomic.Int64
+	go func() {
+		for i := 0; i < nSlow; i++ {
+			if _, err := s.Submit(context.Background(), slow); err != nil {
+				t.Errorf("submit slow %d: %v", i, err)
+				return
+			}
+			submitted.Add(1)
+		}
+		// The probes join a queue holding ~60ms of band-7 work with a
+		// 5ms budget and a 1-in-129 scheduling share: most must be shed
+		// from the queue without ever reaching a worker.
+		probe := engine.Request{RQ: &q, Priority: 0}
+		for i := 0; i < nProbe; i++ {
+			probe.Deadline = time.Now().Add(5 * time.Millisecond)
+			if _, err := s.Submit(context.Background(), probe); err != nil {
+				t.Errorf("submit probe %d: %v", i, err)
+				return
+			}
+			submitted.Add(1)
+		}
+		s.Close()
+	}()
+
+	seen := map[uint64]bool{}
+	var shed int
+	for r := range s.Results() {
+		if seen[r.ID] {
+			t.Errorf("duplicate result id %d", r.ID)
+		}
+		seen[r.ID] = true
+		switch {
+		case r.Err == nil:
+		case errors.Is(r.Err, engine.ErrDeadlineExpired):
+			if !errors.Is(r.Err, context.DeadlineExceeded) {
+				t.Errorf("id %d: ErrDeadlineExpired must satisfy errors.Is(context.DeadlineExceeded)", r.ID)
+			}
+			if r.Pairs != nil {
+				t.Errorf("id %d: shed result carries pairs", r.ID)
+			}
+			shed++
+		case errors.Is(r.Err, context.DeadlineExceeded):
+			// abandoned mid-evaluation: legal for a probe that got a
+			// worker just before its budget ran out
+		default:
+			t.Errorf("id %d: unexpected error %v", r.ID, r.Err)
+		}
+	}
+	if got := uint64(len(seen)); got != uint64(submitted.Load()) {
+		t.Fatalf("received %d results for %d accepted submissions", got, submitted.Load())
+	}
+	if shed == 0 {
+		t.Error("no probe was shed from the queue under 60ms of backlog and a 5ms budget")
+	}
+
+	st := s.Stats()
+	if st.Completed+st.Cancelled+st.Failed+st.Expired+st.Missed != st.Submitted {
+		t.Errorf("outcomes do not partition submissions: %+v", st)
+	}
+	if st.Delivered+st.Dropped != st.Submitted {
+		t.Errorf("delivered %d + dropped %d != submitted %d", st.Delivered, st.Dropped, st.Submitted)
+	}
+	if st.Expired == 0 {
+		t.Errorf("stats recorded no expirations: %+v", st)
+	}
+	if st.InFlight != 0 || st.QueueDepth != 0 {
+		t.Errorf("session not drained: %+v", st)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d now, %d at start", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSessionAdaptiveInFlight: with AdaptiveInFlight on, a stream of
+// deadline-carrying requests whose budgets leave little headroom over
+// the observed latency must make the controller shrink the effective
+// in-flight bound below the static ceiling — and without the option
+// the bound must never move.
+func TestSessionAdaptiveInFlight(t *testing.T) {
+	g, q := sleepGraph(t)
+	e := engine.MustNew(g, engine.Options{Workers: 2})
+
+	static := e.Open(context.Background(), engine.SessionOptions{MaxInFlight: 64})
+	if got := static.Stats().EffectiveInFlight; got != 64 {
+		t.Fatalf("static effective bound = %d, want 64", got)
+	}
+	static.Close()
+	for range static.Results() {
+	}
+
+	s := e.Open(context.Background(), engine.SessionOptions{MaxInFlight: 64, AdaptiveInFlight: true})
+	if got := s.Stats().EffectiveInFlight; got != 64 {
+		t.Fatalf("adaptive bound before any signal = %d, want the full 64", got)
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range s.Results() {
+		}
+	}()
+	// Gentle offered load (tokens mostly free for the controller), slow
+	// evaluations, budgets ~4x the service time: few queue waves fit,
+	// so the controller must hold back most of the static window.
+	req := engine.Request{RQ: &q,
+		Emit: func(reach.Pair) bool { time.Sleep(5 * time.Millisecond); return true }}
+	shrunk := 64
+	for i := 0; i < 80; i++ {
+		req.Deadline = time.Now().Add(20 * time.Millisecond)
+		if _, err := s.Submit(context.Background(), req); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if got := s.Stats().EffectiveInFlight; got < shrunk {
+			shrunk = got
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.Close()
+	<-drained
+	if shrunk >= 64 {
+		t.Errorf("effective bound never shrank below the static 64 under deadline pressure")
+	}
+	if shrunk < 2 {
+		t.Errorf("effective bound %d fell below the worker floor", shrunk)
+	}
+}
+
+// TestSessionStarvation is the test that earns the scheduler its
+// complexity: high-priority short-deadline probes submitted behind a
+// saturating batch of slow low-priority work all meet their deadlines
+// under the QoS scheduler, while the PR 4 FIFO control — same
+// requests, same deadlines — blows every one of them on head-of-line
+// blocking.
+func TestSessionStarvation(t *testing.T) {
+	g, q := sleepGraph(t)
+	e := engine.MustNew(g, engine.Options{Workers: 2})
+
+	const nSlow, nProbe = 30, 8
+	const slowService = 20 * time.Millisecond // 30×20ms / 2 workers = 300ms of backlog
+	const probeBudget = 150 * time.Millisecond
+
+	run := func(fifo bool) engine.SessionStats {
+		s := e.Open(context.Background(), engine.SessionOptions{MaxInFlight: 64, FIFO: fifo})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			slow := engine.Request{RQ: &q, Priority: 0,
+				Emit: func(reach.Pair) bool { time.Sleep(slowService); return true }}
+			for i := 0; i < nSlow; i++ {
+				if _, err := s.Submit(context.Background(), slow); err != nil {
+					t.Errorf("fifo=%v: submit slow %d: %v", fifo, i, err)
+					return
+				}
+			}
+			probe := engine.Request{RQ: &q, Priority: engine.MaxPriority}
+			for i := 0; i < nProbe; i++ {
+				probe.Deadline = time.Now().Add(probeBudget)
+				if _, err := s.Submit(context.Background(), probe); err != nil {
+					t.Errorf("fifo=%v: submit probe %d: %v", fifo, i, err)
+					return
+				}
+			}
+		}()
+		go func() { wg.Wait(); s.Close() }()
+		probeOK, probeDead := 0, 0
+		for r := range s.Results() {
+			if r.ID < nSlow { // the slow backlog itself must always complete
+				if r.Err != nil {
+					t.Errorf("fifo=%v: slow request %d failed: %v", fifo, r.ID, r.Err)
+				}
+				continue
+			}
+			switch {
+			case r.Err == nil:
+				probeOK++
+			case errors.Is(r.Err, context.DeadlineExceeded):
+				probeDead++
+			default:
+				t.Errorf("fifo=%v: probe %d: unexpected error %v", fifo, r.ID, r.Err)
+			}
+		}
+		if probeOK+probeDead != nProbe {
+			t.Fatalf("fifo=%v: %d+%d probe outcomes, want %d", fifo, probeOK, probeDead, nProbe)
+		}
+		if fifo && probeOK != 0 {
+			t.Errorf("FIFO control met %d/%d probe deadlines behind 300ms of backlog — not a control", probeOK, nProbe)
+		}
+		if !fifo && probeDead != 0 {
+			t.Errorf("QoS scheduler missed %d/%d probe deadlines despite priority %d and a %v budget",
+				probeDead, nProbe, engine.MaxPriority, probeBudget)
+		}
+		return s.Stats()
+	}
+
+	qos := run(false)
+	fifo := run(true)
+	if qos.Expired+qos.Missed != 0 {
+		t.Errorf("QoS run recorded deadline casualties: %+v", qos)
+	}
+	if fifo.Expired != nProbe {
+		t.Errorf("FIFO control expired %d, want all %d probes", fifo.Expired, nProbe)
+	}
+}

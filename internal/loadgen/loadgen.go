@@ -1,0 +1,345 @@
+// Package loadgen is an open-loop load harness for the HTTP/NDJSON
+// query service (internal/server): it submits requests at a fixed
+// offered arrival rate — Poisson or uniform — on schedule, regardless
+// of how fast the server completes them, which is the only load shape
+// that exposes queueing collapse. A closed-loop driver (send, wait,
+// send) self-throttles at saturation: its latency looks flat right
+// where a real open system's queue — and tail — grows without bound.
+//
+// Latencies are measured from each request's *scheduled* arrival time,
+// not from the moment the client managed to write it, so client-side
+// queuing under back-pressure is charged to the server (the standard
+// coordinated-omission correction). Quantiles are exact, computed from
+// the full sorted sample set, not from histogram buckets.
+//
+// The generator is the proving ground for the engine's QoS scheduling
+// (priority bands, deadlines, adaptive admission): request templates
+// carry the wire-level priority/deadline_ms fields and the per-request
+// outcome is classified by the response's error_kind — completed, shed
+// (expired while queued), deadline (abandoned mid-evaluation), or
+// canceled. bench.ServerLoad drives it below, at and above a
+// calibrated saturation rate.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"regraph/internal/wire"
+)
+
+// Arrivals selects the inter-arrival process.
+type Arrivals string
+
+const (
+	// Poisson draws exponential inter-arrival gaps (a memoryless open
+	// system, the standard model for independent clients).
+	Poisson Arrivals = "poisson"
+	// Uniform spaces arrivals exactly 1/rate apart (a deterministic
+	// drip, useful for reproducible smoke runs).
+	Uniform Arrivals = "uniform"
+)
+
+// Config describes one open-loop run.
+type Config struct {
+	// URL is the full query endpoint, e.g. http://127.0.0.1:8080/v1/query.
+	URL string
+	// Rate is the offered arrival rate in requests per second.
+	Rate float64
+	// Duration is how long arrivals are generated for. The run itself
+	// lasts until every sent request has been answered.
+	Duration time.Duration
+	// Arrivals picks the inter-arrival process (default Poisson).
+	Arrivals Arrivals
+	// Streams is the number of concurrent HTTP request streams the
+	// arrivals are spread over, round-robin (default 4). Each stream is
+	// one POST /v1/query with its own server-side session.
+	Streams int
+	// Seed feeds the arrival-time and template-choice randomness.
+	Seed int64
+	// Requests is the template pool: each arrival sends one of these
+	// (cycled in order), with the ID field overwritten by the harness.
+	// Priority and DeadlineMS on a template are sent as-is, so the
+	// caller decides the QoS mix.
+	Requests []wire.Request
+}
+
+// Result summarizes one run. Sent == Completed+Shed+DeadlineMiss+
+// Canceled+Errored always holds on a nil-error return: every request
+// the harness sent was answered exactly once.
+type Result struct {
+	Sent         int           // requests submitted on schedule
+	Completed    int           // answered successfully
+	Shed         int           // expired while queued (error_kind "shed")
+	DeadlineMiss int           // abandoned mid-evaluation (error_kind "deadline")
+	Canceled     int           // session/stream cancellation (error_kind "canceled")
+	Errored      int           // other per-request errors (e.g. parse)
+	OfferedQPS   float64       // the configured arrival rate
+	AchievedQPS  float64       // Completed / Wall
+	Wall         time.Duration // first scheduled arrival to last response
+	P50          time.Duration // completed-request latency quantiles,
+	P99          time.Duration // measured from scheduled arrival time
+	P999         time.Duration // (exact, from the sorted sample set)
+	Max          time.Duration
+}
+
+// sample is the outcome of one request, indexed by its wire id.
+type sample struct {
+	latency time.Duration
+	kind    string // "" completed, "shed", "deadline", "canceled", "error"
+	got     bool
+}
+
+// Run executes one open-loop run and blocks until every sent request
+// has been answered (or a stream fails). The arrival schedule is fixed
+// up front from the seed, so the same Config offers the same load.
+func Run(cfg Config) (Result, error) {
+	if cfg.Rate <= 0 {
+		return Result{}, fmt.Errorf("loadgen: rate must be positive, got %v", cfg.Rate)
+	}
+	if len(cfg.Requests) == 0 {
+		return Result{}, fmt.Errorf("loadgen: no request templates")
+	}
+	streams := cfg.Streams
+	if streams <= 0 {
+		streams = 4
+	}
+	offsets := arrivalOffsets(cfg)
+	samples := make([]sample, len(offsets))
+
+	sts := make([]*stream, streams)
+	var wg sync.WaitGroup
+	errs := make([]error, streams)
+	var t0 time.Time // set before the first enqueue; streams read it only per-response
+	for i := range sts {
+		sts[i] = newStream()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = sts[i].run(cfg, &t0, offsets, samples)
+		}(i)
+	}
+
+	// The scheduler: submit request i at t0+offsets[i], on schedule no
+	// matter what — enqueueing never blocks (per-stream unbounded
+	// queues), so a stalled server cannot slow the offered load down.
+	t0 = time.Now()
+	for i := range offsets {
+		if d := time.Until(t0.Add(offsets[i])); d > 0 {
+			time.Sleep(d)
+		}
+		sts[i%streams].enqueue(uint64(i))
+	}
+	for _, st := range sts {
+		st.close()
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	return tally(offsets, samples, cfg.Rate, wall)
+}
+
+// arrivalOffsets precomputes the arrival schedule as offsets from the
+// run start. At least one arrival is always generated.
+func arrivalOffsets(cfg Config) []time.Duration {
+	var offs []time.Duration
+	switch cfg.Arrivals {
+	case Uniform:
+		gap := time.Duration(float64(time.Second) / cfg.Rate)
+		for t := time.Duration(0); t < cfg.Duration; t += gap {
+			offs = append(offs, t)
+		}
+	default: // Poisson
+		r := rand.New(rand.NewSource(cfg.Seed))
+		t := 0.0
+		for {
+			t += r.ExpFloat64() / cfg.Rate
+			if t >= cfg.Duration.Seconds() {
+				break
+			}
+			offs = append(offs, time.Duration(t*float64(time.Second)))
+		}
+	}
+	if len(offs) == 0 {
+		offs = append(offs, 0)
+	}
+	return offs
+}
+
+// tally aggregates the per-request samples into a Result, verifying
+// the accounting invariant: every sent id answered exactly once.
+func tally(offsets []time.Duration, samples []sample, rate float64, wall time.Duration) (Result, error) {
+	res := Result{Sent: len(offsets), OfferedQPS: rate, Wall: wall}
+	var lats []time.Duration
+	for i := range samples {
+		if !samples[i].got {
+			return Result{}, fmt.Errorf("loadgen: request %d was sent but never answered", i)
+		}
+		switch samples[i].kind {
+		case "":
+			res.Completed++
+			lats = append(lats, samples[i].latency)
+		case "shed":
+			res.Shed++
+		case "deadline":
+			res.DeadlineMiss++
+		case "canceled":
+			res.Canceled++
+		default:
+			res.Errored++
+		}
+	}
+	if wall > 0 {
+		res.AchievedQPS = float64(res.Completed) / wall.Seconds()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res.P50 = quantile(lats, 0.50)
+	res.P99 = quantile(lats, 0.99)
+	res.P999 = quantile(lats, 0.999)
+	if n := len(lats); n > 0 {
+		res.Max = lats[n-1]
+	}
+	return res, nil
+}
+
+// quantile reads the f-quantile from an ascending-sorted sample set
+// (nearest-rank method).
+func quantile(sorted []time.Duration, f float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(f * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// ---- one HTTP stream --------------------------------------------------------
+
+// stream is one POST /v1/query connection: an unbounded client-side
+// queue of scheduled ids feeding the upload pipe, and a response
+// reader recording outcomes. The queue is what keeps the harness
+// open-loop — the scheduler appends and moves on; only the writer
+// goroutine ever blocks on server back-pressure.
+type stream struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []uint64
+	closed  bool
+}
+
+func newStream() *stream {
+	st := &stream{}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+func (st *stream) enqueue(id uint64) {
+	st.mu.Lock()
+	st.pending = append(st.pending, id)
+	st.mu.Unlock()
+	st.cond.Signal()
+}
+
+func (st *stream) close() {
+	st.mu.Lock()
+	st.closed = true
+	st.mu.Unlock()
+	st.cond.Signal()
+}
+
+// next blocks for the next scheduled id; ok is false once the stream
+// is closed and drained.
+func (st *stream) next() (uint64, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for len(st.pending) == 0 && !st.closed {
+		st.cond.Wait()
+	}
+	if len(st.pending) == 0 {
+		return 0, false
+	}
+	id := st.pending[0]
+	st.pending = st.pending[1:]
+	return id, true
+}
+
+// run drives one HTTP stream to completion: uploads queued request
+// lines as they become due, reads response lines as they arrive, and
+// records each outcome into samples[id].
+func (st *stream) run(cfg Config, t0 *time.Time, offsets []time.Duration, samples []sample) error {
+	pr, pw := io.Pipe()
+	go func() {
+		enc := json.NewEncoder(pw)
+		for {
+			id, ok := st.next()
+			if !ok {
+				pw.Close()
+				return
+			}
+			req := cfg.Requests[int(id)%len(cfg.Requests)]
+			req.ID = &id
+			if err := enc.Encode(&req); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+	}()
+	resp, err := http.Post(cfg.URL, "application/x-ndjson", pr)
+	if err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("loadgen: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), wire.MaxResponseLineBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		now := time.Now()
+		var r wire.Response
+		if err := json.Unmarshal(line, &r); err != nil {
+			return fmt.Errorf("loadgen: malformed response line %q: %w", line, err)
+		}
+		if r.ID >= uint64(len(samples)) {
+			return fmt.Errorf("loadgen: response for unknown id %d", r.ID)
+		}
+		s := &samples[r.ID]
+		if s.got {
+			return fmt.Errorf("loadgen: duplicate response for id %d", r.ID)
+		}
+		s.got = true
+		s.latency = now.Sub(t0.Add(offsets[r.ID]))
+		switch {
+		case r.Err == "":
+			s.kind = ""
+		case r.ErrKind != "":
+			s.kind = r.ErrKind
+		default:
+			s.kind = "error"
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("loadgen: response stream: %w", err)
+	}
+	return nil
+}

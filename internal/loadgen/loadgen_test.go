@@ -1,0 +1,234 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"regraph/internal/engine"
+	"regraph/internal/gen"
+	"regraph/internal/server"
+	"regraph/internal/wire"
+)
+
+// startServer brings up a loopback rgserve over a small synthetic
+// graph and returns its /v1/query URL plus a shutdown func.
+func startServer(t *testing.T, opts server.Options) (string, func()) {
+	t.Helper()
+	g := gen.Synthetic(1, 64, 160, 3, gen.DefaultColors)
+	en := engine.MustNew(g, engine.Options{})
+	srv := server.New(en, opts)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(l)
+	return "http://" + l.Addr().String() + "/v1/query", func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+}
+
+// templates builds a deterministic count-only RQ pool.
+func templates(t *testing.T, n int) []wire.Request {
+	t.Helper()
+	g := gen.Synthetic(1, 64, 160, 3, gen.DefaultColors)
+	r := rand.New(rand.NewSource(42))
+	out := make([]wire.Request, n)
+	for i := range out {
+		q := gen.RQ(g, 2, 4, 1, r)
+		out[i] = wire.Request{
+			RQ:    &wire.RQSpec{From: q.From.String(), To: q.To.String(), Expr: q.Expr.String()},
+			Count: true,
+		}
+	}
+	return out
+}
+
+// TestRunAccounting drives a live server at a modest rate and checks
+// the harness bookkeeping: every sent request answered exactly once,
+// the outcome categories partition the sends, and the quantiles are
+// ordered.
+func TestRunAccounting(t *testing.T) {
+	url, stop := startServer(t, server.Options{})
+	defer stop()
+	res, err := Run(Config{
+		URL:      url,
+		Rate:     400,
+		Duration: 300 * time.Millisecond,
+		Arrivals: Poisson,
+		Streams:  3,
+		Seed:     7,
+		Requests: templates(t, 8),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Sent == 0 {
+		t.Fatal("no requests sent")
+	}
+	if got := res.Completed + res.Shed + res.DeadlineMiss + res.Canceled + res.Errored; got != res.Sent {
+		t.Fatalf("outcomes %d do not partition sends %d: %+v", got, res.Sent, res)
+	}
+	if res.Completed == 0 {
+		t.Fatalf("nothing completed: %+v", res)
+	}
+	if res.Errored != 0 {
+		t.Fatalf("valid templates produced %d errors: %+v", res.Errored, res)
+	}
+	if res.P50 > res.P99 || res.P99 > res.P999 || res.P999 > res.Max {
+		t.Fatalf("quantiles out of order: %+v", res)
+	}
+	if res.AchievedQPS <= 0 {
+		t.Fatalf("achieved QPS not reported: %+v", res)
+	}
+}
+
+// TestRunClassification checks the outcome bookkeeping against a stub
+// wire server that answers each id with a known error_kind: the
+// harness must count every class exactly, not just in aggregate.
+func TestRunClassification(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := http.NewResponseController(w).EnableFullDuplex(); err != nil {
+			t.Errorf("full duplex: %v", err)
+			return
+		}
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		enc := json.NewEncoder(w)
+		fl, _ := w.(http.Flusher)
+		for sc.Scan() {
+			var req wire.Request
+			if err := json.Unmarshal(sc.Bytes(), &req); err != nil || req.ID == nil {
+				t.Errorf("stub got malformed line %q: %v", sc.Bytes(), err)
+				return
+			}
+			resp := wire.Response{ID: *req.ID}
+			switch *req.ID % 5 {
+			case 1:
+				resp.Err, resp.ErrKind = "engine: deadline expired before evaluation", "shed"
+			case 2:
+				resp.Err, resp.ErrKind = "context deadline exceeded", "deadline"
+			case 3:
+				resp.Err, resp.ErrKind = "context canceled", "canceled"
+			case 4:
+				resp.Err = "parse: boom"
+			default:
+				resp.Count = 1
+			}
+			if err := enc.Encode(&resp); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	})
+	hs := &http.Server{Handler: h}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go hs.Serve(l)
+	defer hs.Close()
+
+	res, err := Run(Config{
+		URL:      "http://" + l.Addr().String() + "/v1/query",
+		Rate:     1000,
+		Duration: 100 * time.Millisecond,
+		Arrivals: Uniform, // exactly 100 arrivals: ids 0..99
+		Streams:  2,
+		Seed:     11,
+		Requests: []wire.Request{{RQ: &wire.RQSpec{Expr: "fn"}}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Sent != 100 {
+		t.Fatalf("uniform 1000/s over 100ms sent %d, want 100", res.Sent)
+	}
+	want := Result{Completed: 20, Shed: 20, DeadlineMiss: 20, Canceled: 20, Errored: 20}
+	if res.Completed != want.Completed || res.Shed != want.Shed ||
+		res.DeadlineMiss != want.DeadlineMiss || res.Canceled != want.Canceled ||
+		res.Errored != want.Errored {
+		t.Fatalf("classification off: got %+v, want 20 of each class", res)
+	}
+}
+
+// TestArrivalOffsets pins the schedule generator: deterministic for a
+// seed, monotone, inside the duration, and matching the offered rate
+// to within Poisson noise.
+func TestArrivalOffsets(t *testing.T) {
+	cfg := Config{Rate: 1000, Duration: time.Second, Seed: 3}
+	a := arrivalOffsets(cfg)
+	b := arrivalOffsets(cfg)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedules: %d vs %d arrivals", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different offset at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	last := time.Duration(-1)
+	for i, off := range a {
+		if off < last {
+			t.Fatalf("offsets not monotone at %d: %v after %v", i, off, last)
+		}
+		if off >= cfg.Duration {
+			t.Fatalf("offset %v outside duration %v", off, cfg.Duration)
+		}
+		last = off
+	}
+	// 1000 arrivals expected; Poisson sd is ~32, allow 6 sigma.
+	if n := len(a); n < 800 || n > 1200 {
+		t.Fatalf("Poisson schedule at 1000/s over 1s produced %d arrivals", n)
+	}
+
+	cfg.Arrivals = Uniform
+	u := arrivalOffsets(cfg)
+	if len(u) != 1000 {
+		t.Fatalf("uniform schedule at 1000/s over 1s produced %d arrivals, want 1000", len(u))
+	}
+	for i := 1; i < len(u); i++ {
+		if got, want := u[i]-u[i-1], time.Millisecond; got != want {
+			t.Fatalf("uniform gap %v at %d, want %v", got, i, want)
+		}
+	}
+}
+
+// TestQuantile pins the nearest-rank quantile helper.
+func TestQuantile(t *testing.T) {
+	var s []time.Duration
+	if q := quantile(s, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	for i := 1; i <= 100; i++ {
+		s = append(s, time.Duration(i))
+	}
+	cases := []struct {
+		f    float64
+		want time.Duration
+	}{{0.5, 51}, {0.99, 100}, {0.999, 100}, {0, 1}, {1, 100}}
+	for _, c := range cases {
+		if got := quantile(s, c.f); got != c.want {
+			t.Errorf("quantile(1..100, %v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+// TestRunRejectsBadConfig covers the config validation.
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{Rate: 0, Requests: []wire.Request{{}}}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := Run(Config{Rate: 1}); err == nil {
+		t.Fatal("empty template pool accepted")
+	}
+}

@@ -111,6 +111,7 @@ type LatencySnapshot struct {
 	P50   time.Duration `json:"p50_ns"`
 	P95   time.Duration `json:"p95_ns"`
 	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
 }
 
 // Snapshot summarizes the histogram. Concurrent Observe calls may be
@@ -150,6 +151,6 @@ func (l *Latency) Snapshot() LatencySnapshot {
 		}
 		return s.Max
 	}
-	s.P50, s.P95, s.P99 = q(0.50), q(0.95), q(0.99)
+	s.P50, s.P95, s.P99, s.P999 = q(0.50), q(0.95), q(0.99), q(0.999)
 	return s
 }

@@ -1,6 +1,9 @@
 package metrics
 
 import (
+	"math"
+	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -62,6 +65,72 @@ func TestLatencySnapshot(t *testing.T) {
 	}
 	if s.P50 > s.P95 || s.P95 > s.P99 {
 		t.Errorf("quantiles not monotone: %v %v %v", s.P50, s.P95, s.P99)
+	}
+}
+
+// TestLatencyQuantileAccuracy is the property test behind the
+// histogram's documented guarantee: with power-of-two microsecond
+// buckets, every reported quantile R satisfies vq ≤ R ≤ max(2·vq, 2µs)
+// where vq is the exact nearest-rank quantile — the price of lock-free
+// constant-space tracking is bounded 2× relative error, never more.
+// Count, min, max and mean must be exact.
+func TestLatencyQuantileAccuracy(t *testing.T) {
+	fracs := []struct {
+		f   float64
+		get func(LatencySnapshot) time.Duration
+	}{
+		{0.50, func(s LatencySnapshot) time.Duration { return s.P50 }},
+		{0.95, func(s LatencySnapshot) time.Duration { return s.P95 }},
+		{0.99, func(s LatencySnapshot) time.Duration { return s.P99 }},
+		{0.999, func(s LatencySnapshot) time.Duration { return s.P999 }},
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 200 + r.Intn(5000)
+		var l Latency
+		samples := make([]time.Duration, n)
+		var sum int64
+		for i := range samples {
+			// Log-uniform over ~9 decades: sub-µs noise to multi-minute
+			// outliers, the full range a query latency can take.
+			d := time.Duration(float64(time.Microsecond) * math.Pow(10, r.Float64()*9) / 1000)
+			if d > 30*time.Minute {
+				d = 30 * time.Minute
+			}
+			samples[i] = d
+			sum += int64(d)
+			l.Observe(d)
+		}
+		s := l.Snapshot()
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		if s.Count != uint64(n) {
+			t.Fatalf("seed %d: count = %d, want %d", seed, s.Count, n)
+		}
+		if s.Min != samples[0] || s.Max != samples[n-1] {
+			t.Errorf("seed %d: min/max = %v/%v, want %v/%v", seed, s.Min, s.Max, samples[0], samples[n-1])
+		}
+		if want := time.Duration(sum / int64(n)); s.Mean != want {
+			t.Errorf("seed %d: mean = %v, want %v", seed, s.Mean, want)
+		}
+		for _, fc := range fracs {
+			// The snapshot's nearest-rank rule: target = frac·n, min 1.
+			target := int(fc.f * float64(n))
+			if target == 0 {
+				target = 1
+			}
+			vq := samples[target-1]
+			got := fc.get(s)
+			if got < vq {
+				t.Errorf("seed %d: q%.3f = %v underestimates exact %v", seed, fc.f, got, vq)
+			}
+			bound := 2 * vq
+			if bound < 2*time.Microsecond {
+				bound = 2 * time.Microsecond
+			}
+			if got > bound {
+				t.Errorf("seed %d: q%.3f = %v exceeds 2x bound of exact %v", seed, fc.f, got, vq)
+			}
+		}
 	}
 }
 

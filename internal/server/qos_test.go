@@ -1,0 +1,140 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"regraph/internal/engine"
+	"regraph/internal/server"
+)
+
+// TestServerStatsUnderDeadlineLoad hammers GET /v1/stats while a
+// single-worker server sheds most of a 1ms-deadline burst, checking
+// the aggregate counters stay coherent under the folded+live locking:
+// every cumulative counter is monotone across every poll (including
+// the fold when the stream's session ends), gauges never go negative,
+// and the final aggregates reconcile exactly with the per-response
+// error_kind classification on the wire.
+func TestServerStatsUnderDeadlineLoad(t *testing.T) {
+	g := testGraph(1)
+	e := engine.MustNew(g, engine.Options{Workers: 1})
+	srv := server.New(e, server.Options{MaxInFlight: 512})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const n = 400
+	reqs := wireBatch(t, g, n, 5)
+	for i := range reqs {
+		if i%4 != 3 {
+			reqs[i].DeadlineMS = 1 // hopeless behind a 1-worker queue: most must shed
+		}
+		reqs[i].Priority = i % 8
+	}
+
+	stop := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		var prev server.Stats
+		polls := 0
+		for {
+			select {
+			case <-stop:
+				if polls == 0 {
+					t.Error("stats poller never ran")
+				}
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + "/v1/stats")
+			if err != nil {
+				t.Errorf("GET /v1/stats: %v", err)
+				return
+			}
+			var st server.Stats
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				t.Errorf("decode stats: %v", err)
+				return
+			}
+			for _, c := range []struct {
+				name      string
+				cur, prev uint64
+			}{
+				{"streams_total", st.StreamsTotal, prev.StreamsTotal},
+				{"submitted", st.Submitted, prev.Submitted},
+				{"completed", st.Completed, prev.Completed},
+				{"cancelled", st.Cancelled, prev.Cancelled},
+				{"failed", st.Failed, prev.Failed},
+				{"expired", st.Expired, prev.Expired},
+				{"missed", st.Missed, prev.Missed},
+				{"delivered", st.Delivered, prev.Delivered},
+			} {
+				if c.cur < c.prev {
+					t.Errorf("%s went backwards: %d -> %d", c.name, c.prev, c.cur)
+				}
+			}
+			if st.QueueDepth < 0 || st.InFlight < 0 || st.StreamsActive < 0 {
+				t.Errorf("negative gauge in %+v", st)
+			}
+			prev = st
+			polls++
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	got := postNDJSON(t, ts.URL, reqs)
+	close(stop)
+	pollWG.Wait()
+
+	if len(got) != n {
+		t.Fatalf("received %d responses, want %d", len(got), n)
+	}
+	seen := map[uint64]bool{}
+	var shed, missed, completed, other int
+	for _, r := range got {
+		if seen[r.ID] {
+			t.Errorf("duplicate response id %d", r.ID)
+		}
+		seen[r.ID] = true
+		switch {
+		case r.Err == "":
+			completed++
+		case r.ErrKind == "shed":
+			shed++
+		case r.ErrKind == "deadline":
+			missed++
+		default:
+			other++
+		}
+	}
+	if other != 0 {
+		t.Errorf("%d responses with unexpected error kinds", other)
+	}
+	if shed == 0 {
+		t.Error("a 1ms-deadline burst behind one worker shed nothing")
+	}
+
+	st := srv.Stats()
+	if st.Submitted != n {
+		t.Errorf("submitted %d, want %d", st.Submitted, n)
+	}
+	if st.Completed+st.Cancelled+st.Failed+st.Expired+st.Missed != st.Submitted {
+		t.Errorf("outcomes do not partition submissions: %+v", st)
+	}
+	// The wire classification and the folded counters are two views of
+	// the same events and must agree exactly once the stream has ended.
+	if uint64(shed) != st.Expired || uint64(missed) != st.Missed || uint64(completed) != st.Completed {
+		t.Errorf("wire saw %d shed / %d missed / %d completed, stats folded %d / %d / %d",
+			shed, missed, completed, st.Expired, st.Missed, st.Completed)
+	}
+	if st.StreamsActive != 0 || st.QueueDepth != 0 || st.InFlight != 0 {
+		t.Errorf("server not drained: %+v", st)
+	}
+}

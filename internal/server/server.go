@@ -63,6 +63,13 @@ type Options struct {
 	// answered with deadline errors. A client's ?timeout_ms can only
 	// shorten it.
 	StreamTimeout time.Duration
+
+	// AdaptiveInFlight enables adaptive admission on every stream's
+	// session (engine.SessionOptions.AdaptiveInFlight): the effective
+	// in-flight bound shrinks below MaxInFlight when the observed p99
+	// evaluation latency approaches the deadline budgets requests carry
+	// (deadline_ms on the wire), and grows back under headroom.
+	AdaptiveInFlight bool
 }
 
 // Server serves an Engine over HTTP. Create it with New; it is safe for
@@ -94,6 +101,7 @@ type Server struct {
 	// live sessions on top.
 	submitted, completed, cancelled metrics.Counter
 	failed, delivered, dropped      metrics.Counter
+	expired, missed                 metrics.Counter
 	latency                         metrics.Latency
 }
 
@@ -230,13 +238,20 @@ type Stats struct {
 	ParseErrors   uint64 `json:"parse_errors"`
 
 	// Session totals (engine.SessionStats summed across all streams).
-	Submitted uint64 `json:"submitted"`
-	Completed uint64 `json:"completed"`
-	Cancelled uint64 `json:"cancelled"`
-	Failed    uint64 `json:"failed"`
-	Delivered uint64 `json:"delivered"`
-	Dropped   uint64 `json:"dropped"`
-	InFlight  int    `json:"in_flight"`
+	// Expired counts requests shed because their deadline budget ran out
+	// before evaluation; Missed those abandoned mid-evaluation at their
+	// deadline. QueueDepth is the current number of admitted requests
+	// still waiting for a worker, across live streams.
+	Submitted  uint64 `json:"submitted"`
+	Completed  uint64 `json:"completed"`
+	Cancelled  uint64 `json:"cancelled"`
+	Failed     uint64 `json:"failed"`
+	Expired    uint64 `json:"expired"`
+	Missed     uint64 `json:"missed"`
+	Delivered  uint64 `json:"delivered"`
+	Dropped    uint64 `json:"dropped"`
+	InFlight   int    `json:"in_flight"`
+	QueueDepth int    `json:"queue_depth"`
 
 	// Latency summarizes evaluation time of every successful query the
 	// server has delivered, across all streams.
@@ -264,6 +279,8 @@ func (s *Server) Stats() Stats {
 	st.Completed = s.completed.Load()
 	st.Cancelled = s.cancelled.Load()
 	st.Failed = s.failed.Load()
+	st.Expired = s.expired.Load()
+	st.Missed = s.missed.Load()
 	st.Delivered = s.delivered.Load()
 	st.Dropped = s.dropped.Load()
 	st.StreamsActive = len(s.live)
@@ -273,9 +290,12 @@ func (s *Server) Stats() Stats {
 		st.Completed += ss.Completed
 		st.Cancelled += ss.Cancelled
 		st.Failed += ss.Failed
+		st.Expired += ss.Expired
+		st.Missed += ss.Missed
 		st.Delivered += ss.Delivered
 		st.Dropped += ss.Dropped
 		st.InFlight += ss.InFlight
+		st.QueueDepth += ss.QueueDepth
 	}
 	s.mu.Unlock()
 	return st
@@ -305,6 +325,8 @@ func (s *Server) endStream(sess *engine.Session) {
 	s.completed.Add(ss.Completed)
 	s.cancelled.Add(ss.Cancelled)
 	s.failed.Add(ss.Failed)
+	s.expired.Add(ss.Expired)
+	s.missed.Add(ss.Missed)
 	s.delivered.Add(ss.Delivered)
 	s.dropped.Add(ss.Dropped)
 	if s.draining.Load() && len(s.live) == 0 {
@@ -381,8 +403,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	sess := s.e.Open(ctx, engine.SessionOptions{
-		MaxInFlight:  s.opts.MaxInFlight,
-		ResultBuffer: s.opts.ResultBuffer,
+		MaxInFlight:      s.opts.MaxInFlight,
+		ResultBuffer:     s.opts.ResultBuffer,
+		AdaptiveInFlight: s.opts.AdaptiveInFlight,
 	})
 	if !s.addStream(sess) {
 		// Draining won the race with the fast-path check above; the header

@@ -20,6 +20,8 @@ func FuzzDecode(f *testing.F) {
 	f.Add("not json\n\n{\"rq\":{\"expr\":\"fn\"}}")
 	f.Add(`{"id":18446744073709551615,"rq":{"expr":"fn{999999999999}"}}`)
 	f.Add(`{"rq":{"from":"a = \"quo\\\"ted\"","expr":"fn"},"pq":"x"}`)
+	f.Add(`{"rq":{"expr":"fn"},"priority":6,"deadline_ms":250}`)
+	f.Add(`{"rq":{"expr":"fn"},"priority":-1,"deadline_ms":9223372036854775807}`)
 	f.Add("\x00\xff\xfe")
 	f.Fuzz(func(t *testing.T, input string) {
 		dec := NewDecoder(strings.NewReader(input))

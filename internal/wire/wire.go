@@ -9,11 +9,16 @@
 //	{"id":1,"rq":{"from":"job = doctor","to":"*","expr":"fa{2} fn"}}
 //	{"id":2,"pq":"node A *\nnode B job = doctor\nedge A B fn+"}
 //	{"id":3,"rq":{"from":"*","to":"*","expr":"_+"},"count":true}
+//	{"id":4,"rq":{"expr":"fn"},"priority":6,"deadline_ms":250}
 //
 // The id is optional; lines without one are numbered by their ordinal
 // (0-based) in the stream. "count":true asks for the answer cardinality
 // only — the service streams pairs through an Emit callback and never
 // materializes them, so huge answers cost no resident memory.
+// "priority" and "deadline_ms" are the QoS knobs: the scheduling band
+// and the latency budget from server receipt (see Request); a request
+// whose budget runs out before evaluation is shed with error_kind
+// "shed".
 //
 // A response line echoes the id and carries the answer, a structured
 // per-line error, and the evaluation latency:
@@ -29,11 +34,14 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"regraph/internal/engine"
 	"regraph/internal/pattern"
@@ -70,6 +78,21 @@ type Request struct {
 	// counts pairs through a streaming Emit callback and the response
 	// carries count but no pairs array. Invalid on a PQ.
 	Count bool `json:"count,omitempty"`
+
+	// Priority selects the session scheduling band (engine.Request.
+	// Priority): higher values receive proportionally more of the
+	// workers under contention; values clamp to [0, engine.MaxPriority].
+	// Zero — the default — is the lowest band.
+	Priority int `json:"priority,omitempty"`
+
+	// DeadlineMS is the request's latency budget in milliseconds,
+	// counted from the moment the server compiles the line (wall-clock
+	// deadlines don't survive clock skew between client and server; a
+	// relative budget does). A request still queued when the budget runs
+	// out is shed with error_kind "shed" instead of being evaluated; one
+	// mid-evaluation is abandoned with error_kind "deadline". Zero means
+	// no deadline; negative is a per-line error.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // RQSpec is the textual form of a reachability query (the syntax of
@@ -109,6 +132,13 @@ type Response struct {
 	// Err is the structured per-line error: a parse/compile failure, an
 	// evaluation error, or a cancellation (deadline, shutdown).
 	Err string `json:"error,omitempty"`
+
+	// ErrKind classifies Err for programmatic handling: "shed" (the
+	// deadline budget expired before evaluation began — the request was
+	// never run), "deadline" (evaluation was abandoned at the deadline),
+	// "canceled" (session or stream cancellation). Empty for success and
+	// for parse/evaluation errors.
+	ErrKind string `json:"error_kind,omitempty"`
 
 	// LatencyUS is the evaluation time in microseconds, excluding queue
 	// wait; zero for requests that never ran.
@@ -182,6 +212,22 @@ func (d *Decoder) Next() (Request, error) {
 // and reports its kind ("rq" or "pq"). The error, if any, is a per-line
 // semantic error the caller should surface as an error response.
 func (r *Request) Compile() (engine.Request, string, error) {
+	if r.DeadlineMS < 0 {
+		return engine.Request{}, "", fmt.Errorf("wire: negative deadline_ms %d", r.DeadlineMS)
+	}
+	// QoS fields ride on every query kind; the deadline budget starts
+	// counting here, at server receipt.
+	qos := engine.Request{Priority: r.Priority}
+	if r.DeadlineMS > 0 {
+		// Clamp before multiplying: a huge ms budget would overflow the
+		// Duration to a negative value and shed the request on arrival.
+		const maxMS = int64(24 * time.Hour / time.Millisecond)
+		ms := r.DeadlineMS
+		if ms > maxMS {
+			ms = maxMS
+		}
+		qos.Deadline = time.Now().Add(time.Duration(ms) * time.Millisecond)
+	}
 	switch {
 	case r.RQ != nil && r.PQ != "":
 		return engine.Request{}, "", fmt.Errorf("wire: request sets both rq and pq")
@@ -190,7 +236,8 @@ func (r *Request) Compile() (engine.Request, string, error) {
 		if err != nil {
 			return engine.Request{}, "rq", err
 		}
-		return engine.Request{RQ: &q}, "rq", nil
+		qos.RQ = &q
+		return qos, "rq", nil
 	case r.PQ != "":
 		if r.Count {
 			return engine.Request{}, "pq", fmt.Errorf("wire: count applies to rq requests only")
@@ -199,7 +246,8 @@ func (r *Request) Compile() (engine.Request, string, error) {
 		if err != nil {
 			return engine.Request{}, "pq", err
 		}
-		return engine.Request{PQ: q}, "pq", nil
+		qos.PQ = q
+		return qos, "pq", nil
 	default:
 		return engine.Request{}, "", fmt.Errorf("wire: request needs rq or pq")
 	}
@@ -249,6 +297,7 @@ func FromResult(res engine.Result, kind string, pq *pattern.Query, streamedCount
 	}
 	if res.Err != nil {
 		out.Err = res.Err.Error()
+		out.ErrKind = errKindOf(res.Err)
 		return out
 	}
 	switch {
@@ -263,6 +312,22 @@ func FromResult(res engine.Result, kind string, pq *pattern.Query, streamedCount
 		out.Count = streamedCount
 	}
 	return out
+}
+
+// errKindOf classifies a result error for Response.ErrKind. The shed
+// check must run before the generic deadline one: ErrDeadlineExpired
+// deliberately also matches context.DeadlineExceeded under errors.Is.
+func errKindOf(err error) string {
+	switch {
+	case errors.Is(err, engine.ErrDeadlineExpired):
+		return "shed"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return ""
+	}
 }
 
 // flusher is the subset of http.Flusher / bufio.Writer the encoder

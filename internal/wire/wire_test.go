@@ -10,6 +10,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 var update = flag.Bool("update", false, "rewrite the wire-schema golden files")
@@ -25,6 +26,8 @@ func goldenRequests() []Request {
 		{ID: id(2), PQ: "node A\t*\nnode B\tjob = doctor\nedge A B\tfn+"},
 		{ID: id(3), RQ: &RQSpec{From: "*", To: "*", Expr: "_+"}, Count: true},
 		{RQ: &RQSpec{From: `cat = "Film & Animation", com <= 20`, Expr: "ic{2} dc+"}},
+		{ID: id(5), RQ: &RQSpec{Expr: "fn"}, Priority: 6, DeadlineMS: 250},
+		{ID: id(6), PQ: "node A\t*\nnode B\t*\nedge A B\tfa+", DeadlineMS: 1000},
 	}
 }
 
@@ -40,6 +43,8 @@ func goldenResponses() []Response {
 		{ID: 3, Kind: "rq", Count: 12345, LatencyUS: 9.5},
 		{ID: 4, Err: "wire: request needs rq or pq"},
 		{ID: 5, Kind: "rq", Query: "RQ[* --fn--> *]", Count: 0, LatencyUS: 3.1},
+		{ID: 6, Kind: "rq", Err: "engine: deadline expired before evaluation", ErrKind: "shed"},
+		{ID: 7, Kind: "pq", Err: "context deadline exceeded", ErrKind: "deadline", LatencyUS: 251000},
 	}
 }
 
@@ -123,6 +128,35 @@ func TestGoldenRequests(t *testing.T) {
 	}
 }
 
+// TestCompileQoS: priority and deadline_ms thread through to the engine
+// request — the deadline as an absolute time deadline_ms from receipt.
+func TestCompileQoS(t *testing.T) {
+	req := Request{RQ: &RQSpec{Expr: "fn"}, Priority: 3, DeadlineMS: 500}
+	before := time.Now()
+	ereq, kind, err := req.Compile()
+	after := time.Now()
+	if err != nil || kind != "rq" {
+		t.Fatalf("compile: kind %q, err %v", kind, err)
+	}
+	if ereq.Priority != 3 {
+		t.Errorf("priority %d, want 3", ereq.Priority)
+	}
+	lo := before.Add(500 * time.Millisecond)
+	hi := after.Add(500 * time.Millisecond)
+	if ereq.Deadline.Before(lo) || ereq.Deadline.After(hi) {
+		t.Errorf("deadline %v outside [%v, %v]", ereq.Deadline, lo, hi)
+	}
+	// No deadline_ms: no deadline at all.
+	plain := Request{PQ: "node A\t*\nnode B\t*\nedge A B\tfn", Priority: 1}
+	preq, _, err := plain.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !preq.Deadline.IsZero() || preq.Priority != 1 {
+		t.Errorf("plain request got deadline %v priority %d", preq.Deadline, preq.Priority)
+	}
+}
+
 // TestDecoderRecoversPerLine: a malformed line yields a *LineError with
 // the line's assigned id, and decoding continues with the next line.
 func TestDecoderRecoversPerLine(t *testing.T) {
@@ -183,6 +217,7 @@ func TestCompileErrors(t *testing.T) {
 		{"bad pattern", Request{PQ: "edge A B\tfn"}, true, "pq"},
 		{"rq ok", Request{RQ: &RQSpec{From: "*", To: "*", Expr: "fn"}}, false, "rq"},
 		{"pq ok", Request{PQ: "node A\t*\nnode B\t*\nedge A B\tfn"}, false, "pq"},
+		{"negative deadline", Request{RQ: &RQSpec{Expr: "fn"}, DeadlineMS: -5}, true, ""},
 	}
 	for _, c := range cases {
 		ereq, kind, err := c.req.Compile()

@@ -161,6 +161,14 @@ type (
 // the session's context was cancelled and the session drained).
 var ErrSessionClosed = engine.ErrSessionClosed
 
+// ErrDeadlineExpired is the Result.Err of a request whose Deadline
+// passed while it was still queued: the session shed it without
+// spending a worker on it. errors.Is(err, context.DeadlineExceeded)
+// also matches, so callers that only care about "missed the deadline"
+// need one check; compare against ErrDeadlineExpired itself to
+// distinguish a queue shed from an evaluation abandoned mid-flight.
+var ErrDeadlineExpired = engine.ErrDeadlineExpired
+
 // Serving types (the HTTP/NDJSON front end; see NewServer).
 type (
 	// Server serves an Engine over HTTP speaking the NDJSON wire format:
