@@ -155,6 +155,26 @@ func BenchmarkServerLoad(b *testing.B) {
 	}
 }
 
+// Replica router tier (ISSUE 8): open-loop throughput scaling at 1, 2
+// and 4 single-worker replicas behind one router, plus the fault
+// schedule (one of two replicas RST-killed for the middle third of the
+// run). The per-row achieved QPS, the 2-vs-1 scaling factor and the
+// fault-vs-fault-free QPS ratio are forwarded through ReportMetric so
+// BENCH_cluster.json records the scaling and fault-tolerance story.
+func BenchmarkCluster(b *testing.B) {
+	env := benchEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := bench.Cluster(env)
+		if len(tab.Rows) == 0 {
+			b.Fatal("driver produced no rows")
+		}
+		for unit, v := range tab.Metrics {
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
 // Ablations (DESIGN.md §5).
 
 func BenchmarkAblationContainment(b *testing.B) { runDriver(b, bench.AblationContainment) }

@@ -54,6 +54,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -76,6 +77,8 @@ func main() {
 		remote    = flag.String("remote", "", "rgserve base URL: run the queries over the wire instead of locally")
 		priority  = flag.Int("priority", 0, "remote: scheduling priority for every request (0-7, higher = more weight)")
 		deadline  = flag.Duration("deadline", 0, "remote: per-request deadline budget, e.g. 250ms (0 = none)")
+		dialTries = flag.Int("dial-retries", 3, "remote: retries if the initial connection is refused (0 = fail on first refusal)")
+		dialWait  = flag.Duration("dial-backoff", 100*time.Millisecond, "remote: first retry delay, doubled per attempt (capped at 2s)")
 		workers   = flag.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
 		useMatrix = flag.Bool("matrix", true, "precompute the distance matrix (shorthand for -backend matrix/cache)")
 		backend   = flag.String("backend", "", "distance backend: matrix, twohop, cache or auto (overrides -matrix)")
@@ -87,7 +90,8 @@ func main() {
 	flag.Parse()
 
 	if *remote != "" {
-		if err := runRemote(*remote, *batchPath, *patPath, *from, *to, *expr, *priority, *deadline); err != nil {
+		if err := runRemote(*remote, *batchPath, *patPath, *from, *to, *expr,
+			*priority, *deadline, *dialTries, *dialWait); err != nil {
 			fatal(err)
 		}
 		return
@@ -165,13 +169,17 @@ func engineOptions(g *regraph.Graph, backend string, useMatrix bool, workers, gr
 
 // ---- remote mode -----------------------------------------------------------
 
-// runRemote ships the requested queries to an rgserve instance as
-// NDJSON request lines (internal/wire) and passes the server's response
-// lines through to stdout as they arrive. The upload is a pipe, so the
-// server's admission bound back-pressures request production too. A
-// -priority or -deadline flag stamps every request line with the QoS
-// fields; the deadline budget starts when the server receives the line.
-func runRemote(base, batchPath, patPath, from, to, expr string, priority int, deadline time.Duration) error {
+// runRemote ships the requested queries to an rgserve (or rgrouter)
+// instance as NDJSON request lines (internal/wire) and passes the
+// response lines through to stdout as they arrive. The upload is a
+// pipe, so the server's admission bound back-pressures request
+// production too. A -priority or -deadline flag stamps every request
+// line with the QoS fields; the deadline budget starts when the server
+// receives the line. A refused initial dial is retried with backoff
+// (-dial-retries / -dial-backoff) so a freshly launched server or a
+// router mid-restart does not fail the whole batch.
+func runRemote(base, batchPath, patPath, from, to, expr string,
+	priority int, deadline time.Duration, dialRetries int, dialBackoff time.Duration) error {
 	reqs, err := remoteRequests(batchPath, patPath, from, to, expr)
 	if err != nil {
 		return err
@@ -185,7 +193,8 @@ func runRemote(base, batchPath, patPath, from, to, expr string, priority int, de
 	// Pass lines through verbatim, tallying a stderr summary.
 	t0 := time.Now()
 	results, errors, pairs := 0, 0, 0
-	err = wire.PostStream(strings.TrimRight(base, "/")+"/v1/query", reqs,
+	kinds := map[string]int{}
+	err = wire.PostStreamRetry(strings.TrimRight(base, "/")+"/v1/query", reqs,
 		func(raw []byte, r *wire.Response) error {
 			os.Stdout.Write(raw)
 			os.Stdout.Write([]byte{'\n'})
@@ -193,15 +202,50 @@ func runRemote(base, batchPath, patPath, from, to, expr string, priority int, de
 			pairs += r.Count
 			if r.Err != "" {
 				errors++
+				kinds[errKindLabel(r.ErrKind)]++
 			}
 			return nil
-		})
+		}, dialRetries, dialBackoff)
 	if err != nil {
 		return fmt.Errorf("remote: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "remote: %d results (%d errors), %d pairs total, %v wall\n",
-		results, errors, pairs, time.Since(t0).Round(time.Microsecond))
+	fmt.Fprintf(os.Stderr, "remote: %d results (%d errors%s), %d pairs total, %v wall\n",
+		results, errors, errKindSummary(kinds), pairs, time.Since(t0).Round(time.Microsecond))
 	return nil
+}
+
+// errKindLabel maps a response's error_kind to its summary bucket.
+// Lines carrying an error but no kind (per-line parse errors and other
+// request rejections) count as "invalid".
+func errKindLabel(kind string) string {
+	if kind == "" {
+		return "invalid"
+	}
+	return kind
+}
+
+// errKindSummary renders the per-error_kind breakdown for the stderr
+// summary, e.g. ": 2 shed, 1 unavailable" — empty when nothing failed,
+// kinds sorted so the line is stable for scripts that scrape it.
+func errKindSummary(kinds map[string]int) string {
+	if len(kinds) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i == 0 {
+			b.WriteString(": ")
+		} else {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d %s", kinds[k], k)
+	}
+	return b.String()
 }
 
 // remoteRequests builds the wire request lines for remote mode. Query

@@ -1,0 +1,105 @@
+// Command rgrouter is the fault-tolerant replica router: it serves the
+// same POST /v1/query NDJSON stream contract as rgserve, fanning each
+// stream's request lines out over a set of rgserve replicas with
+// health-gated load balancing, circuit breaking, budgeted retry,
+// optional hedging, and mid-stream failover (see internal/router).
+//
+//	rgserve -demo -addr :8081 &
+//	rgserve -demo -addr :8082 &
+//	rgrouter -addr :8080 -replicas http://localhost:8081,http://localhost:8082
+//
+//	curl -sN -X POST --data-binary @queries.ndjson localhost:8080/v1/query
+//	curl -s localhost:8080/v1/stats
+//
+// On SIGINT/SIGTERM the router drains: /readyz turns 503, new streams
+// are refused, live ones run to completion, and after -drain-timeout
+// any stragglers are cancelled (their remaining requests answered with
+// error_kind "canceled") before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"regraph/internal/router"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		replicas      = flag.String("replicas", "", "comma-separated replica base URLs (http://host:port)")
+		maxInFlight   = flag.Int("maxinflight", 0, "per-stream bound on unanswered requests (0 = default 256)")
+		probeInterval = flag.Duration("probe-interval", 0, "replica readiness probe period (0 = default 250ms)")
+		failThreshold = flag.Int("fail-threshold", 0, "consecutive failures that open a replica's breaker (0 = default 3)")
+		cooldown      = flag.Duration("cooldown", 0, "open-breaker cooldown before a half-open trial (0 = default 1s)")
+		maxAttempts   = flag.Int("max-attempts", 0, "dispatches per request incl. the first (0 = default 4)")
+		retryRate     = flag.Float64("retry-rate", 0, "retry budget refill, tokens/sec (0 = default 50)")
+		retryBurst    = flag.Float64("retry-burst", 0, "retry budget burst (0 = default 100)")
+		backoff       = flag.Duration("backoff", 0, "base retry backoff, doubled per attempt (0 = default 25ms)")
+		maxBackoff    = flag.Duration("max-backoff", 0, "retry backoff cap (0 = default 1s)")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "duplicate a request to a second replica after this delay (0 = off)")
+		stallTimeout  = flag.Duration("stall-timeout", 0, "fail an upstream with unanswered requests but no progress for this long (0 = default 5s)")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	rt, err := router.New(router.Options{
+		Replicas:         urls,
+		MaxInFlight:      *maxInFlight,
+		ProbeInterval:    *probeInterval,
+		FailThreshold:    *failThreshold,
+		Cooldown:         *cooldown,
+		MaxAttempts:      *maxAttempts,
+		RetryBudgetRate:  *retryRate,
+		RetryBudgetBurst: *retryBurst,
+		RetryBackoff:     *backoff,
+		MaxRetryBackoff:  *maxBackoff,
+		HedgeAfter:       *hedgeAfter,
+		StallTimeout:     *stallTimeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rt.ProbeNow()
+
+	errc := make(chan error, 1)
+	go func() { errc <- rt.ListenAndServe(*addr) }()
+	fmt.Fprintf(os.Stderr, "rgrouter: listening on %s, routing to %d replicas\n", *addr, len(urls))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "rgrouter: %v: draining (budget %v)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := rt.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "rgrouter: forced shutdown: %v\n", err)
+		}
+		st := rt.Stats()
+		fmt.Fprintf(os.Stderr, "rgrouter: served %d streams, %d requests (%d retries, %d hedges, %d dup-suppressed, %d unavailable)\n",
+			st.StreamsTotal, st.Requests, st.Retries, st.Hedges, st.DupSuppressed, st.Unavailable)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rgrouter:", err)
+	os.Exit(1)
+}

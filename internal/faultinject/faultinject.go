@@ -1,0 +1,411 @@
+// Package faultinject wraps net.Listener/net.Conn with deterministic,
+// scripted fault injection: connection refusal, RST aborts mid-line,
+// read/write stalls that run into the peer's deadlines, added latency,
+// and partial writes. It exists so the failure modes the replica router
+// (internal/router) must survive can be *produced on demand in CI*
+// rather than hoped about: the chaos e2e suite wraps real rgserve
+// listeners in a Listener and drives kill/stall/recover schedules
+// against a live router.
+//
+// Faults come from two places:
+//
+//   - a Script: per-connection Rules selected by the connection's
+//     0-based accept order (deterministic given a deterministic client),
+//     plus a Default applied to unlisted connections;
+//   - runtime controls on the Listener — SetRefuse (new connections are
+//     RST-closed at accept) and AbortAll (every live connection is
+//     RST-closed at once, the "replica process died" event) — which let
+//     a test kill and revive a backend mid-stream without touching the
+//     serving goroutines.
+//
+// Stalls and latency honor the deadlines set on the wrapped conn
+// (SetReadDeadline/SetWriteDeadline): a stalled operation returns
+// os.ErrDeadlineExceeded when the deadline passes, exactly like a
+// kernel socket would, so deadline-based unstick paths (internal/server)
+// and stall detectors (internal/router) see the real timeout behavior.
+// Closing the conn (or AbortAll) unblocks stalled operations with
+// net.ErrClosed.
+package faultinject
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Rules is the fault profile of one connection. The zero value injects
+// nothing: the conn behaves exactly like the wrapped one.
+type Rules struct {
+	// ReadLatency is added before every Read; WriteLatency before every
+	// Write. The sleep honors the conn's deadline.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+
+	// MaxWriteChunk, when positive, splits every Write into chunks of at
+	// most this many bytes, each pushed separately to the wrapped conn —
+	// a deterministic source of partial writes / tiny TCP segments.
+	MaxWriteChunk int
+
+	// StallReadAfter, when positive, blocks every Read after the
+	// connection has delivered that many bytes, until the read deadline
+	// passes or the conn is closed. (A reader that goes silent.)
+	StallReadAfter int64
+
+	// StallWriteAfter, when positive, blocks every Write after the
+	// connection has accepted that many bytes — the peer has stopped
+	// draining and the window is closed.
+	StallWriteAfter int64
+
+	// AbortWriteAfter, when positive, RST-closes the connection once it
+	// has written that many bytes: the next Write at or past the limit
+	// fails and the peer sees a reset mid-line.
+	AbortWriteAfter int64
+}
+
+// Script selects Rules per accepted connection.
+type Script struct {
+	// Default applies to connections not listed in PerConn.
+	Default Rules
+	// PerConn maps a connection's 0-based accept order to its Rules.
+	PerConn map[int]Rules
+	// Refuse lists accept ordinals that are RST-closed immediately: the
+	// client's connect succeeds and then dies on first use, the observable
+	// shape of a crashed process whose port is still in TIME_WAIT races.
+	Refuse map[int]bool
+}
+
+// rules returns the profile for accept ordinal i.
+func (s *Script) rules(i int) Rules {
+	if s == nil {
+		return Rules{}
+	}
+	if r, ok := s.PerConn[i]; ok {
+		return r
+	}
+	return s.Default
+}
+
+// Listener wraps an inner listener, applying a Script to each accepted
+// connection. All methods are safe for concurrent use.
+type Listener struct {
+	inner  net.Listener
+	script *Script
+
+	mu     sync.Mutex
+	seq    int
+	refuse bool
+	conns  map[*Conn]struct{}
+}
+
+// Wrap wraps l. script may be nil (no per-conn faults; the runtime
+// controls still work).
+func Wrap(l net.Listener, script *Script) *Listener {
+	return &Listener{inner: l, script: script, conns: map[*Conn]struct{}{}}
+}
+
+// Accept accepts from the wrapped listener, applying the script. Refused
+// connections are RST-closed and never returned: the accept loop simply
+// moves on to the next connection, as if a dead process's backlog were
+// being flushed.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.inner.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		seq := l.seq
+		l.seq++
+		refused := l.refuse || (l.script != nil && l.script.Refuse[seq])
+		var fc *Conn
+		if !refused {
+			fc = newConn(c, l.script.rules(seq))
+			fc.onClose = l.drop
+			l.conns[fc] = struct{}{}
+		}
+		l.mu.Unlock()
+		if refused {
+			abort(c)
+			continue
+		}
+		return fc, nil
+	}
+}
+
+// Close closes the wrapped listener. Live connections are left alone
+// (use AbortAll to kill them).
+func (l *Listener) Close() error { return l.inner.Close() }
+
+// Addr returns the wrapped listener's address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// SetRefuse toggles refusal of new connections: while on, every accepted
+// connection is RST-closed immediately. Combined with AbortAll this is
+// the "replica died" event; SetRefuse(false) is the recovery.
+func (l *Listener) SetRefuse(v bool) {
+	l.mu.Lock()
+	l.refuse = v
+	l.mu.Unlock()
+}
+
+// AbortAll RST-closes every live connection at once — the mid-stream
+// kill. New connections are unaffected (pair with SetRefuse to keep the
+// backend down).
+func (l *Listener) AbortAll() {
+	l.mu.Lock()
+	conns := make([]*Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Abort()
+	}
+}
+
+// NumConns reports the number of live (accepted, not yet closed)
+// connections.
+func (l *Listener) NumConns() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.conns)
+}
+
+func (l *Listener) drop(c *Conn) {
+	l.mu.Lock()
+	delete(l.conns, c)
+	l.mu.Unlock()
+}
+
+// abort RST-closes a raw conn: SO_LINGER 0 makes Close send a reset
+// instead of a FIN, so the peer sees ECONNRESET, not a clean EOF.
+func abort(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+// Conn applies Rules to a wrapped connection. Use NewConn to wrap a
+// dialed conn directly (client-side faults); Listener.Accept wraps
+// server-side.
+type Conn struct {
+	inner net.Conn
+	rules Rules
+
+	onClose func(*Conn) // set by Listener; may be nil
+
+	mu            sync.Mutex
+	readDeadline  time.Time
+	writeDeadline time.Time
+	bump          chan struct{} // recreated whenever deadlines change or the conn closes
+	closed        bool
+
+	read    int64 // bytes delivered to the caller (guarded by mu)
+	written int64 // bytes accepted from the caller
+}
+
+// NewConn wraps c with the given fault rules.
+func NewConn(c net.Conn, rules Rules) *Conn { return newConn(c, rules) }
+
+func newConn(c net.Conn, rules Rules) *Conn {
+	return &Conn{inner: c, rules: rules, bump: make(chan struct{})}
+}
+
+// wait blocks until `until` passes (nil error), the side's deadline
+// passes (os.ErrDeadlineExceeded), or the conn closes (net.ErrClosed).
+// A zero `until` means "forever" — a stall that only a deadline or a
+// close can end.
+func (c *Conn) wait(until time.Time, read bool) error {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return net.ErrClosed
+		}
+		deadline := c.writeDeadline
+		if read {
+			deadline = c.readDeadline
+		}
+		bump := c.bump
+		c.mu.Unlock()
+
+		now := time.Now()
+		if !deadline.IsZero() && !deadline.After(now) {
+			return os.ErrDeadlineExceeded
+		}
+		if !until.IsZero() && !until.After(now) {
+			return nil
+		}
+		// Sleep until the nearest of: the wait end, the deadline, or a
+		// bump (deadline moved / conn closed).
+		wake := until
+		if !deadline.IsZero() && (wake.IsZero() || deadline.Before(wake)) {
+			wake = deadline
+		}
+		if wake.IsZero() {
+			<-bump // pure stall: only a close or a deadline change ends it
+			continue
+		}
+		t := time.NewTimer(time.Until(wake))
+		select {
+		case <-bump:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// stall blocks until the deadline passes or the conn closes.
+func (c *Conn) stall(read bool) error { return c.wait(time.Time{}, read) }
+
+func (c *Conn) Read(b []byte) (int, error) {
+	if c.rules.ReadLatency > 0 {
+		if err := c.wait(time.Now().Add(c.rules.ReadLatency), true); err != nil {
+			return 0, err
+		}
+	}
+	c.mu.Lock()
+	read := c.read
+	c.mu.Unlock()
+	if lim := c.rules.StallReadAfter; lim > 0 {
+		if read >= lim {
+			if err := c.stall(true); err != nil {
+				return 0, err
+			}
+		} else if rem := lim - read; rem < int64(len(b)) {
+			// Land exactly on the stall boundary so the schedule is
+			// byte-deterministic, not read-size-dependent.
+			b = b[:rem]
+		}
+	}
+	n, err := c.inner.Read(b)
+	c.mu.Lock()
+	c.read += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.rules.WriteLatency > 0 {
+		if err := c.wait(time.Now().Add(c.rules.WriteLatency), false); err != nil {
+			return 0, err
+		}
+	}
+	total := 0
+	for len(b) > 0 {
+		c.mu.Lock()
+		written := c.written
+		c.mu.Unlock()
+		if lim := c.rules.AbortWriteAfter; lim > 0 && written >= lim {
+			c.Abort()
+			return total, net.ErrClosed
+		}
+		chunk := b
+		if c.rules.MaxWriteChunk > 0 && len(chunk) > c.rules.MaxWriteChunk {
+			chunk = chunk[:c.rules.MaxWriteChunk]
+		}
+		if lim := c.rules.StallWriteAfter; lim > 0 {
+			if written >= lim {
+				if err := c.stall(false); err != nil {
+					return total, err
+				}
+			} else if rem := lim - written; rem < int64(len(chunk)) {
+				chunk = chunk[:rem]
+			}
+		}
+		if lim := c.rules.AbortWriteAfter; lim > 0 {
+			if rem := lim - written; rem < int64(len(chunk)) {
+				chunk = chunk[:rem]
+			}
+		}
+		n, err := c.inner.Write(chunk)
+		c.mu.Lock()
+		c.written += int64(n)
+		c.mu.Unlock()
+		total += n
+		b = b[n:]
+		if err != nil {
+			return total, err
+		}
+		if c.rules.MaxWriteChunk == 0 && c.rules.StallWriteAfter == 0 && c.rules.AbortWriteAfter == 0 {
+			break // nothing chunked the write: it went out whole
+		}
+	}
+	return total, nil
+}
+
+// Abort RST-closes the connection: the peer sees a reset, and any
+// goroutine blocked in a stalled Read/Write on this side unblocks with
+// net.ErrClosed.
+func (c *Conn) Abort() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.bump)
+	c.bump = make(chan struct{})
+	c.mu.Unlock()
+	abort(c.inner)
+	if c.onClose != nil {
+		c.onClose(c)
+	}
+}
+
+// Close closes the wrapped conn (clean FIN) and unblocks stalled
+// operations.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.bump)
+	c.bump = make(chan struct{})
+	c.mu.Unlock()
+	err := c.inner.Close()
+	if c.onClose != nil {
+		c.onClose(c)
+	}
+	return err
+}
+
+func (c *Conn) LocalAddr() net.Addr  { return c.inner.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline sets both deadlines (and wakes any stalled operation so
+// it re-evaluates — a deadline moved into the past unsticks it, exactly
+// like a kernel socket).
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.setDeadlines(&t, &t)
+	return c.inner.SetDeadline(t)
+}
+
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.setDeadlines(&t, nil)
+	return c.inner.SetReadDeadline(t)
+}
+
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.setDeadlines(nil, &t)
+	return c.inner.SetWriteDeadline(t)
+}
+
+func (c *Conn) setDeadlines(r, w *time.Time) {
+	c.mu.Lock()
+	if r != nil {
+		c.readDeadline = *r
+	}
+	if w != nil {
+		c.writeDeadline = *w
+	}
+	if !c.closed {
+		close(c.bump)
+		c.bump = make(chan struct{})
+	}
+	c.mu.Unlock()
+}

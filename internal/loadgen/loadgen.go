@@ -73,14 +73,15 @@ type Config struct {
 }
 
 // Result summarizes one run. Sent == Completed+Shed+DeadlineMiss+
-// Canceled+Errored always holds on a nil-error return: every request
-// the harness sent was answered exactly once.
+// Canceled+Unavailable+Errored always holds on a nil-error return:
+// every request the harness sent was answered exactly once.
 type Result struct {
 	Sent         int           // requests submitted on schedule
 	Completed    int           // answered successfully
 	Shed         int           // expired while queued (error_kind "shed")
 	DeadlineMiss int           // abandoned mid-evaluation (error_kind "deadline")
 	Canceled     int           // session/stream cancellation (error_kind "canceled")
+	Unavailable  int           // shed at the routing tier (error_kind "unavailable")
 	Errored      int           // other per-request errors (e.g. parse)
 	OfferedQPS   float64       // the configured arrival rate
 	AchievedQPS  float64       // Completed / Wall
@@ -198,6 +199,8 @@ func tally(offsets []time.Duration, samples []sample, rate float64, wall time.Du
 			res.DeadlineMiss++
 		case "canceled":
 			res.Canceled++
+		case "unavailable":
+			res.Unavailable++
 		default:
 			res.Errored++
 		}

@@ -1,0 +1,297 @@
+package router_test
+
+// Chaos e2e: real rgserve replicas behind the router, with
+// internal/faultinject scripting kills, stalls and recovery between
+// them. Every scenario's correctness bar is the same: the routed
+// stream must answer each id exactly once, bit-identical to the
+// single-engine oracle (or as an explicit "unavailable" shed when
+// nothing is live), with no goroutine leaks. Run under -race.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"regraph/internal/engine"
+	"regraph/internal/faultinject"
+	"regraph/internal/router"
+	"regraph/internal/wire"
+)
+
+// streamConn is an incrementally-driven query stream: the test writes
+// request lines and reads response lines at its own pace, so faults
+// can be injected at exact points mid-stream.
+type streamConn struct {
+	t    *testing.T
+	pw   *io.PipeWriter
+	enc  *json.Encoder
+	body io.ReadCloser
+	sc   *bufio.Scanner
+}
+
+func openStream(t *testing.T, url string) *streamConn {
+	t.Helper()
+	pr, pw := io.Pipe()
+	resp, err := http.Post(url+"/v1/query", "application/x-ndjson", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/query: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), wire.MaxResponseLineBytes)
+	return &streamConn{t: t, pw: pw, enc: json.NewEncoder(pw), body: resp.Body, sc: sc}
+}
+
+func (s *streamConn) send(reqs ...wire.Request) {
+	s.t.Helper()
+	for i := range reqs {
+		if err := s.enc.Encode(&reqs[i]); err != nil {
+			s.t.Fatalf("send: %v", err)
+		}
+	}
+}
+
+// recv reads exactly n response lines.
+func (s *streamConn) recv(n int) []wire.Response {
+	s.t.Helper()
+	out := make([]wire.Response, 0, n)
+	for len(out) < n && s.sc.Scan() {
+		line := s.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var resp wire.Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			s.t.Fatalf("malformed response line %q: %v", line, err)
+		}
+		out = append(out, resp)
+	}
+	if len(out) < n {
+		s.t.Fatalf("stream ended after %d of %d responses (read error: %v)", len(out), n, s.sc.Err())
+	}
+	return out
+}
+
+// finish closes the upload and asserts the response stream ends
+// cleanly — a terminated protocol, not a torn connection.
+func (s *streamConn) finish() {
+	s.t.Helper()
+	s.pw.Close()
+	for s.sc.Scan() {
+		if len(s.sc.Bytes()) != 0 {
+			s.t.Fatalf("unexpected trailing response line %q", s.sc.Text())
+		}
+	}
+	if err := s.sc.Err(); err != nil {
+		s.t.Fatalf("stream did not terminate cleanly: %v", err)
+	}
+	s.body.Close()
+}
+
+// TestRouterChaosKillAndStall is the headline failover scenario: three
+// replicas serve one stream; mid-stream one replica is RST-killed and
+// another's connections stop writing (stall past the router's
+// deadline). The routed stream must still be bit-identical per id to
+// the single-engine oracle — zero duplicates, zero losses, zero sheds
+// — because every orphaned id is re-submitted to a live replica.
+func TestRouterChaosKillAndStall(t *testing.T) {
+	defer leakCheck(t)()
+	g := testGraph(7)
+	oracle := engine.MustNew(g, engine.Options{Workers: 2})
+	reqs := wireBatch(t, g, 60, 13)
+	want := wantResponses(t, oracle, reqs)
+
+	a := startReplica(t, g, nil)
+	// b's connections go silent after ~1.5KB written: responses flow,
+	// then stop mid-stream — the wedged-but-not-dead failure the stall
+	// watchdog exists for.
+	b := startReplica(t, g, &faultinject.Script{Default: faultinject.Rules{StallWriteAfter: 1500}})
+	c := startReplica(t, g, nil)
+	defer a.stop()
+	defer b.stop()
+	defer c.stop()
+
+	rt, url, cleanup := startRouter(t, router.Options{
+		ProbeInterval: -1, // deterministic: passive accounting only
+		StallTimeout:  250 * time.Millisecond,
+		RetryBackoff:  5 * time.Millisecond,
+		FailThreshold: 2,
+		Cooldown:      5 * time.Second, // keep failed replicas benched for the test's duration
+	}, a, b, c)
+	defer cleanup()
+
+	st := openStream(t, url)
+	st.send(reqs...)
+	got := st.recv(10)
+	// Mid-stream: replica c dies hard — live connections RST mid-line,
+	// new ones refused.
+	c.kill()
+	got = append(got, st.recv(len(reqs)-10)...)
+	st.finish()
+
+	checkExact(t, got, want)
+	for _, r := range got {
+		if r.ErrKind != "" {
+			t.Errorf("id %d shed with %q; failover should have answered it", r.ID, r.ErrKind)
+		}
+	}
+	stats := rt.Stats()
+	if stats.Retries == 0 {
+		t.Errorf("no retries recorded across a kill and a stall: %+v", stats)
+	}
+	if stats.Unavailable != 0 {
+		t.Errorf("%d requests shed unavailable with a healthy replica present", stats.Unavailable)
+	}
+}
+
+// TestRouterAllReplicasDown: when the whole fleet dies, in-flight and
+// subsequent ids are answered with error_kind "unavailable" — per-line
+// sheds on a well-formed stream that then terminates cleanly, never a
+// torn connection.
+func TestRouterAllReplicasDown(t *testing.T) {
+	defer leakCheck(t)()
+	g := testGraph(3)
+	oracle := engine.MustNew(g, engine.Options{Workers: 2})
+	reqs := wireBatch(t, g, 20, 5)
+	want := wantResponses(t, oracle, reqs)
+
+	a := startReplica(t, g, nil)
+	b := startReplica(t, g, nil)
+	defer a.stop()
+	defer b.stop()
+
+	rt, url, cleanup := startRouter(t, router.Options{
+		ProbeInterval: -1,
+		MaxAttempts:   2,
+		RetryBackoff:  2 * time.Millisecond,
+		FailThreshold: 1,
+		Cooldown:      10 * time.Second,
+	}, a, b)
+	defer cleanup()
+
+	st := openStream(t, url)
+	st.send(reqs[:5]...)
+	first := st.recv(5)
+	checkExact(t, first, pick(want, 0, 5))
+
+	// The fleet dies; the next probe round notices.
+	a.kill()
+	b.kill()
+	rt.ProbeNow()
+
+	st.send(reqs[5:]...)
+	rest := st.recv(len(reqs) - 5)
+	st.finish()
+
+	seen := map[uint64]bool{}
+	for _, r := range rest {
+		if seen[r.ID] {
+			t.Fatalf("duplicate response for id %d", r.ID)
+		}
+		seen[r.ID] = true
+		if r.ErrKind != wire.ErrKindUnavailable {
+			t.Errorf("id %d: error_kind %q, want %q (%+v)", r.ID, r.ErrKind, wire.ErrKindUnavailable, r)
+		}
+	}
+	for i := 5; i < len(reqs); i++ {
+		if !seen[uint64(i)] {
+			t.Errorf("id %d lost: no response line", i)
+		}
+	}
+	if stats := rt.Stats(); stats.Unavailable != uint64(len(reqs)-5) {
+		t.Errorf("unavailable = %d, want %d", stats.Unavailable, len(reqs)-5)
+	}
+}
+
+// TestRouterKillRecover: a killed replica opens its breaker and drops
+// from rotation; after recovery, probes move the breaker to half-open
+// and real traffic closes it — the full closed → open → half-open →
+// closed cycle, observable in /v1/stats.
+func TestRouterKillRecover(t *testing.T) {
+	defer leakCheck(t)()
+	g := testGraph(7)
+	oracle := engine.MustNew(g, engine.Options{Workers: 2})
+	reqs := wireBatch(t, g, 24, 9)
+	want := wantResponses(t, oracle, reqs)
+
+	a := startReplica(t, g, nil)
+	b := startReplica(t, g, nil)
+	defer a.stop()
+	defer b.stop()
+
+	rt, url, cleanup := startRouter(t, router.Options{
+		ProbeInterval: -1,
+		RetryBackoff:  2 * time.Millisecond,
+		FailThreshold: 1,
+		Cooldown:      20 * time.Millisecond,
+	}, a, b)
+	defer cleanup()
+
+	checkExact(t, postNDJSON(t, url, reqs), want)
+
+	a.kill()
+	rt.ProbeNow() // probe failure: not ready, breaker opens
+	if rs := rt.Stats().Replicas[0]; rs.Ready || rs.State != "open" {
+		t.Fatalf("killed replica not benched: %+v", rs)
+	}
+	// Routing continues on the survivor alone, loss-free.
+	checkExact(t, postNDJSON(t, url, reqs), want)
+
+	// Recovery: the port accepts again; after the cooldown a probe
+	// readmits it as half-open, and served traffic closes the breaker.
+	a.fl.SetRefuse(false)
+	time.Sleep(30 * time.Millisecond)
+	rt.ProbeNow()
+	if rs := rt.Stats().Replicas[0]; !rs.Ready || rs.State != "half-open" {
+		t.Fatalf("recovered replica not in half-open trial: %+v", rs)
+	}
+	checkExact(t, postNDJSON(t, url, reqs), want)
+	rs := rt.Stats().Replicas[0]
+	if rs.State != "closed" || rs.BreakerOpens == 0 || rs.BreakerCloses == 0 {
+		t.Errorf("breaker did not complete the cycle: %+v", rs)
+	}
+}
+
+// TestRouterHedging: with one replica artificially slow, hedged
+// duplicates land on the fast one and the client still sees every id
+// exactly once, bit-identical — the exactly-once fan-in invariant
+// under deliberate duplication.
+func TestRouterHedging(t *testing.T) {
+	defer leakCheck(t)()
+	g := testGraph(7)
+	oracle := engine.MustNew(g, engine.Options{Workers: 2})
+	reqs := wireBatch(t, g, 24, 17)
+	want := wantResponses(t, oracle, reqs)
+
+	slow := startReplica(t, g, &faultinject.Script{Default: faultinject.Rules{ReadLatency: 50 * time.Millisecond}})
+	fast := startReplica(t, g, nil)
+	defer slow.stop()
+	defer fast.stop()
+
+	rt, url, cleanup := startRouter(t, router.Options{
+		ProbeInterval: -1,
+		HedgeAfter:    15 * time.Millisecond,
+	}, slow, fast)
+	defer cleanup()
+
+	checkExact(t, postNDJSON(t, url, reqs), want)
+	if stats := rt.Stats(); stats.Hedges == 0 {
+		t.Errorf("no hedges fired against a 50ms-slow replica: %+v", stats)
+	}
+}
+
+// pick returns the subset of want with lo <= id < hi.
+func pick(want map[uint64]wire.Response, lo, hi uint64) map[uint64]wire.Response {
+	out := map[uint64]wire.Response{}
+	for id, r := range want {
+		if id >= lo && id < hi {
+			out[id] = r
+		}
+	}
+	return out
+}

@@ -1,0 +1,744 @@
+// Package router is the fault-tolerant replica tier: an HTTP front end
+// speaking the same POST /v1/query NDJSON stream contract as
+// internal/server, load-balancing each stream's request lines across a
+// set of rgserve replicas (cmd/rgrouter is the binary).
+//
+// Queries in this engine are read-only and idempotent — PR 5 proved
+// wire results bit-identical to in-process RunBatch — which is what
+// makes the router's aggressive policies sound: any request id may be
+// re-issued to any replica without changing its answer, so the router
+// retries failures, hedges stragglers, and fails over mid-stream, and
+// fan-in dedups by id so the client is answered exactly once.
+//
+// Per replica the router keeps:
+//
+//   - an active prober (GET /readyz) gating readiness, so a draining or
+//     dead replica stops receiving new work within one probe interval;
+//   - a three-state circuit breaker fed by passive failure accounting:
+//     closed → open after FailThreshold consecutive failures; open →
+//     half-open after Cooldown (one trial request at a time); half-open
+//     → closed on trial success, back to open on failure. Probe results
+//     feed the breaker too, so an idle dead replica still opens it.
+//
+// Dispatch picks a replica by power-of-two-choices over in-flight
+// counts among the ready, breaker-admitted candidates. Failed requests
+// retry on another replica under a token-bucket retry budget (so a
+// dying fleet is not DDoSed by its own router) with exponential
+// backoff and jitter; optional hedging duplicates a request to a
+// second replica when the first answer is slow. When a replica dies or
+// stalls mid-stream, every submitted-but-unanswered id is re-submitted
+// elsewhere; when nothing is live, requests are shed with per-line
+// error_kind "unavailable" rather than tearing the stream.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regraph/internal/metrics"
+	"regraph/internal/wire"
+)
+
+// Options configures a Router. The zero value of every field means its
+// documented default; Replicas is the only required field.
+type Options struct {
+	// Replicas is the backend set as base URLs ("http://host:port").
+	Replicas []string
+
+	// MaxInFlight caps each client stream's dispatched-but-unanswered
+	// requests; once full, the router stops reading that stream's body
+	// and TCP back-pressure reaches the client (the same flow-control
+	// contract as internal/server). Default 256.
+	MaxInFlight int
+
+	// ProbeInterval is the readiness-probe period per replica; negative
+	// disables active probing (tests drive ProbeNow instead). Default
+	// 250ms.
+	ProbeInterval time.Duration
+
+	// ProbeTimeout bounds one probe request. Default 1s.
+	ProbeTimeout time.Duration
+
+	// FailThreshold is the consecutive-failure count that opens a
+	// replica's breaker. Default 3.
+	FailThreshold int
+
+	// Cooldown is how long an open breaker waits before admitting a
+	// half-open trial. Default 1s.
+	Cooldown time.Duration
+
+	// MaxAttempts caps dispatches per request, the first included, so
+	// MaxAttempts-1 retries. Default 4; values < 1 mean 1 (no retries).
+	MaxAttempts int
+
+	// RetryBudgetRate and RetryBudgetBurst parameterize the token
+	// bucket that admits retry and hedge dispatches: Rate tokens/sec
+	// refill up to Burst. A router-wide budget, so correlated failures
+	// degrade to sheds instead of retry storms. Defaults 50 and 100.
+	RetryBudgetRate  float64
+	RetryBudgetBurst float64
+
+	// RetryBackoff is the base retry delay, doubled per attempt up to
+	// MaxRetryBackoff, with jitter in [1/2, 1) of the computed delay.
+	// Defaults 25ms and 1s.
+	RetryBackoff    time.Duration
+	MaxRetryBackoff time.Duration
+
+	// HedgeAfter, when positive, dispatches a speculative duplicate to
+	// a second replica if the first has not answered within this delay.
+	// Hedges draw from the retry budget and count toward MaxAttempts.
+	// Zero disables hedging.
+	HedgeAfter time.Duration
+
+	// StallTimeout fails an upstream replica stream that has
+	// unanswered requests but no read/write progress for this long —
+	// the mid-stream failover trigger for a wedged (not dead)
+	// connection. Default 5s.
+	StallTimeout time.Duration
+
+	// Seed seeds the jitter and power-of-two-choices randomness; 0
+	// means a fixed default (the router's behavior is then fully
+	// deterministic given deterministic replicas, which the chaos suite
+	// relies on).
+	Seed int64
+
+	// Transport overrides the HTTP transport to the replicas (tests
+	// inject fault-scripted dialers). Nil means a clone of
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+// withDefaults resolves zero fields to documented defaults.
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 256
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = 250 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = time.Second
+	}
+	if o.MaxAttempts < 1 {
+		if o.MaxAttempts == 0 {
+			o.MaxAttempts = 4
+		} else {
+			o.MaxAttempts = 1
+		}
+	}
+	if o.RetryBudgetRate <= 0 {
+		o.RetryBudgetRate = 50
+	}
+	if o.RetryBudgetBurst <= 0 {
+		o.RetryBudgetBurst = 100
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 25 * time.Millisecond
+	}
+	if o.MaxRetryBackoff <= 0 {
+		o.MaxRetryBackoff = time.Second
+	}
+	if o.StallTimeout <= 0 {
+		o.StallTimeout = 5 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Breaker states.
+const (
+	stClosed = iota
+	stOpen
+	stHalfOpen
+)
+
+func stateName(s int) string {
+	switch s {
+	case stOpen:
+		return "open"
+	case stHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// replica is one backend: its readiness bit (active probes), circuit
+// breaker (passive failure accounting) and load counters.
+type replica struct {
+	url           string
+	cooldown      time.Duration
+	failThreshold int
+	ready         atomic.Bool
+
+	// inflight is the router's dispatched-but-unanswered count on this
+	// replica — the power-of-two-choices load signal.
+	inflight metrics.Gauge
+
+	requests metrics.Counter
+	failures metrics.Counter
+
+	mu           sync.Mutex
+	state        int
+	fails        int       // consecutive failures while closed
+	openedAt     time.Time // when the breaker last opened
+	halfOpenBusy bool      // the single half-open trial slot is taken
+	opens        metrics.Counter
+	closes       metrics.Counter
+}
+
+// canServe reports (without claiming anything) whether a dispatch to
+// this replica is currently admissible.
+func (r *replica) canServe(now time.Time) bool {
+	if !r.ready.Load() {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch r.state {
+	case stOpen:
+		return !r.openedAt.Add(r.cooldown).After(now)
+	case stHalfOpen:
+		return !r.halfOpenBusy
+	default:
+		return true
+	}
+}
+
+// acquire claims admission for one dispatch: in closed state always;
+// in open state it transitions to half-open and claims the single
+// trial slot once the cooldown has elapsed; in half-open only if the
+// trial slot is free. A false return means pick another replica.
+func (r *replica) acquire(now time.Time) bool {
+	if !r.ready.Load() {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch r.state {
+	case stOpen:
+		if r.openedAt.Add(r.cooldown).After(now) {
+			return false
+		}
+		r.state = stHalfOpen
+		r.halfOpenBusy = true
+		return true
+	case stHalfOpen:
+		if r.halfOpenBusy {
+			return false
+		}
+		r.halfOpenBusy = true
+		return true
+	default:
+		return true
+	}
+}
+
+// onSuccess records a request the replica answered (any answer — even
+// a per-line error — proves the transport and the replica alive).
+func (r *replica) onSuccess() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fails = 0
+	if r.state != stClosed {
+		r.state = stClosed
+		r.halfOpenBusy = false
+		r.closes.Inc()
+	}
+}
+
+// onFailure records a stream-level failure charged to this replica
+// (dead connection, stall, failed probe).
+func (r *replica) onFailure(now time.Time) {
+	r.failures.Inc()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fails++
+	switch r.state {
+	case stHalfOpen:
+		r.state = stOpen
+		r.openedAt = now
+		r.halfOpenBusy = false
+		r.opens.Inc()
+	case stClosed:
+		if r.fails >= r.failThreshold {
+			r.state = stOpen
+			r.openedAt = now
+			r.opens.Inc()
+		}
+	case stOpen:
+		// A failure while open (a desperate last-resort dispatch, or a
+		// probe) re-arms the cooldown.
+		r.openedAt = now
+	}
+}
+
+// onProbe folds one active-probe verdict in. Success flips readiness
+// back on and, once the cooldown has elapsed, moves an open breaker to
+// half-open so the next dispatch is the recovery trial — a probe alone
+// never closes the breaker, because answering /readyz is weaker
+// evidence than answering a query. Failure feeds the breaker like any
+// other failure, so an idle dead replica still opens it.
+func (r *replica) onProbe(ok bool, now time.Time) {
+	r.ready.Store(ok)
+	if !ok {
+		r.onFailure(now)
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fails = 0
+	if r.state == stOpen && !r.openedAt.Add(r.cooldown).After(now) {
+		r.state = stHalfOpen
+		r.halfOpenBusy = false
+	}
+}
+
+func (r *replica) stats() wire.ReplicaStats {
+	r.mu.Lock()
+	state := r.state
+	opens := r.opens.Load()
+	closes := r.closes.Load()
+	r.mu.Unlock()
+	return wire.ReplicaStats{
+		URL:           r.url,
+		State:         stateName(state),
+		Ready:         r.ready.Load(),
+		InFlight:      int(r.inflight.Load()),
+		Requests:      r.requests.Load(),
+		Failures:      r.failures.Load(),
+		BreakerOpens:  opens,
+		BreakerCloses: closes,
+	}
+}
+
+// bucket is the token-bucket retry budget.
+type bucket struct {
+	mu     sync.Mutex
+	tokens float64
+	rate   float64 // tokens per second
+	burst  float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64) *bucket {
+	return &bucket{tokens: burst, rate: rate, burst: burst, last: time.Now()}
+}
+
+// take spends one token if available.
+func (b *bucket) take(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Router fans NDJSON query streams out over a replica set. Create it
+// with New; it is safe for concurrent use and is the lifecycle owner
+// of its probers and upstream connections.
+type Router struct {
+	opts   Options
+	reps   []*replica
+	client *http.Client
+	budget *bucket
+	mux    *http.ServeMux
+
+	// base is cancelled by Close: probers, upstream requests and live
+	// streams all derive from it.
+	base       context.Context
+	cancelBase context.CancelFunc
+	draining   atomic.Bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu        sync.Mutex
+	liveCount int
+	hs        *http.Server
+	drained   chan struct{}
+	drainOnce sync.Once
+	wg        sync.WaitGroup // probers
+
+	streamsActive metrics.Gauge
+	streamsTotal  metrics.Counter
+	requests      metrics.Counter
+	retries       metrics.Counter
+	hedges        metrics.Counter
+	dups          metrics.Counter
+	unavailable   metrics.Counter
+	budgetDenied  metrics.Counter
+	parseErrors   metrics.Counter
+}
+
+// New builds a router over the configured replica set and starts its
+// readiness probers (unless ProbeInterval < 0). Replicas start
+// optimistically ready; the first probe round corrects that within
+// ProbeTimeout.
+func New(opts Options) (*Router, error) {
+	opts = opts.withDefaults()
+	if len(opts.Replicas) == 0 {
+		return nil, fmt.Errorf("router: no replicas configured")
+	}
+	base, cancel := context.WithCancel(context.Background())
+	tr := opts.Transport
+	if tr == nil {
+		t := http.DefaultTransport.(*http.Transport).Clone()
+		t.MaxIdleConnsPerHost = 16
+		tr = t
+	}
+	rt := &Router{
+		opts:       opts,
+		client:     &http.Client{Transport: tr},
+		budget:     newBucket(opts.RetryBudgetRate, opts.RetryBudgetBurst),
+		base:       base,
+		cancelBase: cancel,
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		drained:    make(chan struct{}),
+	}
+	seen := map[string]bool{}
+	for _, u := range opts.Replicas {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" || seen[u] {
+			cancel()
+			return nil, fmt.Errorf("router: empty or duplicate replica url %q", u)
+		}
+		seen[u] = true
+		rep := &replica{url: u, cooldown: opts.Cooldown, failThreshold: opts.FailThreshold}
+		rep.ready.Store(true)
+		rt.reps = append(rt.reps, rep)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", rt.handleQuery)
+	mux.HandleFunc("/v1/stats", rt.handleStats)
+	mux.HandleFunc("/healthz", rt.handleHealth)
+	mux.HandleFunc("/readyz", rt.handleReady)
+	rt.mux = mux
+	if opts.ProbeInterval > 0 {
+		for _, rep := range rt.reps {
+			rt.wg.Add(1)
+			go rt.probeLoop(rep)
+		}
+	}
+	return rt, nil
+}
+
+// probeLoop probes one replica until the router closes.
+func (rt *Router) probeLoop(rep *replica) {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.opts.ProbeInterval)
+	defer t.Stop()
+	rt.probeOne(rep)
+	for {
+		select {
+		case <-rt.base.Done():
+			return
+		case <-t.C:
+			rt.probeOne(rep)
+		}
+	}
+}
+
+// probeOne runs a single readiness probe against rep.
+func (rt *Router) probeOne(rep *replica) {
+	ctx, cancel := context.WithTimeout(rt.base, rt.opts.ProbeTimeout)
+	defer cancel()
+	ok := false
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/readyz", nil)
+	if err == nil {
+		resp, derr := rt.client.Do(req)
+		if derr == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+		}
+	}
+	rep.onProbe(ok, time.Now())
+}
+
+// ProbeNow probes every replica once, synchronously (tests and startup
+// use it to settle readiness deterministically instead of waiting a
+// probe interval).
+func (rt *Router) ProbeNow() {
+	var wg sync.WaitGroup
+	for _, rep := range rt.reps {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			rt.probeOne(rep)
+		}(rep)
+	}
+	wg.Wait()
+}
+
+// pick chooses a dispatch target by power-of-two-choices over
+// in-flight counts among the admissible replicas not in exclude, then
+// claims admission from its breaker. Nil means nothing can serve.
+func (rt *Router) pick(exclude map[*replica]bool) *replica {
+	now := time.Now()
+	cands := make([]*replica, 0, len(rt.reps))
+	for _, rep := range rt.reps {
+		if exclude[rep] || !rep.canServe(now) {
+			continue
+		}
+		cands = append(cands, rep)
+	}
+	for len(cands) > 0 {
+		var chosen *replica
+		if len(cands) == 1 {
+			chosen = cands[0]
+		} else {
+			rt.rngMu.Lock()
+			i := rt.rng.Intn(len(cands))
+			j := rt.rng.Intn(len(cands) - 1)
+			rt.rngMu.Unlock()
+			if j >= i {
+				j++
+			}
+			chosen = cands[i]
+			if cands[j].inflight.Load() < chosen.inflight.Load() {
+				chosen = cands[j]
+			}
+		}
+		if chosen.acquire(now) {
+			return chosen
+		}
+		// Lost the half-open trial slot (or readiness flipped) since the
+		// candidate scan: drop it and retry among the rest.
+		for k, c := range cands {
+			if c == chosen {
+				cands = append(cands[:k], cands[k+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// backoff computes the jittered delay before retry number `attempt`
+// (1-based count of dispatches already made).
+func (rt *Router) backoff(attempt int) time.Duration {
+	d := rt.opts.RetryBackoff
+	for i := 1; i < attempt && d < rt.opts.MaxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d > rt.opts.MaxRetryBackoff {
+		d = rt.opts.MaxRetryBackoff
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	rt.rngMu.Lock()
+	j := rt.rng.Int63n(half)
+	rt.rngMu.Unlock()
+	return time.Duration(half + j)
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// ListenAndServe serves on addr until Shutdown or a listener error.
+func (rt *Router) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return rt.Serve(l)
+}
+
+// Serve serves on an existing listener until Shutdown or a listener
+// error (http.ErrServerClosed after a clean Shutdown, like net/http).
+func (rt *Router) Serve(l net.Listener) error {
+	rt.mu.Lock()
+	if rt.hs == nil {
+		rt.hs = &http.Server{Handler: rt.mux}
+	}
+	hs := rt.hs
+	rt.mu.Unlock()
+	return hs.Serve(l)
+}
+
+// Drain stops admitting new query streams (readyz turns 503) and waits
+// for live ones to finish; if ctx expires first every live stream is
+// cancelled and Drain returns ctx.Err() once they have ended.
+func (rt *Router) Drain(ctx context.Context) error {
+	rt.mu.Lock()
+	rt.draining.Store(true)
+	if rt.liveCount == 0 {
+		rt.signalDrained()
+	}
+	rt.mu.Unlock()
+	select {
+	case <-rt.drained:
+		return nil
+	default:
+	}
+	select {
+	case <-rt.drained:
+		return nil
+	case <-ctx.Done():
+		rt.cancelBase()
+		<-rt.drained
+		return ctx.Err()
+	}
+}
+
+// signalDrained closes the drained channel exactly once; callers hold
+// rt.mu with draining set and no live streams.
+func (rt *Router) signalDrained() {
+	rt.drainOnce.Do(func() { close(rt.drained) })
+}
+
+// Shutdown gracefully stops the router: Drain, then close the
+// listener. Probers are stopped either way.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	drainErr := rt.Drain(ctx)
+	rt.cancelBase()
+	rt.mu.Lock()
+	hs := rt.hs
+	rt.mu.Unlock()
+	if hs != nil {
+		if drainErr != nil {
+			hs.Close()
+		} else if err := hs.Shutdown(ctx); err != nil {
+			hs.Close()
+			if drainErr == nil {
+				drainErr = err
+			}
+		}
+	}
+	rt.wg.Wait()
+	rt.client.CloseIdleConnections()
+	return drainErr
+}
+
+// Close force-stops the router: live streams are cancelled, probers
+// stopped, the listener closed.
+func (rt *Router) Close() {
+	rt.draining.Store(true)
+	rt.cancelBase()
+	rt.mu.Lock()
+	hs := rt.hs
+	rt.mu.Unlock()
+	if hs != nil {
+		hs.Close()
+	}
+	rt.wg.Wait()
+	rt.client.CloseIdleConnections()
+}
+
+// addStream registers a live query stream; false means the router is
+// draining and the stream must be refused.
+func (rt *Router) addStream() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.draining.Load() {
+		return false
+	}
+	rt.liveCount++
+	rt.streamsActive.Add(1)
+	rt.streamsTotal.Inc()
+	return true
+}
+
+func (rt *Router) endStream() {
+	rt.mu.Lock()
+	rt.liveCount--
+	rt.streamsActive.Add(-1)
+	if rt.draining.Load() && rt.liveCount == 0 {
+		rt.signalDrained()
+	}
+	rt.mu.Unlock()
+}
+
+// Stats returns the /v1/stats snapshot.
+func (rt *Router) Stats() wire.RouterStats {
+	st := wire.RouterStats{
+		Draining:      rt.draining.Load(),
+		StreamsActive: int(rt.streamsActive.Load()),
+		StreamsTotal:  rt.streamsTotal.Load(),
+		Requests:      rt.requests.Load(),
+		Retries:       rt.retries.Load(),
+		Hedges:        rt.hedges.Load(),
+		DupSuppressed: rt.dups.Load(),
+		Unavailable:   rt.unavailable.Load(),
+		BudgetDenied:  rt.budgetDenied.Load(),
+		ParseErrors:   rt.parseErrors.Load(),
+	}
+	for _, rep := range rt.reps {
+		st.Replicas = append(st.Replicas, rep.stats())
+	}
+	return st
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET /v1/stats", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, rt.Stats())
+}
+
+// handleHealth is liveness: the router process is up.
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReady is readiness: at least one replica is currently
+// admissible for dispatch.
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	now := time.Now()
+	for _, rep := range rt.reps {
+		if rep.canServe(now) {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+	}
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "no live replica", http.StatusServiceUnavailable)
+}
+
+// writeJSON writes v as indented JSON with a trailing newline.
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

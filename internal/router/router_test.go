@@ -1,0 +1,393 @@
+package router_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"regraph/internal/engine"
+	"regraph/internal/faultinject"
+	"regraph/internal/gen"
+	"regraph/internal/graph"
+	"regraph/internal/qlang"
+	"regraph/internal/router"
+	"regraph/internal/server"
+	"regraph/internal/wire"
+)
+
+// The router e2e suite drives REAL rgserve replicas (engine + server on
+// real TCP listeners) through a router, with internal/faultinject
+// between them scripting the failures. The oracle for every scenario is
+// a single local engine: whatever the cluster does, the routed stream
+// must match what one healthy engine would have answered, id for id.
+
+// testGraph is the same small-but-nontrivial synthetic graph the server
+// tests use.
+func testGraph(seed int64) *graph.Graph {
+	return gen.Synthetic(seed, 300, 1200, 3, gen.DefaultColors)
+}
+
+// wireBatch builds a deterministic mixed batch of wire requests — RQs
+// (every third one count-only) and PQs as qlang text — with explicit
+// ids 0..n-1.
+func wireBatch(t *testing.T, g *graph.Graph, n int, seed int64) []wire.Request {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	reqs := make([]wire.Request, n)
+	for i := range reqs {
+		id := uint64(i)
+		if i%4 == 3 {
+			pq := gen.Query(g, gen.Spec{Nodes: 3, Edges: 3, Preds: 2, Bound: 3, Colors: 2}, r)
+			var b strings.Builder
+			if err := qlang.WritePattern(&b, pq); err != nil {
+				t.Fatal(err)
+			}
+			reqs[i] = wire.Request{ID: &id, PQ: b.String()}
+		} else {
+			q := gen.RQ(g, 2, 3, 1+r.Intn(3), r)
+			reqs[i] = wire.Request{
+				ID:    &id,
+				RQ:    &wire.RQSpec{From: q.From.String(), To: q.To.String(), Expr: q.Expr.String()},
+				Count: i%3 == 0,
+			}
+		}
+	}
+	return reqs
+}
+
+// wantResponses is the single-engine oracle: compile the batch locally,
+// run it through Engine.RunBatch, lift the results through the same
+// wire encoding the servers use.
+func wantResponses(t *testing.T, e *engine.Engine, reqs []wire.Request) map[uint64]wire.Response {
+	t.Helper()
+	ereqs := make([]engine.Request, len(reqs))
+	kinds := make([]string, len(reqs))
+	for i := range reqs {
+		var err error
+		ereqs[i], kinds[i], err = reqs[i].Compile()
+		if err != nil {
+			t.Fatalf("request %d does not compile: %v", i, err)
+		}
+	}
+	results := e.RunBatch(ereqs)
+	want := map[uint64]wire.Response{}
+	for i, res := range results {
+		var resp wire.Response
+		if reqs[i].Count {
+			resp = wire.Response{ID: uint64(i), Kind: kinds[i], Count: len(res.Pairs)}
+		} else {
+			resp = wire.FromResult(res, kinds[i], ereqs[i].PQ, 0)
+		}
+		resp.ID = *reqs[i].ID
+		resp.LatencyUS = 0
+		want[resp.ID] = resp
+	}
+	return want
+}
+
+// leakCheck fails the test if the goroutine count has not returned to
+// its baseline after teardown.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= baseline {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				t.Fatalf("goroutine leak: %d now, %d at start\n%s", n, baseline,
+					buf[:runtime.Stack(buf, true)])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// replicaProc is one real rgserve replica behind a fault-injecting
+// listener.
+type replicaProc struct {
+	srv *server.Server
+	fl  *faultinject.Listener
+	url string
+}
+
+// startReplica boots an engine + server on a real TCP listener wrapped
+// in faultinject (script may be nil for a healthy replica).
+func startReplica(t *testing.T, g *graph.Graph, script *faultinject.Script) *replicaProc {
+	t.Helper()
+	e := engine.MustNew(g, engine.Options{Workers: 2})
+	srv := server.New(e, server.Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := faultinject.Wrap(l, script)
+	go srv.Serve(fl)
+	return &replicaProc{srv: srv, fl: fl, url: "http://" + fl.Addr().String()}
+}
+
+// kill makes the replica observably dead: live connections are
+// RST-closed mid-line and new ones refused.
+func (r *replicaProc) kill() {
+	r.fl.SetRefuse(true)
+	r.fl.AbortAll()
+}
+
+// stop tears the replica down (Close also unsticks any
+// faultinject-stalled handler write by closing its connection).
+func (r *replicaProc) stop() { r.srv.Close() }
+
+// startRouter builds a router over the replicas and serves it via
+// httptest; the returned cleanup closes both.
+func startRouter(t *testing.T, opts router.Options, reps ...*replicaProc) (*router.Router, string, func()) {
+	t.Helper()
+	for _, r := range reps {
+		opts.Replicas = append(opts.Replicas, r.url)
+	}
+	rt, err := router.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	return rt, ts.URL, func() {
+		ts.Close()
+		rt.Close()
+	}
+}
+
+// postNDJSON sends the batch as one NDJSON body and decodes the full
+// response stream.
+func postNDJSON(t *testing.T, url string, reqs []wire.Request) []wire.Response {
+	t.Helper()
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for i := range reqs {
+		if err := enc.Encode(&reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url+"/v1/query", "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/query: %s", resp.Status)
+	}
+	return decodeStream(t, resp.Body)
+}
+
+func decodeStream(t *testing.T, r io.Reader) []wire.Response {
+	t.Helper()
+	var out []wire.Response
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), wire.MaxResponseLineBytes)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var resp wire.Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatalf("malformed response line %q: %v", sc.Text(), err)
+		}
+		out = append(out, resp)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("response stream: %v", err)
+	}
+	return out
+}
+
+// checkExact asserts the routed stream answered every oracle id exactly
+// once, bit-identically (latency aside).
+func checkExact(t *testing.T, got []wire.Response, want map[uint64]wire.Response) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d response lines, want %d", len(got), len(want))
+	}
+	seen := map[uint64]bool{}
+	for _, r := range got {
+		if seen[r.ID] {
+			t.Fatalf("duplicate response for id %d", r.ID)
+		}
+		seen[r.ID] = true
+		w, ok := want[r.ID]
+		if !ok {
+			t.Fatalf("response for unknown id %d", r.ID)
+		}
+		r.LatencyUS = 0
+		if !responsesEqual(r, w) {
+			t.Errorf("id %d:\n got %+v\nwant %+v", r.ID, r, w)
+		}
+	}
+}
+
+func responsesEqual(a, b wire.Response) bool {
+	ab, err1 := json.Marshal(a)
+	bb, err2 := json.Marshal(b)
+	return err1 == nil && err2 == nil && bytes.Equal(ab, bb)
+}
+
+// TestRouterMatchesSingleEngine: with healthy replicas and no faults,
+// the routed stream over 1 and over 3 replicas is bit-identical to the
+// single-engine oracle, and fan-out actually spread the work.
+func TestRouterMatchesSingleEngine(t *testing.T) {
+	defer leakCheck(t)()
+	g := testGraph(7)
+	oracle := engine.MustNew(g, engine.Options{Workers: 2})
+	reqs := wireBatch(t, g, 48, 11)
+	want := wantResponses(t, oracle, reqs)
+
+	for _, n := range []int{1, 3} {
+		var reps []*replicaProc
+		for i := 0; i < n; i++ {
+			reps = append(reps, startReplica(t, g, nil))
+		}
+		rt, url, cleanup := startRouter(t, router.Options{ProbeInterval: -1}, reps...)
+		got := postNDJSON(t, url, reqs)
+		checkExact(t, got, want)
+
+		st := rt.Stats()
+		if st.Requests != uint64(len(reqs)) || st.StreamsTotal != 1 {
+			t.Errorf("n=%d: stats %+v", n, st)
+		}
+		if n == 3 {
+			// Power-of-two-choices must not have starved the fleet: every
+			// replica saw some work (48 requests over 3 replicas).
+			for _, rs := range st.Replicas {
+				if rs.Requests == 0 {
+					t.Errorf("replica %s received no requests: %+v", rs.URL, st.Replicas)
+				}
+				if rs.InFlight != 0 {
+					t.Errorf("replica %s still shows %d in flight", rs.URL, rs.InFlight)
+				}
+			}
+		}
+		cleanup()
+		for _, r := range reps {
+			r.stop()
+		}
+	}
+}
+
+// TestRouterParseErrors: malformed lines are answered by the router
+// itself with per-line errors and never reach a replica; the stream
+// continues.
+func TestRouterParseErrors(t *testing.T) {
+	defer leakCheck(t)()
+	g := testGraph(7)
+	rep := startReplica(t, g, nil)
+	defer rep.stop()
+	rt, url, cleanup := startRouter(t, router.Options{ProbeInterval: -1}, rep)
+	defer cleanup()
+
+	body := strings.Join([]string{
+		`{"id":0,"rq":{"expr":"fn"}}`,
+		`{not json`,
+		`{"id":2,"rq":{"expr":"fn"},"count":true}`,
+	}, "\n")
+	resp, err := http.Post(url+"/v1/query", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got := decodeStream(t, resp.Body)
+	if len(got) != 3 {
+		t.Fatalf("%d responses, want 3: %+v", len(got), got)
+	}
+	byID := map[uint64]wire.Response{}
+	for _, r := range got {
+		byID[r.ID] = r
+	}
+	if byID[1].Err == "" {
+		t.Errorf("malformed line not answered with an error: %+v", byID[1])
+	}
+	if byID[0].Err != "" || byID[2].Err != "" {
+		t.Errorf("well-formed lines failed: %+v", got)
+	}
+	if st := rt.Stats(); st.ParseErrors != 1 || st.Requests != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+// TestRouterDrain: draining flips readiness, refuses new streams, and
+// Shutdown completes cleanly with none live.
+func TestRouterDrain(t *testing.T) {
+	defer leakCheck(t)()
+	g := testGraph(7)
+	rep := startReplica(t, g, nil)
+	defer rep.stop()
+	rt, url, cleanup := startRouter(t, router.Options{ProbeInterval: -1}, rep)
+	defer cleanup()
+
+	if resp, err := http.Get(url + "/readyz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("readyz: %v %v", resp.Status, err)
+	} else {
+		resp.Body.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := rt.Drain(ctx); err != nil {
+		t.Fatalf("drain with no live streams: %v", err)
+	}
+	if resp, err := http.Get(url + "/readyz"); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %v %v", resp.Status, err)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := http.Post(url+"/v1/query", "application/x-ndjson", strings.NewReader(`{"rq":{"expr":"fn"}}`)); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query while draining: %v %v", resp.Status, err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestRouterReplicaDrainFailover: a replica that drains gracefully
+// mid-service flips its /readyz; after one probe round the router
+// routes around it and a fresh stream still answers everything — the
+// drain-signaling handshake between server and router.
+func TestRouterReplicaDrainFailover(t *testing.T) {
+	defer leakCheck(t)()
+	g := testGraph(7)
+	oracle := engine.MustNew(g, engine.Options{Workers: 2})
+	reqs := wireBatch(t, g, 24, 3)
+	want := wantResponses(t, oracle, reqs)
+
+	a := startReplica(t, g, nil)
+	b := startReplica(t, g, nil)
+	defer a.stop()
+	defer b.stop()
+	rt, url, cleanup := startRouter(t, router.Options{ProbeInterval: -1}, a, b)
+	defer cleanup()
+
+	checkExact(t, postNDJSON(t, url, reqs), want)
+
+	// Drain b: readiness flips before /v1/query refuses anything.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := b.srv.Drain(ctx); err != nil {
+		t.Fatalf("replica drain: %v", err)
+	}
+	rt.ProbeNow()
+	checkExact(t, postNDJSON(t, url, reqs), want)
+	for _, rs := range rt.Stats().Replicas {
+		if rs.URL == b.url && rs.Ready {
+			t.Errorf("drained replica still marked ready: %+v", rs)
+		}
+	}
+}

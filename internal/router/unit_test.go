@@ -1,0 +1,215 @@
+package router
+
+// White-box units for the router's small machines: the three-state
+// circuit breaker, the token-bucket retry budget, the jittered
+// exponential backoff, and power-of-two-choices picking. The e2e
+// behavior these compose into lives in the package's _test black-box
+// suite.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func testReplica(cooldown time.Duration, threshold int) *replica {
+	r := &replica{url: "http://test", cooldown: cooldown, failThreshold: threshold}
+	r.ready.Store(true)
+	return r
+}
+
+func TestBreakerCycle(t *testing.T) {
+	now := time.Now()
+	r := testReplica(100*time.Millisecond, 3)
+
+	if !r.acquire(now) {
+		t.Fatal("closed breaker refused a dispatch")
+	}
+	// Two failures: still closed (threshold 3).
+	r.onFailure(now)
+	r.onFailure(now)
+	if !r.canServe(now) {
+		t.Fatal("breaker opened below the failure threshold")
+	}
+	// Third consecutive failure opens it.
+	r.onFailure(now)
+	if r.canServe(now) || r.acquire(now) {
+		t.Fatal("open breaker admitted a dispatch before cooldown")
+	}
+	if got := r.stats(); got.State != "open" || got.BreakerOpens != 1 {
+		t.Fatalf("after opening: %+v", got)
+	}
+
+	// Cooldown elapses: exactly one half-open trial is admitted.
+	later := now.Add(150 * time.Millisecond)
+	if !r.canServe(later) {
+		t.Fatal("cooldown elapsed but breaker still rejects")
+	}
+	if !r.acquire(later) {
+		t.Fatal("half-open trial refused")
+	}
+	if r.acquire(later) {
+		t.Fatal("second concurrent dispatch admitted during the half-open trial")
+	}
+	// Trial fails: back to open, cooldown re-armed from the failure.
+	r.onFailure(later)
+	if r.acquire(later.Add(50 * time.Millisecond)) {
+		t.Fatal("re-opened breaker admitted a dispatch inside the new cooldown")
+	}
+
+	// Next trial succeeds: closed, and dispatches flow freely again.
+	trial := later.Add(150 * time.Millisecond)
+	if !r.acquire(trial) {
+		t.Fatal("second half-open trial refused")
+	}
+	r.onSuccess()
+	if !r.acquire(trial) || !r.acquire(trial) {
+		t.Fatal("closed breaker limits concurrency")
+	}
+	got := r.stats()
+	if got.State != "closed" || got.BreakerOpens != 2 || got.BreakerCloses != 1 {
+		t.Fatalf("after recovery: %+v", got)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	now := time.Now()
+	r := testReplica(time.Second, 3)
+	// Interleaved successes keep resetting the consecutive-failure
+	// count: the breaker opens on streaks, not totals.
+	for i := 0; i < 10; i++ {
+		r.onFailure(now)
+		r.onFailure(now)
+		r.onSuccess()
+	}
+	if !r.canServe(now) {
+		t.Fatal("breaker opened on non-consecutive failures")
+	}
+}
+
+func TestBreakerProbeGating(t *testing.T) {
+	now := time.Now()
+	r := testReplica(50*time.Millisecond, 2)
+
+	// Probe failures mark the replica not ready and feed the breaker,
+	// so an idle dead replica still opens it.
+	r.onProbe(false, now)
+	r.onProbe(false, now)
+	if r.canServe(now) {
+		t.Fatal("failed probes did not bench the replica")
+	}
+	if got := r.stats(); got.State != "open" || got.Ready {
+		t.Fatalf("after failed probes: %+v", got)
+	}
+
+	// A probe success before cooldown restores readiness but must NOT
+	// close (or half-open) the breaker early.
+	r.onProbe(true, now.Add(10*time.Millisecond))
+	if got := r.stats(); got.State != "open" {
+		t.Fatalf("probe success closed the breaker inside cooldown: %+v", got)
+	}
+	// After cooldown, a probe success moves open → half-open: the next
+	// real request is the trial, and only its success closes.
+	r.onProbe(true, now.Add(100*time.Millisecond))
+	if got := r.stats(); got.State != "half-open" || !got.Ready {
+		t.Fatalf("probe after cooldown: %+v", got)
+	}
+	if !r.acquire(now.Add(100 * time.Millisecond)) {
+		t.Fatal("half-open trial refused after probe recovery")
+	}
+	r.onSuccess()
+	if got := r.stats(); got.State != "closed" {
+		t.Fatalf("trial success did not close: %+v", got)
+	}
+}
+
+func TestRetryBudgetBucket(t *testing.T) {
+	b := newBucket(10, 3) // 10 tokens/sec, burst 3
+	now := time.Now().Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !b.take(now) {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	if b.take(now) {
+		t.Fatal("empty bucket granted a token")
+	}
+	// 250ms refills 2.5 tokens: two grants, then empty again.
+	later := now.Add(250 * time.Millisecond)
+	if !b.take(later) || !b.take(later) {
+		t.Fatal("refilled tokens refused")
+	}
+	if b.take(later) {
+		t.Fatal("bucket granted beyond its refill")
+	}
+	// Refill clamps at burst no matter how long the idle gap.
+	idle := later.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !b.take(idle) {
+			t.Fatalf("post-idle token %d refused", i)
+		}
+	}
+	if b.take(idle) {
+		t.Fatal("bucket exceeded its burst after idling")
+	}
+}
+
+func TestBackoffBoundsAndGrowth(t *testing.T) {
+	rt := &Router{
+		opts: Options{RetryBackoff: 10 * time.Millisecond, MaxRetryBackoff: 80 * time.Millisecond}.withDefaults(),
+		rng:  rand.New(rand.NewSource(1)),
+	}
+	for attempt := 1; attempt <= 6; attempt++ {
+		// Ideal (pre-jitter) delay: base * 2^(attempt-1), capped.
+		ideal := 10 * time.Millisecond << (attempt - 1)
+		if ideal > 80*time.Millisecond {
+			ideal = 80 * time.Millisecond
+		}
+		for i := 0; i < 50; i++ {
+			d := rt.backoff(attempt)
+			if d < ideal/2 || d >= ideal {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, d, ideal/2, ideal)
+			}
+		}
+	}
+}
+
+func TestPickPowerOfTwoChoices(t *testing.T) {
+	rt := &Router{rng: rand.New(rand.NewSource(7))}
+	mk := func(inflight int64) *replica {
+		r := testReplica(time.Second, 3)
+		r.inflight.Add(inflight)
+		rt.reps = append(rt.reps, r)
+		return r
+	}
+	loaded1 := mk(10)
+	idle := mk(0)
+	loaded2 := mk(10)
+
+	// P2C with one idle replica: at least one of the two sampled
+	// choices is the idle one ~2/3 of the time, and it always wins the
+	// comparison — expect a strong (but not total) skew.
+	counts := map[*replica]int{}
+	for i := 0; i < 300; i++ {
+		counts[rt.pick(nil)]++
+	}
+	if counts[idle] < 150 {
+		t.Errorf("idle replica picked %d/300; power-of-two-choices should prefer it", counts[idle])
+	}
+	if counts[loaded1]+counts[loaded2] == 0 {
+		t.Errorf("loaded replicas never sampled: %v", counts)
+	}
+
+	// Exclusion and readiness gating.
+	if got := rt.pick(map[*replica]bool{loaded1: true, idle: true, loaded2: true}); got != nil {
+		t.Errorf("pick with all excluded = %v, want nil", got.url)
+	}
+	if got := rt.pick(map[*replica]bool{loaded1: true, idle: true}); got != loaded2 {
+		t.Errorf("pick with one candidate chose wrong replica")
+	}
+	idle.ready.Store(false)
+	loaded1.ready.Store(false)
+	if got := rt.pick(nil); got != loaded2 {
+		t.Errorf("pick ignored readiness gating")
+	}
+}

@@ -16,7 +16,13 @@
 //	                 StreamTimeout).
 //	GET  /v1/stats   JSON snapshot: engine shape plus request counters,
 //	                 latency summary and live-session aggregates.
-//	GET  /healthz    200 "ok", or 503 "draining" during shutdown.
+//	GET  /healthz    liveness: 200 "ok" while the process runs, even
+//	                 during a drain (a draining server is alive — don't
+//	                 kill it, it is flushing streams).
+//	GET  /readyz    readiness: 200 "ok", flipping to 503 "draining"
+//	                 with a Retry-After header the moment drain begins,
+//	                 so a router stops routing here before streams are
+//	                 refused.
 //
 // Malformed request lines get a structured per-line error response and
 // the stream continues; only an unreadable stream (oversized line, dead
@@ -120,6 +126,7 @@ func New(e *engine.Engine, opts Options) *Server {
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	s.mux = mux
 	return s
 }
@@ -564,8 +571,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Stats())
 }
 
+// handleHealth is liveness: the process is up and serving HTTP. It
+// stays 200 through a drain — readiness is /readyz's job, and a
+// liveness-probing supervisor must not kill a server that is busy
+// flushing its last streams.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReady is readiness: whether new query streams are admitted.
+// It flips to 503 the moment drain begins — before /v1/query starts
+// refusing — so a health-probing router routes away first. The
+// Retry-After hint is nominal; a drain is terminal for this process,
+// but the header marks the 503 as a polite back-off, not an error.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}

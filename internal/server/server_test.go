@@ -264,6 +264,11 @@ func TestServerStatsAndHealth(t *testing.T) {
 	} else {
 		resp.Body.Close()
 	}
+	if resp, err := http.Get(ts.URL + "/readyz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("readyz: %v %v", resp.Status, err)
+	} else {
+		resp.Body.Close()
+	}
 	postNDJSON(t, ts.URL, wireBatch(t, g, 8, 5))
 
 	resp, err := http.Get(ts.URL + "/v1/stats")
@@ -282,14 +287,23 @@ func TestServerStatsAndHealth(t *testing.T) {
 		t.Errorf("stats counters: %+v", st)
 	}
 
-	// Draining: health turns 503 and new query streams are refused.
+	// Draining: readiness turns 503 (with a Retry-After hint) and new
+	// query streams are refused — but liveness stays 200, because a
+	// draining process is alive and must not be killed mid-flush.
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
 		t.Fatalf("drain with no live streams: %v", err)
 	}
-	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != 200 {
 		t.Fatalf("healthz while draining: %v %v", resp.Status, err)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := http.Get(ts.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %v %v", resp.Status, err)
+	} else if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining readyz carries no Retry-After header")
 	} else {
 		resp.Body.Close()
 	}

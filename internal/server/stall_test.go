@@ -1,0 +1,186 @@
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"regraph/internal/engine"
+	"regraph/internal/faultinject"
+	"regraph/internal/server"
+	"regraph/internal/wire"
+)
+
+// Deadline-vs-stalled-client tests. The handler's unstick path
+// (server.go: the context.AfterFunc that sets the connection deadlines)
+// has two obligations that pull in opposite directions: a stalled
+// connection must be broken promptly, and a healthy stream that merely
+// hit its deadline must still terminate cleanly — complete response
+// lines, proper EOF, never a truncation. faultinject provides the
+// stalled side deterministically.
+
+// stallServer starts an engine+server on a faultinject-wrapped TCP
+// listener and returns the base URL.
+func stallServer(t *testing.T, script *faultinject.Script) (*server.Server, string) {
+	t.Helper()
+	g := testGraph(41)
+	e := engine.MustNew(g, engine.Options{Workers: 2})
+	srv := server.New(e, server.Options{MaxInFlight: 8})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(faultinject.Wrap(ln, script))
+	return srv, "http://" + ln.Addr().String()
+}
+
+// TestServerReadDeadlineCleanStream: a client submits two requests and
+// then goes silent with the stream held open — the reader goroutine is
+// parked in a body read with nothing coming. The ?timeout_ms deadline
+// must break that read, and because every write succeeded, the unstick
+// path must lift the write deadline again so the answered stream
+// terminates as a clean EOF: two complete response lines, no stream
+// error, no truncation.
+func TestServerReadDeadlineCleanStream(t *testing.T) {
+	defer leakCheck(t)()
+	srv, base := stallServer(t, nil)
+	defer srv.Close()
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr}
+	defer tr.CloseIdleConnections()
+
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/query?timeout_ms=300", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	defer pw.Close()
+
+	enc := json.NewEncoder(pw)
+	for i := uint64(0); i < 2; i++ {
+		id := i
+		if err := enc.Encode(&wire.Request{ID: &id, RQ: &wire.RQSpec{Expr: "fn"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ...and now say nothing more, with the stream open.
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), wire.MaxResponseLineBytes)
+	var got []wire.Response
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var r wire.Response
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("truncated or malformed line %q: %v", sc.Text(), err)
+		}
+		got = append(got, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("deadline unstick truncated a clean stream: %v", err)
+	}
+	elapsed := time.Since(t0)
+
+	if len(got) != 2 {
+		t.Fatalf("got %d responses, want 2: %+v", len(got), got)
+	}
+	seen := map[uint64]bool{}
+	for _, r := range got {
+		if r.Err != "" || r.Kind != "rq" {
+			t.Errorf("submitted-before-stall request answered with %+v", r)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate response id %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if elapsed < 250*time.Millisecond {
+		t.Errorf("stream ended after %v — before its 300ms deadline; the deadline did not drive termination", elapsed)
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("stream took %v to end; the read deadline did not break the silent body", elapsed)
+	}
+	waitNoStreams(t, srv)
+}
+
+// TestServerWriteDeadlineBreaksStalledClient: the opposite failure — a
+// client that submits plenty of work and then stops reading responses.
+// faultinject stalls the server's writes after 600 bytes (headers plus
+// a few lines), parking the consumer in a send. The deadline's write
+// unstick (1s grace, then fail) must break the stall, unwind the
+// stream, and release every session resource; whatever prefix the
+// client did receive must consist of complete lines up to at most one
+// truncated tail.
+func TestServerWriteDeadlineBreaksStalledClient(t *testing.T) {
+	defer leakCheck(t)()
+	srv, base := stallServer(t, &faultinject.Script{
+		Default: faultinject.Rules{StallWriteAfter: 600},
+	})
+	defer srv.Close()
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr}
+	defer tr.CloseIdleConnections()
+
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for i := uint64(0); i < 100; i++ {
+		id := i
+		if err := enc.Encode(&wire.Request{ID: &id, RQ: &wire.RQSpec{Expr: "fa fn"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t0 := time.Now()
+	resp, err := client.Post(base+"/v1/query?timeout_ms=300", "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Drain whatever arrives; the conn dies when the server gives up on
+	// us, so any error here is the expected end of the experiment.
+	raw, _ := io.ReadAll(resp.Body)
+	elapsed := time.Since(t0)
+	if elapsed > 5*time.Second {
+		t.Errorf("stalled stream took %v to be broken (deadline 300ms + 1s write grace)", elapsed)
+	}
+	// Every fully-delivered line must be well-formed; only the tail may
+	// be cut where the stall landed mid-line.
+	lines := strings.Split(string(raw), "\n")
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var r wire.Response
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			if i == len(lines)-1 {
+				continue // unterminated tail: legitimate truncation point
+			}
+			t.Fatalf("interior line %d malformed: %q", i, line)
+		}
+	}
+
+	waitNoStreams(t, srv)
+	st := srv.Stats()
+	if st.Submitted == 0 {
+		t.Fatal("test never submitted anything")
+	}
+	if st.Completed+st.Cancelled+st.Failed != st.Submitted {
+		t.Errorf("completed %d + cancelled %d + failed %d != submitted %d",
+			st.Completed, st.Cancelled, st.Failed, st.Submitted)
+	}
+}

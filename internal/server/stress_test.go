@@ -350,12 +350,13 @@ func TestServerShutdownForced(t *testing.T) {
 	}
 }
 
-// waitDraining polls /healthz until it reports 503.
+// waitDraining polls /readyz until it reports 503 (liveness /healthz
+// deliberately stays 200 through a drain).
 func waitDraining(t *testing.T, url string) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		resp, err := http.Get(url + "/healthz")
+		resp, err := http.Get(url + "/readyz")
 		if err == nil {
 			code := resp.StatusCode
 			resp.Body.Close()

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // PostStream is the client side of the wire: it streams the request
@@ -19,6 +20,41 @@ import (
 // loop and is returned. cmd/rgquery -remote and bench.ServerThroughput
 // share this one implementation.
 func PostStream(url string, reqs []Request, fn func(raw []byte, resp *Response) error) error {
+	_, err := postStream(url, reqs, fn)
+	return err
+}
+
+// PostStreamRetry is PostStream with a bounded dial-retry loop: when the
+// POST fails at the transport level — connection refused because the
+// server has not bound its port yet, or reset before a response arrived
+// — the attempt is retried up to retries times, sleeping backoff, 2×
+// backoff, 4× backoff (capped at 2s) between attempts. Only attempts
+// that never produced an HTTP response are retried: once a status line
+// has been read, fn may have observed response lines, and re-sending
+// the batch could double-deliver — such errors return immediately.
+// Requests on this path must therefore be idempotent reads, which every
+// wire request is.
+func PostStreamRetry(url string, reqs []Request, fn func(raw []byte, resp *Response) error, retries int, backoff time.Duration) error {
+	const maxBackoff = 2 * time.Second
+	d := backoff
+	for attempt := 0; ; attempt++ {
+		connected, err := postStream(url, reqs, fn)
+		if err == nil || connected || attempt >= retries {
+			return err
+		}
+		if d > 0 {
+			time.Sleep(d)
+			if d *= 2; d > maxBackoff {
+				d = maxBackoff
+			}
+		}
+	}
+}
+
+// postStream runs one POST attempt. connected reports whether an HTTP
+// response arrived — the retry-safety boundary: while false, fn has
+// never been invoked and the server never saw a complete request.
+func postStream(url string, reqs []Request, fn func(raw []byte, resp *Response) error) (connected bool, err error) {
 	pr, pw := io.Pipe()
 	go func() {
 		enc := json.NewEncoder(pw)
@@ -32,12 +68,12 @@ func PostStream(url string, reqs []Request, fn func(raw []byte, resp *Response) 
 	}()
 	httpResp, err := http.Post(url, "application/x-ndjson", pr)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer httpResp.Body.Close()
 	if httpResp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4<<10))
-		return fmt.Errorf("wire: %s: %s", httpResp.Status, strings.TrimSpace(string(body)))
+		return true, fmt.Errorf("wire: %s: %s", httpResp.Status, strings.TrimSpace(string(body)))
 	}
 	sc := bufio.NewScanner(httpResp.Body)
 	sc.Buffer(make([]byte, 64<<10), MaxResponseLineBytes)
@@ -48,14 +84,14 @@ func PostStream(url string, reqs []Request, fn func(raw []byte, resp *Response) 
 		}
 		var resp Response
 		if err := json.Unmarshal(line, &resp); err != nil {
-			return fmt.Errorf("wire: malformed response line %q: %w", line, err)
+			return true, fmt.Errorf("wire: malformed response line %q: %w", line, err)
 		}
 		if err := fn(line, &resp); err != nil {
-			return err
+			return true, err
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("wire: response stream: %w", err)
+		return true, fmt.Errorf("wire: response stream: %w", err)
 	}
-	return nil
+	return true, nil
 }

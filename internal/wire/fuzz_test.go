@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"io"
 	"strings"
@@ -23,6 +25,9 @@ func FuzzDecode(f *testing.F) {
 	f.Add(`{"rq":{"expr":"fn"},"priority":6,"deadline_ms":250}`)
 	f.Add(`{"rq":{"expr":"fn"},"priority":-1,"deadline_ms":9223372036854775807}`)
 	f.Add("\x00\xff\xfe")
+	// Unknown fields (a response line fed back as a request, as a
+	// confused router client might) must decode-and-ignore, not fail.
+	f.Add(`{"id":8,"error":"router: no live replica available","error_kind":"unavailable","rq":{"expr":"fn"}}`)
 	f.Fuzz(func(t *testing.T, input string) {
 		dec := NewDecoder(strings.NewReader(input))
 		for i := 0; i < 1<<16; i++ { // hard stop; EOF must arrive long before
@@ -65,5 +70,43 @@ func FuzzDecode(f *testing.F) {
 			}
 		}
 		t.Fatal("decoder failed to reach EOF")
+	})
+}
+
+// FuzzResponse drives the response-line schema with arbitrary bytes.
+// The replica router machine-parses response lines from its upstreams
+// (internal/router fans them back in by id), so this path is
+// load-bearing, not just client convenience. Contract: never panic,
+// and any line that parses must survive an encode/decode round trip
+// byte-identically — otherwise a router re-encoding a replica's answer
+// would corrupt the client's stream.
+func FuzzResponse(f *testing.F) {
+	f.Add(`{"id":1,"kind":"rq","count":2,"pairs":[[0,3],[7,3]],"latency_us":412}`)
+	f.Add(`{"id":2,"kind":"pq","count":1,"match":[{"from":"A","to":"B","expr":"fn+","pairs":[[4,9]]}],"latency_us":88.25}`)
+	f.Add(`{"id":8,"count":0,"error":"router: no live replica available","error_kind":"unavailable","latency_us":0}`)
+	f.Add(`{"id":9,"count":0,"error":"router: stream canceled before the request was answered","error_kind":"canceled","latency_us":0}`)
+	f.Add(`{"kind":"stream","count":0,"error":"request stream aborted: read tcp: reset","latency_us":0}`)
+	f.Add(`{"id":18446744073709551615,"count":-1,"latency_us":-0.5}`)
+	f.Add("\x00\xff\xfe")
+	f.Fuzz(func(t *testing.T, input string) {
+		var resp Response
+		if err := json.Unmarshal([]byte(input), &resp); err != nil {
+			return // not a response line; nothing to round-trip
+		}
+		first, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatalf("decoded response failed to re-encode: %v", err)
+		}
+		var back Response
+		if err := json.Unmarshal(first, &back); err != nil {
+			t.Fatalf("re-encoded response failed to decode: %v\n%s", err, first)
+		}
+		second, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("response round trip not stable:\n first %s\nsecond %s", first, second)
+		}
 	})
 }

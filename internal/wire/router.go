@@ -1,0 +1,76 @@
+package wire
+
+// This file is the router tier's half of the wire contract
+// (internal/router, cmd/rgrouter): the /v1/stats payload a replica
+// router serves. It lives in wire because the shape is public API for
+// monitoring clients, pinned by golden tests exactly like the
+// request/response lines.
+//
+// The query-stream schema itself is unchanged by routing — a router
+// speaks the same Request/Response lines as a single rgserve — except
+// that a response may carry error_kind "unavailable" when the router
+// sheds a request instead of evaluating it (no live replica, retry
+// policy exhausted).
+
+// ErrKindUnavailable is the ErrKind a replica router sets on requests
+// it sheds because no replica could serve them; see Response.ErrKind.
+const ErrKindUnavailable = "unavailable"
+
+// RouterStats is a replica router's /v1/stats snapshot: per-replica
+// health and breaker state plus stream-level routing counters.
+type RouterStats struct {
+	// Replicas reports every configured backend in configuration order.
+	Replicas []ReplicaStats `json:"replicas"`
+
+	Draining      bool   `json:"draining"`
+	StreamsActive int    `json:"streams_active"`
+	StreamsTotal  uint64 `json:"streams_total"`
+
+	// Requests counts client request lines admitted for routing;
+	// Retries and Hedges count the extra dispatches layered on top
+	// (a hedge is a speculative duplicate sent before any failure).
+	Requests uint64 `json:"requests"`
+	Retries  uint64 `json:"retries"`
+	Hedges   uint64 `json:"hedges"`
+
+	// DupSuppressed counts replica responses dropped by exactly-once
+	// fan-in: the id had already been answered by a faster (hedged or
+	// retried) copy. Unavailable counts requests shed with error_kind
+	// "unavailable"; BudgetDenied counts retry/hedge dispatches the
+	// token-bucket retry budget refused.
+	DupSuppressed uint64 `json:"dup_suppressed"`
+	Unavailable   uint64 `json:"unavailable"`
+	BudgetDenied  uint64 `json:"budget_denied"`
+
+	ParseErrors uint64 `json:"parse_errors"`
+}
+
+// ReplicaStats is one backend's row in RouterStats.
+type ReplicaStats struct {
+	URL string `json:"url"`
+
+	// State is the circuit breaker state: "closed" (routable), "open"
+	// (failed out, cooling down), or "half-open" (cooldown elapsed, one
+	// trial request in flight or allowed).
+	State string `json:"state"`
+
+	// Ready is the latest active-probe verdict (GET /readyz == 200).
+	Ready bool `json:"ready"`
+
+	// InFlight is the number of dispatched-but-unanswered requests the
+	// router currently has on this replica.
+	InFlight int `json:"in_flight"`
+
+	// Requests counts dispatches to this replica (including retries and
+	// hedges); Failures counts stream-level failures charged to it
+	// (dead connections, stalls, refused probes) — not per-request
+	// errors, which the replica answered and are therefore successes of
+	// the transport.
+	Requests uint64 `json:"requests"`
+	Failures uint64 `json:"failures"`
+
+	// BreakerOpens / BreakerCloses count state transitions into open
+	// and into closed, the flap rate of the breaker.
+	BreakerOpens  uint64 `json:"breaker_opens"`
+	BreakerCloses uint64 `json:"breaker_closes"`
+}

@@ -136,8 +136,10 @@ type Response struct {
 	// ErrKind classifies Err for programmatic handling: "shed" (the
 	// deadline budget expired before evaluation began — the request was
 	// never run), "deadline" (evaluation was abandoned at the deadline),
-	// "canceled" (session or stream cancellation). Empty for success and
-	// for parse/evaluation errors.
+	// "canceled" (session or stream cancellation), "unavailable" (the
+	// replica router exhausted its retry policy or found no live replica
+	// — the request was shed at the routing tier, not evaluated). Empty
+	// for success and for parse/evaluation errors.
 	ErrKind string `json:"error_kind,omitempty"`
 
 	// LatencyUS is the evaluation time in microseconds, excluding queue

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"io"
@@ -45,6 +46,34 @@ func goldenResponses() []Response {
 		{ID: 5, Kind: "rq", Query: "RQ[* --fn--> *]", Count: 0, LatencyUS: 3.1},
 		{ID: 6, Kind: "rq", Err: "engine: deadline expired before evaluation", ErrKind: "shed"},
 		{ID: 7, Kind: "pq", Err: "context deadline exceeded", ErrKind: "deadline", LatencyUS: 251000},
+		{ID: 8, Err: "router: no live replica available", ErrKind: ErrKindUnavailable},
+		{ID: 9, Err: "router: stream canceled before the request was answered", ErrKind: "canceled"},
+	}
+}
+
+// goldenRouterStats is the canonical replica-router /v1/stats payload:
+// every breaker state, readiness both ways, and all routing counters.
+// Pinned by testdata/router_stats.golden.
+func goldenRouterStats() RouterStats {
+	return RouterStats{
+		Replicas: []ReplicaStats{
+			{URL: "http://replica-0:8081", State: "closed", Ready: true, InFlight: 3,
+				Requests: 120, Failures: 1, BreakerOpens: 1, BreakerCloses: 1},
+			{URL: "http://replica-1:8081", State: "open", Ready: false,
+				Requests: 40, Failures: 9, BreakerOpens: 2, BreakerCloses: 1},
+			{URL: "http://replica-2:8081", State: "half-open", Ready: true,
+				Requests: 41, Failures: 3, BreakerOpens: 1, BreakerCloses: 0},
+		},
+		Draining:      false,
+		StreamsActive: 2,
+		StreamsTotal:  17,
+		Requests:      180,
+		Retries:       12,
+		Hedges:        5,
+		DupSuppressed: 4,
+		Unavailable:   3,
+		BudgetDenied:  2,
+		ParseErrors:   1,
 	}
 }
 
@@ -87,6 +116,25 @@ func goldenCompare(t *testing.T, name string, got []byte) {
 // TestGoldenResponses pins the response schema byte for byte.
 func TestGoldenResponses(t *testing.T) {
 	goldenCompare(t, "responses.golden", encodeResponses(t, goldenResponses()))
+}
+
+// TestGoldenRouterStats pins the router stats schema byte for byte, in
+// the indented form the /v1/stats endpoint serves.
+func TestGoldenRouterStats(t *testing.T) {
+	got, err := json.MarshalIndent(goldenRouterStats(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "router_stats.golden", append(got, '\n'))
+
+	// Round-trip: the golden bytes decode back to the fixture.
+	var back RouterStats
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, goldenRouterStats()) {
+		t.Errorf("router stats round-trip drifted:\n got %+v\nwant %+v", back, goldenRouterStats())
+	}
 }
 
 // TestGoldenRequests pins the request schema: fixtures encode to the
