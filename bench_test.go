@@ -155,6 +155,26 @@ func BenchmarkServerLoad(b *testing.B) {
 	}
 }
 
+// Served write path (ISSUE 9): incremental attribute-index maintenance
+// (candidx.WithChanges vs a full Build, per graph size) and mixed
+// read/write throughput of the generation engine against a
+// stop-the-world rebuild baseline. The per-size speedup and the
+// read-QPS ratio are forwarded through ReportMetric so
+// BENCH_mutate.json records both write-path stories.
+func BenchmarkMutate(b *testing.B) {
+	env := benchEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := bench.Mutate(env)
+		if len(tab.Rows) == 0 {
+			b.Fatal("driver produced no rows")
+		}
+		for unit, v := range tab.Metrics {
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
 // Replica router tier (ISSUE 8): open-loop throughput scaling at 1, 2
 // and 4 single-worker replicas behind one router, plus the fault
 // schedule (one of two replicas RST-killed for the middle third of the

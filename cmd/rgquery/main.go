@@ -36,6 +36,18 @@
 // the server's response lines are passed through to stdout as they
 // arrive.
 //
+// -remote also carries the write path. -mutate FILE streams a mutation
+// script (NDJSON ops or the qlang text form of internal/mutate; "-"
+// reads stdin) to URL/v1/mutate — the server commits it in
+// snapshot-isolated generations — passing the per-op ack lines through
+// to stdout and summarizing on stderr. -subscribe FILE registers the
+// pattern file as a standing query on URL/v1/subscribe and passes the
+// delta stream (init line, then one delta line per committed batch
+// that changes the answer) through to stdout until the server ends it:
+//
+//	rgquery -remote http://localhost:8080 -mutate mutations.ndjson
+//	rgquery -remote http://localhost:8080 -subscribe pattern.pq
+//
 // Local evaluation picks its distance backend with -backend: matrix
 // (precomputed, fastest, (m+1)·|V|²·4 bytes), twohop (2-hop labels —
 // index-fast lookups on graphs whose matrix does not fit), cache (LRU
@@ -50,7 +62,9 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -60,6 +74,7 @@ import (
 
 	"regraph"
 	"regraph/internal/graph"
+	"regraph/internal/mutate"
 	"regraph/internal/qlang"
 	"regraph/internal/wire"
 )
@@ -75,6 +90,8 @@ func main() {
 		batchPath = flag.String("batch", "", "batch of RQs, one per tab-separated line")
 		stream    = flag.Bool("stream", false, "batch: print each result as an NDJSON line the moment it completes")
 		remote    = flag.String("remote", "", "rgserve base URL: run the queries over the wire instead of locally")
+		mutFile   = flag.String("mutate", "", "remote: stream a mutation script (NDJSON or text ops, - = stdin) to URL/v1/mutate")
+		subFile   = flag.String("subscribe", "", "remote: register the pattern file as a standing query on URL/v1/subscribe")
 		priority  = flag.Int("priority", 0, "remote: scheduling priority for every request (0-7, higher = more weight)")
 		deadline  = flag.Duration("deadline", 0, "remote: per-request deadline budget, e.g. 250ms (0 = none)")
 		dialTries = flag.Int("dial-retries", 3, "remote: retries if the initial connection is refused (0 = fail on first refusal)")
@@ -89,9 +106,24 @@ func main() {
 	)
 	flag.Parse()
 
+	if *mutFile != "" || *subFile != "" {
+		if *remote == "" {
+			fatal(fmt.Errorf("-mutate and -subscribe need -remote URL (mutation is a serving-layer operation)"))
+		}
+	}
 	if *remote != "" {
-		if err := runRemote(*remote, *batchPath, *patPath, *from, *to, *expr,
-			*priority, *deadline, *dialTries, *dialWait); err != nil {
+		base := strings.TrimRight(*remote, "/")
+		var err error
+		switch {
+		case *mutFile != "":
+			err = runMutate(base, *mutFile)
+		case *subFile != "":
+			err = runSubscribe(base, *subFile)
+		default:
+			err = runRemote(*remote, *batchPath, *patPath, *from, *to, *expr,
+				*priority, *deadline, *dialTries, *dialWait)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -152,9 +184,9 @@ func engineOptions(g *regraph.Graph, backend string, useMatrix bool, workers, gr
 		if grailK > 0 {
 			return o, fmt.Errorf("-grail needs a searching backend (twohop, cache or auto), not matrix")
 		}
-		o.Matrix = regraph.NewMatrix(g)
+		o.BackendKind = "matrix"
 	case "twohop":
-		o.Backend = regraph.NewTwoHop(g)
+		o.BackendKind = "twohop"
 	case "cache":
 		// The engine creates its own cache.
 	case "auto":
@@ -211,6 +243,100 @@ func runRemote(base, batchPath, patPath, from, to, expr string,
 	}
 	fmt.Fprintf(os.Stderr, "remote: %d results (%d errors%s), %d pairs total, %v wall\n",
 		results, errors, errKindSummary(kinds), pairs, time.Since(t0).Round(time.Microsecond))
+	return nil
+}
+
+// runMutate streams a mutation script to the server's /v1/mutate
+// endpoint, raw — the server parses the lines (JSON ops and the qlang
+// text form interleave freely) and commits them in snapshot-isolated
+// generations. Per-op ack lines pass through to stdout; the trailing
+// summary goes to stderr so stdout stays machine-readable, mirroring
+// -stream.
+func runMutate(base, path string) error {
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	applied, failed := 0, 0
+	var sum *mutate.Summary
+	err := wire.PostLines(base+"/v1/mutate", in, func(line []byte) error {
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if json.Unmarshal(line, &probe) == nil && probe.Kind == mutate.SummaryKind {
+			sum = new(mutate.Summary)
+			if err := json.Unmarshal(line, sum); err != nil {
+				return fmt.Errorf("malformed summary line %q: %w", line, err)
+			}
+			return nil
+		}
+		os.Stdout.Write(line)
+		os.Stdout.Write([]byte{'\n'})
+		var a mutate.Ack
+		if json.Unmarshal(line, &a) == nil {
+			if a.Err == "" {
+				applied++
+			} else {
+				failed++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("mutate: %w", err)
+	}
+	if sum == nil {
+		return fmt.Errorf("mutate: stream ended without a summary line")
+	}
+	fmt.Fprintf(os.Stderr, "mutate: generation %d: %d applied, %d failed; graph now %d nodes, %d edges\n",
+		sum.Gen, sum.Applied, sum.Failed, sum.Nodes, sum.Edges)
+	if sum.Err != "" {
+		return fmt.Errorf("mutate: %s", sum.Err)
+	}
+	return nil
+}
+
+// runSubscribe registers the pattern file as a standing query and
+// passes the server's delta stream through to stdout until the server
+// ends it (drain, or the subscriber lagging behind the commit stream).
+// An abnormal end reason becomes the exit error.
+func runSubscribe(base, patPath string) error {
+	text, err := os.ReadFile(patPath)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(wire.Request{PQ: string(text)})
+	if err != nil {
+		return err
+	}
+	deltas := 0
+	endErr := ""
+	err = wire.PostLines(base+"/v1/subscribe", bytes.NewReader(append(line, '\n')), func(raw []byte) error {
+		os.Stdout.Write(raw)
+		os.Stdout.Write([]byte{'\n'})
+		var d wire.Delta
+		if json.Unmarshal(raw, &d) == nil {
+			switch d.Kind {
+			case wire.DeltaDelta:
+				deltas++
+			case wire.DeltaEnd:
+				endErr = d.Err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("subscribe: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "subscribe: stream ended after %d deltas\n", deltas)
+	if endErr != "" {
+		return fmt.Errorf("subscribe: %s", endErr)
+	}
 	return nil
 }
 

@@ -14,6 +14,18 @@
 //
 //	rgquery -remote http://localhost:8080 -batch queries.tsv
 //
+// Mutate it by streaming NDJSON mutation lines (or the equivalent
+// qlang text form) to POST /v1/mutate — each -mutate-batch chunk
+// commits as one snapshot-isolated generation — and follow a standing
+// pattern query with POST /v1/subscribe:
+//
+//	curl -sN -X POST --data-binary @mutations.ndjson localhost:8080/v1/mutate
+//	rgquery -remote http://localhost:8080 -mutate mutations.ndjson
+//	rgquery -remote http://localhost:8080 -subscribe pattern.pq
+//
+// The engine builds (and per generation rebuilds) its own backend, so
+// every -backend kind accepts mutations.
+//
 // On SIGINT/SIGTERM the server drains: new streams are refused, live
 // ones run to completion, and after -drain-timeout any stragglers'
 // sessions are cancelled (their remaining requests answered with
@@ -50,6 +62,8 @@ func main() {
 		adaptive      = flag.Bool("adaptive", false, "adaptive admission: shrink the in-flight bound when p99 latency nears the requests' deadline budgets")
 		streamTimeout = flag.Duration("stream-timeout", 0, "max duration of one query stream (0 = none)")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+		mutateBatch   = flag.Int("mutate-batch", 0, "ops per committed mutation generation on /v1/mutate (0 = 1024)")
+		subBuffer     = flag.Int("sub-buffer", 0, "commits a /v1/subscribe client may lag before being dropped (0 = 16)")
 	)
 	flag.Parse()
 
@@ -70,16 +84,18 @@ func main() {
 	}
 	opts := regraph.EngineOptions{Workers: *workers, DisableCandidateIndex: !*candIdx, ReachFilterK: *grailK}
 	t0 := time.Now()
+	// The engine builds every backend itself (BackendKind, not an
+	// externally constructed Matrix/TwoHop): only engine-built backends
+	// can be rebuilt per generation, and a serving engine must stay
+	// mutable for /v1/mutate.
 	switch kind {
 	case "matrix":
 		if *grailK > 0 {
 			fatal(fmt.Errorf("-grail needs a searching backend (twohop, cache or auto), not matrix"))
 		}
-		opts.Matrix = regraph.NewMatrix(g)
-	case "twohop":
-		opts.Backend = regraph.NewTwoHop(g)
-	case "cache":
-		// The engine creates its own cache.
+		opts.BackendKind = "matrix"
+	case "twohop", "cache":
+		opts.BackendKind = kind
 	case "auto":
 		opts.AutoBackend = true
 		opts.MemoryBudget = *memBudget
@@ -95,6 +111,8 @@ func main() {
 		MaxInFlight:      *maxInFlight,
 		AdaptiveInFlight: *adaptive,
 		StreamTimeout:    *streamTimeout,
+		MutateBatch:      *mutateBatch,
+		SubscribeBuffer:  *subBuffer,
 	})
 
 	errc := make(chan error, 1)
@@ -118,6 +136,10 @@ func main() {
 		st := srv.Stats()
 		fmt.Fprintf(os.Stderr, "rgserve: served %d streams, %d queries (%d completed, %d cancelled, %d failed, %d shed, %d deadline-missed), p95 %v p99 %v\n",
 			st.StreamsTotal, st.Submitted, st.Completed, st.Cancelled, st.Failed, st.Expired, st.Missed, st.Latency.P95, st.Latency.P99)
+		if st.MutateStreams > 0 {
+			fmt.Fprintf(os.Stderr, "rgserve: write path: generation %d after %d mutation streams (%d ops applied, %d failed)\n",
+				st.Generation, st.MutateStreams, st.OpsApplied, st.OpsFailed)
+		}
 	}
 }
 

@@ -265,6 +265,7 @@ func All() []NamedDriver {
 		{"engine-session", EngineSession},
 		{"server-throughput", ServerThroughput},
 		{"load", ServerLoad},
+		{"mutate", Mutate},
 		{"cluster", Cluster},
 		{"twohop", TwoHop},
 		{"ablation-containment", AblationContainment},

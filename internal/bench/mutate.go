@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regraph/internal/candidx"
+	"regraph/internal/engine"
+	"regraph/internal/gen"
+	"regraph/internal/graph"
+	"regraph/internal/mutate"
+	"regraph/internal/reach"
+)
+
+// Mutate measures the write path (ISSUE 9) in two parts.
+//
+// Index maintenance: per graph size, the cost of deriving the attribute
+// inverted index for a 64-op set_attr batch incrementally
+// (candidx.WithChanges — clone only the touched posting columns) versus
+// rebuilding it from scratch (candidx.Build). The incremental path is
+// bit-identical to the rebuild (pinned by the candidx property tests);
+// what this driver pins is the factor, which must grow with graph size
+// since WithChanges is O(touched columns) while Build is O(all
+// postings).
+//
+// Mixed read/write: the same deterministic op stream and query mix
+// driven through (a) the generation engine — readers run lock-free on
+// their pinned snapshot while Apply commits copy-on-write generations —
+// and (b) a stop-the-world baseline that takes a write lock, mutates
+// the graph in place and rebuilds the whole engine, blocking every
+// reader for the duration. Both arms use the engine-built matrix
+// backend, whose per-generation rebuild is the expensive part of a
+// commit: the generation engine pays it on the writer goroutine while
+// readers keep answering from their pinned snapshot, the baseline pays
+// it under the write lock with every reader stalled. Expected shape:
+// commit rates are comparable (both rebuild per batch) but the
+// generation engine's read throughput is a healthy multiple of the
+// baseline's, recorded as the mixed-read-ratio metric. The ratio is
+// meaningful from ~0.25 scale up (the CI job's setting); at tiny smoke
+// scales on a single core the un-throttled writer can starve the
+// readers outright (commits so short nothing ever blocks it), which is
+// the no-backpressure caveat ROADMAP's write-path follow-ons note.
+func Mutate(e *Env) *Table {
+	t := &Table{
+		ID:     "Mutate",
+		Title:  "write path: incremental index maintenance and mixed read/write throughput",
+		XLabel: "nodes",
+		Series: []string{"incr-us", "rebuild-us", "speedup-x"},
+	}
+
+	// ---- Part 1: incremental candidx vs full rebuild -----------------
+	const batchOps = 64
+	var lastSpeedup float64
+	for _, n := range []int{e.ScaleN(4000), e.ScaleN(16000), e.ScaleN(64000)} {
+		g := gen.Synthetic(e.Cfg.Seed, n, 4*n, 3, gen.DefaultColors)
+		ix := candidx.Build(g)
+		// One committed set_attr batch, recorded exactly as the engine's
+		// apply loop would hand it to WithChanges: the successor graph
+		// already mutated plus the (old, new) change list.
+		r := e.Rand(int64(9100 + n))
+		ng := g.Derive()
+		chs := make([]candidx.AttrChange, 0, batchOps)
+		for i := 0; i < batchOps; i++ {
+			v := graph.NodeID(r.Intn(n))
+			key := fmt.Sprintf("a%d", r.Intn(3))
+			val := fmt.Sprint(r.Intn(10))
+			old, hasOld := ng.Attrs(v)[key]
+			if hasOld && old == val {
+				continue
+			}
+			chs = append(chs, candidx.AttrChange{
+				Node: v, Attr: key, Old: old, New: val, HasOld: hasOld, HasNew: true,
+			})
+			ng.SetAttr(v, key, val)
+		}
+
+		incIters := 20 * e.Cfg.QueriesPerPoint
+		incSec := timeIt(func() {
+			for i := 0; i < incIters; i++ {
+				ix.WithChanges(ng, chs)
+			}
+		})
+		rbIters := e.Cfg.QueriesPerPoint
+		rbSec := timeIt(func() {
+			for i := 0; i < rbIters; i++ {
+				candidx.Build(ng)
+			}
+		})
+		incUS := incSec / float64(incIters) * 1e6
+		rbUS := rbSec / float64(rbIters) * 1e6
+		lastSpeedup = rbUS / incUS
+		t.Add(fmt.Sprint(n), map[string]float64{
+			"incr-us":    incUS,
+			"rebuild-us": rbUS,
+			"speedup-x":  lastSpeedup,
+		})
+	}
+	t.Metric("incr-speedup-x", lastSpeedup)
+
+	// ---- Part 2: mixed read/write throughput -------------------------
+	n := e.ScaleN(2000)
+	reqs, batches := mixedWorkload(e, n)
+	genRead, genCommit := runMixed(e, n, reqs, batches, false)
+	stwRead, stwCommit := runMixed(e, n, reqs, batches, true)
+	t.Metric("read-qps-gen", genRead)
+	t.Metric("read-qps-stw", stwRead)
+	t.Metric("commit-qps-gen", genCommit)
+	t.Metric("commit-qps-stw", stwCommit)
+	t.Metric("mixed-read-ratio", genRead/stwRead)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("mixed: %d-node graph, 2 readers vs 1 writer, %d commits of %d ops (matrix backend both arms)",
+			n, len(batches), len(batches[0])))
+	return t
+}
+
+// mixedWorkload prebuilds one deterministic query mix and mutation
+// stream so both arms of the mixed benchmark evaluate identical work.
+func mixedWorkload(e *Env, n int) ([]engine.Request, [][]mutate.Op) {
+	g := gen.Synthetic(e.Cfg.Seed, n, 4*n, 3, gen.DefaultColors)
+	r := e.Rand(9901)
+	qs := make([]reach.Query, 8)
+	reqs := make([]engine.Request, len(qs))
+	for i := range qs {
+		qs[i] = gen.RQ(g, 3, 5, 1+r.Intn(3), r)
+		reqs[i] = engine.Request{RQ: &qs[i]}
+	}
+
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i)
+	}
+	pick := func() string { return names[r.Intn(len(names))] }
+	nBatches := 20 * e.Cfg.QueriesPerPoint
+	const opsPerBatch = 32
+	batches := make([][]mutate.Op, nBatches)
+	next := n
+	for b := range batches {
+		ops := make([]mutate.Op, 0, opsPerBatch)
+		for i := 0; i < opsPerBatch; i++ {
+			switch r.Intn(5) {
+			case 0:
+				name := fmt.Sprintf("m%d", next)
+				next++
+				ops = append(ops, mutate.Op{Verb: mutate.VerbAddNode, Node: name,
+					Attrs: map[string]string{"a0": fmt.Sprint(r.Intn(10))}})
+				names = append(names, name)
+			case 1:
+				ops = append(ops, mutate.Op{Verb: mutate.VerbSetAttr, Node: pick(),
+					Attrs: map[string]string{fmt.Sprintf("a%d", r.Intn(3)): fmt.Sprint(r.Intn(10))}})
+			case 2:
+				// Mostly fails (random pairs are rarely connected): per-op
+				// failure acks are part of the workload, same in both arms.
+				ops = append(ops, mutate.Op{Verb: mutate.VerbRemoveEdge, From: pick(), To: pick(),
+					Color: gen.DefaultColors[r.Intn(len(gen.DefaultColors))]})
+			default:
+				ops = append(ops, mutate.Op{Verb: mutate.VerbAddEdge, From: pick(), To: pick(),
+					Color: gen.DefaultColors[r.Intn(len(gen.DefaultColors))]})
+			}
+		}
+		batches[b] = ops
+	}
+	return reqs, batches
+}
+
+// runMixed drives 2 reader goroutines against 1 writer over a fresh
+// copy of the workload graph and returns (read QPS, commit QPS). With
+// stw false the writer is engine.Apply (readers never block); with stw
+// true it holds a write lock while mutating the graph in place and
+// rebuilding the engine — the stop-the-world design a system without
+// snapshot isolation is forced into.
+func runMixed(e *Env, n int, reqs []engine.Request, batches [][]mutate.Op, stw bool) (float64, float64) {
+	g := gen.Synthetic(e.Cfg.Seed, n, 4*n, 3, gen.DefaultColors)
+	opts := engine.Options{Workers: 2, BackendKind: "matrix"}
+	en := engine.MustNew(g, opts)
+
+	var mu sync.RWMutex // guards en and g in the stop-the-world arm only
+	var reads atomic.Int64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if stw {
+					mu.RLock()
+					en.RunBatch(reqs)
+					mu.RUnlock()
+				} else {
+					en.RunBatch(reqs)
+				}
+				reads.Add(int64(len(reqs)))
+			}
+		}()
+	}
+
+	// Replay the op stream in whole passes until a minimum wall clock has
+	// elapsed: on slow or single-core hosts one pass can finish before
+	// the readers complete a single batch, which would measure a
+	// degenerate window instead of a throughput. Repeat passes re-apply
+	// the same ops (adds of existing nodes fail per-op, attrs and edges
+	// reapply) identically in both arms, so the rates stay comparable.
+	const minDur = 300 * time.Millisecond
+	commits := 0
+	t0 := time.Now()
+	for pass := 0; pass == 0 || time.Since(t0) < minDur; pass++ {
+		for _, ops := range batches {
+			if stw {
+				mu.Lock()
+				for _, op := range ops {
+					replayOp(g, op)
+				}
+				en = engine.MustNew(g, opts)
+				mu.Unlock()
+			} else if _, err := en.Apply(ops); err != nil {
+				panic(fmt.Sprintf("bench: mixed apply: %v", err))
+			}
+			commits++
+		}
+	}
+	elapsed := time.Since(t0).Seconds()
+	nReads := float64(reads.Load())
+	close(done)
+	wg.Wait()
+	return nReads / elapsed, float64(commits) / elapsed
+}
+
+// replayOp applies one op directly to a graph with the same tolerance
+// as the engine's apply loop: resolution failures skip the op.
+func replayOp(g *graph.Graph, op mutate.Op) {
+	switch op.Verb {
+	case mutate.VerbAddNode:
+		if _, ok := g.NodeByName(op.Node); !ok {
+			g.AddNode(op.Node, op.Attrs)
+		}
+	case mutate.VerbSetAttr:
+		if v, ok := g.NodeByName(op.Node); ok {
+			for k, val := range op.Attrs {
+				g.SetAttr(v, k, val)
+			}
+		}
+	case mutate.VerbAddEdge:
+		if from, ok := g.NodeByName(op.From); ok {
+			if to, ok := g.NodeByName(op.To); ok {
+				g.AddEdge(from, to, op.Color)
+			}
+		}
+	case mutate.VerbRemoveEdge:
+		if from, ok := g.NodeByName(op.From); ok {
+			if to, ok := g.NodeByName(op.To); ok {
+				g.RemoveEdge(from, to, op.Color)
+			}
+		}
+	}
+}

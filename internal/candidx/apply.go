@@ -1,0 +1,182 @@
+package candidx
+
+import (
+	"math"
+	"sort"
+
+	"regraph/internal/graph"
+	"regraph/internal/predicate"
+)
+
+// AttrChange is one committed attribute-tuple mutation, as recorded by
+// the engine's apply loop: node's attribute Attr went from Old (if
+// HasOld) to New (if HasNew). A set_attr on a fresh key has HasOld
+// false; an add_node contributes one change per initial attribute. The
+// pair (Attr, Node) identifies at most one posting per column domain, so
+// a change is at most one delete plus one insert per domain.
+type AttrChange struct {
+	Node   graph.NodeID
+	Attr   string
+	Old    string
+	New    string
+	HasOld bool
+	HasNew bool
+}
+
+// WithChanges derives the index for a successor snapshot of the graph:
+// g is the already-mutated successor generation and chs the attribute
+// changes the batch committed. Columns of untouched attributes are
+// shared with the receiver by pointer; touched columns are cloned once
+// and patched posting-by-posting (sorted insert/delete in whichever
+// value domains the old and new values occupy). The result carries g's
+// epoch and node count, so epoch-validated users (Memo) accept it
+// without a rebuild.
+//
+// Because Build sorts every domain by (value, node) with no other
+// tiebreak, a sorted insert/delete lands each posting exactly where a
+// from-scratch Build would: WithChanges is bit-identical to Build(g),
+// which the property tests pin.
+func (ix *Index) WithChanges(g *graph.Graph, chs []AttrChange) *Index {
+	n := g.NumNodes()
+	nx := &Index{
+		n:     n,
+		epoch: g.Epoch(),
+		words: (n + 63) / 64,
+		cols:  make(map[string]*column, len(ix.cols)+1),
+	}
+	nx.bitsPool.New = func() any {
+		s := make([]uint64, nx.words)
+		return &s
+	}
+	for a, c := range ix.cols {
+		nx.cols[a] = c
+	}
+	touched := map[string]*column{}
+	colFor := func(a string) *column {
+		if c, ok := touched[a]; ok {
+			return c
+		}
+		c := &column{}
+		if old := ix.cols[a]; old != nil {
+			c.num = append([]numEntry(nil), old.num...)
+			c.nan = append([]int32(nil), old.nan...)
+			c.lexNon = append([]lexEntry(nil), old.lexNon...)
+			c.lexAll = append([]lexEntry(nil), old.lexAll...)
+		}
+		touched[a] = c
+		nx.cols[a] = c
+		return c
+	}
+	for _, ch := range chs {
+		c := colFor(ch.Attr)
+		v := int32(ch.Node)
+		if ch.HasOld {
+			c.removePosting(ch.Old, v)
+		}
+		if ch.HasNew {
+			c.insertPosting(ch.New, v)
+		}
+	}
+	return nx
+}
+
+// insertPosting adds (val, node) to every domain Build would have placed
+// it in, at its (value, node)-sorted position.
+func (c *column) insertPosting(val string, node int32) {
+	c.lexAll = lexInsert(c.lexAll, lexEntry{val, node})
+	if f, ok := predicate.Numeric(val); ok {
+		if math.IsNaN(f) {
+			c.nan = nodeInsert(c.nan, node)
+		} else {
+			c.num = numInsert(c.num, numEntry{f, node})
+		}
+		return
+	}
+	c.lexNon = lexInsert(c.lexNon, lexEntry{val, node})
+}
+
+// removePosting deletes (val, node) from every domain holding it. A
+// posting that is not found is ignored — the engine only records changes
+// it actually applied, so a miss means the change record and the index
+// disagree about history, and dropping the delete is the conservative
+// move (the paired insert still lands).
+func (c *column) removePosting(val string, node int32) {
+	c.lexAll = lexDelete(c.lexAll, lexEntry{val, node})
+	if f, ok := predicate.Numeric(val); ok {
+		if math.IsNaN(f) {
+			c.nan = nodeDelete(c.nan, node)
+		} else {
+			c.num = numDelete(c.num, numEntry{f, node})
+		}
+		return
+	}
+	c.lexNon = lexDelete(c.lexNon, lexEntry{val, node})
+}
+
+func lexInsert(es []lexEntry, e lexEntry) []lexEntry {
+	i := sort.Search(len(es), func(i int) bool {
+		if es[i].val != e.val {
+			return es[i].val > e.val
+		}
+		return es[i].node >= e.node
+	})
+	es = append(es, lexEntry{})
+	copy(es[i+1:], es[i:])
+	es[i] = e
+	return es
+}
+
+func lexDelete(es []lexEntry, e lexEntry) []lexEntry {
+	i := sort.Search(len(es), func(i int) bool {
+		if es[i].val != e.val {
+			return es[i].val > e.val
+		}
+		return es[i].node >= e.node
+	})
+	if i < len(es) && es[i] == e {
+		es = append(es[:i], es[i+1:]...)
+	}
+	return es
+}
+
+func numInsert(es []numEntry, e numEntry) []numEntry {
+	i := sort.Search(len(es), func(i int) bool {
+		if es[i].val != e.val {
+			return es[i].val > e.val
+		}
+		return es[i].node >= e.node
+	})
+	es = append(es, numEntry{})
+	copy(es[i+1:], es[i:])
+	es[i] = e
+	return es
+}
+
+func numDelete(es []numEntry, e numEntry) []numEntry {
+	i := sort.Search(len(es), func(i int) bool {
+		if es[i].val != e.val {
+			return es[i].val > e.val
+		}
+		return es[i].node >= e.node
+	})
+	if i < len(es) && es[i] == e {
+		es = append(es[:i], es[i+1:]...)
+	}
+	return es
+}
+
+func nodeInsert(ns []int32, v int32) []int32 {
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	ns = append(ns, 0)
+	copy(ns[i+1:], ns[i:])
+	ns[i] = v
+	return ns
+}
+
+func nodeDelete(ns []int32, v int32) []int32 {
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	if i < len(ns) && ns[i] == v {
+		ns = append(ns[:i], ns[i+1:]...)
+	}
+	return ns
+}

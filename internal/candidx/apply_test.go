@@ -1,0 +1,200 @@
+package candidx_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"regraph/internal/candidx"
+	"regraph/internal/graph"
+	"regraph/internal/predicate"
+	"regraph/internal/reach"
+)
+
+// mutateGen applies a random attribute batch to a fresh Derive of g,
+// returning the new generation and the AttrChange records exactly as the
+// engine's apply loop produces them (old value captured before the
+// write, one change per initial attribute of an added node).
+func mutateGen(r *rand.Rand, g *graph.Graph, genNo int) (*graph.Graph, []candidx.AttrChange) {
+	ng := g.Derive()
+	var chs []candidx.AttrChange
+	nops := 1 + r.Intn(8)
+	for i := 0; i < nops; i++ {
+		switch r.Intn(3) {
+		case 0: // set_attr
+			v := graph.NodeID(r.Intn(ng.NumNodes()))
+			a := attrPool[r.Intn(len(attrPool))]
+			nv := valuePool[r.Intn(len(valuePool))]
+			old, hasOld := ng.Attrs(v)[a]
+			chs = append(chs, candidx.AttrChange{
+				Node: v, Attr: a, Old: old, New: nv, HasOld: hasOld, HasNew: true,
+			})
+			ng.SetAttr(v, a, nv)
+		case 1: // add_node with initial attributes
+			attrs := map[string]string{}
+			for _, a := range attrPool {
+				if r.Intn(2) == 0 {
+					attrs[a] = valuePool[r.Intn(len(valuePool))]
+				}
+			}
+			id := ng.AddNode(fmt.Sprintf("gen%d-%d", genNo, i), attrs)
+			for a, val := range attrs {
+				chs = append(chs, candidx.AttrChange{
+					Node: id, Attr: a, New: val, HasNew: true,
+				})
+			}
+		case 2: // edges do not touch the attribute index
+			from := graph.NodeID(r.Intn(ng.NumNodes()))
+			to := graph.NodeID(r.Intn(ng.NumNodes()))
+			ng.AddEdge(from, to, "e")
+		}
+	}
+	return ng, chs
+}
+
+// TestWithChangesBitIdentical: chaining WithChanges across random
+// mutation generations answers every predicate exactly like a
+// from-scratch Build of the final graph (which in turn is pinned to the
+// linear scan by checkPred).
+func TestWithChangesBitIdentical(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(500 + seed))
+		g := mixedGraph(r, 20+r.Intn(60))
+		g.AddEdge(0, 1, "e") // intern the edge color pre-Derive
+		ix := candidx.Build(g)
+		for gen := 0; gen < 8; gen++ {
+			ng, chs := mutateGen(r, g, gen)
+			ix = ix.WithChanges(ng, chs)
+			if ix.Epoch() != ng.Epoch() {
+				t.Fatalf("seed %d gen %d: index epoch %d != graph epoch %d", seed, gen, ix.Epoch(), ng.Epoch())
+			}
+			fresh := candidx.Build(ng)
+			for q := 0; q < 120; q++ {
+				p := randPred(r, attrPool, valuePool)
+				inc := ix.Candidates(p)
+				scratch := fresh.Candidates(p)
+				if !sameIDs(inc, scratch) {
+					t.Fatalf("seed %d gen %d pred %q: incremental %v != rebuild %v", seed, gen, p, inc, scratch)
+				}
+				checkPred(t, ng, ix, p)
+			}
+			g.Seal()
+			g = ng
+		}
+	}
+}
+
+// TestWithChangesSharesUntouchedColumns: a batch touching only attribute
+// "x" must answer "y" predicates from the shared old column — verified
+// indirectly by a no-change derivation being cheap and correct, and the
+// old index staying valid for the old graph.
+func TestWithChangesOldIndexUnchanged(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	g := mixedGraph(r, 50)
+	ix := candidx.Build(g)
+
+	// Record old answers for a spread of predicates.
+	preds := make([]predicate.Pred, 0, 50)
+	olds := make([][]graph.NodeID, 0, 50)
+	for q := 0; q < 50; q++ {
+		p := randPred(r, attrPool, valuePool)
+		preds = append(preds, p)
+		olds = append(olds, ix.Candidates(p))
+	}
+
+	ng := g.Derive()
+	var chs []candidx.AttrChange
+	for i := 0; i < 20; i++ {
+		v := graph.NodeID(r.Intn(ng.NumNodes()))
+		a := attrPool[r.Intn(len(attrPool))]
+		nv := valuePool[r.Intn(len(valuePool))]
+		old, hasOld := ng.Attrs(v)[a]
+		chs = append(chs, candidx.AttrChange{Node: v, Attr: a, Old: old, New: nv, HasOld: hasOld, HasNew: true})
+		ng.SetAttr(v, a, nv)
+	}
+	_ = ix.WithChanges(ng, chs)
+
+	// Deriving the successor index must not have disturbed the old one.
+	for i, p := range preds {
+		if got := ix.Candidates(p); !sameIDs(got, olds[i]) {
+			t.Fatalf("pred %q: old index changed after WithChanges: %v != %v", p, got, olds[i])
+		}
+		checkPred(t, g, ix, p)
+	}
+}
+
+// TestMemoNextGenSelective pins the attribute-scoped invalidation
+// contract: a pure edge batch carries every cached answer across; an
+// attribute batch retires exactly the entries naming a touched
+// attribute; adding a node retires only the always-true entry (plus
+// entries on the new node's attributes, which arrive as touched).
+func TestMemoNextGenSelective(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 40; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), map[string]string{
+			"x": fmt.Sprint(i % 7),
+			"y": fmt.Sprint(i % 3),
+		})
+	}
+	g.AddEdge(0, 1, "e")
+
+	pX := predicate.MustParse("x = 3")
+	pY := predicate.MustParse("y >= 1")
+	pT := predicate.New() // always-true
+
+	check := func(m *candidx.Memo, gg *graph.Graph, p predicate.Pred) {
+		t.Helper()
+		if got, want := m.Candidates(p), reach.Candidates(gg, p); !sameIDs(got, want) {
+			t.Fatalf("pred %q: memo %v != scan %v", p, got, want)
+		}
+	}
+
+	m := candidx.NewMemo(g)
+	check(m, g, pX)
+	check(m, g, pY)
+	check(m, g, pT)
+	if _, misses := m.Stats(); misses != 3 {
+		t.Fatalf("warmup misses = %d, want 3", misses)
+	}
+
+	// Generation 1: pure edge batch. Everything must survive.
+	g1 := g.Derive()
+	g1.AddEdge(2, 3, "e")
+	g1.RemoveEdge(0, 1, "e")
+	idx1 := m.Index().WithChanges(g1, nil)
+	m1 := m.NextGen(g1, idx1, nil, false)
+	check(m1, g1, pX)
+	check(m1, g1, pY)
+	check(m1, g1, pT)
+	if hits, misses := m1.Stats(); hits != 3 || misses != 0 {
+		t.Fatalf("after pure-edge batch: hits=%d misses=%d, want 3/0 (cache must carry across)", hits, misses)
+	}
+
+	// Generation 2: touch attribute x on one node. Only pX retired.
+	g2 := g1.Derive()
+	old := g2.Attrs(5)["x"]
+	g2.SetAttr(5, "x", "3")
+	chs := []candidx.AttrChange{{Node: 5, Attr: "x", Old: old, New: "3", HasOld: true, HasNew: true}}
+	idx2 := idx1.WithChanges(g2, chs)
+	m2 := m1.NextGen(g2, idx2, map[string]bool{"x": true}, false)
+	check(m2, g2, pX)
+	check(m2, g2, pY)
+	check(m2, g2, pT)
+	if hits, misses := m2.Stats(); hits != 2 || misses != 1 {
+		t.Fatalf("after x-touching batch: hits=%d misses=%d, want 2/1 (only the x entry retired)", hits, misses)
+	}
+
+	// Generation 3: add a node carrying y. pT (node count) and pY (touched
+	// attribute) retired; pX survives.
+	g3 := g2.Derive()
+	id := g3.AddNode("fresh", map[string]string{"y": "2"})
+	chs3 := []candidx.AttrChange{{Node: id, Attr: "y", New: "2", HasNew: true}}
+	idx3 := idx2.WithChanges(g3, chs3)
+	m3 := m2.NextGen(g3, idx3, map[string]bool{"y": true}, true)
+	check(m3, g3, pX)
+	check(m3, g3, pY)
+	check(m3, g3, pT)
+	if hits, misses := m3.Stats(); hits != 1 || misses != 2 {
+		t.Fatalf("after node-adding batch: hits=%d misses=%d, want 1/2", hits, misses)
+	}
+}

@@ -31,9 +31,20 @@ type Memo struct {
 
 	mu    sync.RWMutex
 	idx   *Index
-	cache map[string][]graph.NodeID
+	cache map[string]memoEntry
 
 	hits, misses atomic.Uint64
+}
+
+// memoEntry is one cached answer plus the facts NextGen needs to decide
+// whether a committed mutation batch could have changed it: the
+// predicate's attribute names, and whether the predicate is the trivial
+// always-true one (whose answer is every node, so it depends only on the
+// node count).
+type memoEntry struct {
+	cands  []graph.NodeID
+	attrs  []string
+	isTrue bool
 }
 
 // NewMemo builds a memo over g, constructing the inverted index for the
@@ -51,7 +62,7 @@ func NewMemo(g *graph.Graph) *Memo {
 // caller holds mu.
 func (m *Memo) refreshLocked() {
 	m.idx = Build(m.g)
-	m.cache = map[string][]graph.NodeID{}
+	m.cache = map[string]memoEntry{}
 }
 
 // Index returns the current index snapshot (rebuilding first if the
@@ -82,7 +93,7 @@ func (m *Memo) Candidates(p predicate.Pred) []graph.NodeID {
 		epoch := m.g.Epoch()
 		m.mu.RLock()
 		idx := m.idx
-		c, ok := m.cache[key]
+		e, ok := m.cache[key]
 		m.mu.RUnlock()
 		if idx.epoch != epoch {
 			// Stale snapshot: retire it and retry with a fresh build.
@@ -95,10 +106,10 @@ func (m *Memo) Candidates(p predicate.Pred) []graph.NodeID {
 		}
 		if ok {
 			m.hits.Add(1)
-			return c
+			return e.cands
 		}
 		m.misses.Add(1)
-		c = idx.Candidates(p)
+		c := idx.Candidates(p)
 		if c == nil {
 			c = []graph.NodeID{} // distinguish "cached empty" from a map miss
 		}
@@ -106,9 +117,9 @@ func (m *Memo) Candidates(p predicate.Pred) []graph.NodeID {
 		// Only publish against the snapshot the answer came from.
 		if m.idx == idx {
 			if len(m.cache) >= memoMaxEntries {
-				m.cache = map[string][]graph.NodeID{}
+				m.cache = map[string]memoEntry{}
 			}
-			m.cache[key] = c
+			m.cache[key] = memoEntry{cands: c, attrs: p.Attrs(), isTrue: p.IsTrue()}
 		}
 		m.mu.Unlock()
 		return c
@@ -119,4 +130,46 @@ func (m *Memo) Candidates(p predicate.Pred) []graph.NodeID {
 // the index, never the linear scan).
 func (m *Memo) Stats() (hits, misses uint64) {
 	return m.hits.Load(), m.misses.Load()
+}
+
+// NextGen derives the memo for a committed successor generation: g is
+// the new (already-mutated) graph and idx its index, typically from
+// Index().WithChanges. Invalidation is scoped by attribute rather than
+// engine-wide: a cached answer is retired only if the batch touched one
+// of its predicate's attributes, or — for the always-true predicate,
+// whose answer is every node — if the batch added nodes. A pure edge
+// add/remove batch (touched empty, nodesAdded false) therefore carries
+// the entire cache across, which is what makes standing read traffic
+// survive write churn without re-answering its predicate vocabulary.
+//
+// Nodes added with initial attributes are covered by the same rule: the
+// apply loop records each initial attribute as a change, so any
+// predicate that could match the new node has a touched attribute. A
+// new node without attributes matches only the always-true predicate.
+//
+// The receiver is left unchanged (it keeps answering for readers pinned
+// to the old generation).
+func (m *Memo) NextGen(g *graph.Graph, idx *Index, touched map[string]bool, nodesAdded bool) *Memo {
+	nm := &Memo{g: g, idx: idx, cache: map[string]memoEntry{}}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for k, e := range m.cache {
+		if e.isTrue {
+			if !nodesAdded {
+				nm.cache[k] = e
+			}
+			continue
+		}
+		affected := false
+		for _, a := range e.attrs {
+			if touched[a] {
+				affected = true
+				break
+			}
+		}
+		if !affected {
+			nm.cache[k] = e
+		}
+	}
+	return nm
 }

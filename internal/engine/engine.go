@@ -37,6 +37,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"regraph/internal/candidx"
@@ -71,6 +73,16 @@ type Options struct {
 	// checks become backend lookups; multi-atom expressions use the
 	// closure search as in cache mode.
 	Backend dist.Backend
+
+	// BackendKind asks the engine to build the named backend itself:
+	// "matrix", "twohop" or "cache" (sized by CacheSize). It selects
+	// the same structures as passing Matrix/Backend/Cache built by the
+	// caller, with one crucial difference: an engine-built backend can
+	// be rebuilt per generation, so the engine stays mutable — Apply
+	// works. Externally supplied backends make the engine read-only.
+	// Counts as a backend selector (conflicts with Matrix, Cache,
+	// Backend and AutoBackend).
+	BackendKind string
 
 	// AutoBackend picks the backend from the graph and MemoryBudget:
 	// the matrix when its (m+1)·|V|²·4 bytes fit the budget (fastest
@@ -121,24 +133,61 @@ type filterable interface {
 	SetFilter(dist.Filter)
 }
 
+// genState is one published generation: an immutable bundle of the
+// graph, its distance backend and its candidate memo, all built against
+// the same epoch. Readers pin a *genState (sessions at Open, one-shot
+// accessors per call) and never observe a half-replaced mixture; the
+// single-writer apply loop builds a successor bundle off to the side and
+// publishes it with one atomic pointer store.
+type genState struct {
+	gen   uint64
+	g     *graph.Graph
+	mx    *dist.Matrix
+	cache *dist.Cache
+	be    dist.Backend // active backend when mx is nil (cache, 2-hop, custom)
+
+	// cands is the generation's candidate memo (attribute inverted
+	// index + predicate→candidates cache), shared by every worker and
+	// batch reading this generation; nil when DisableCandidateIndex was
+	// set.
+	cands *candidx.Memo
+}
+
+// candSource adapts the memo field to the evaluators' interface
+// parameter without ever wrapping a nil *Memo in a non-nil interface.
+func (st *genState) candSource() reach.CandidateSource {
+	if st.cands == nil {
+		return nil
+	}
+	return st.cands
+}
+
 // Engine is a resident query engine over one graph. Create it with New;
 // an Engine is safe for concurrent use by multiple goroutines.
 type Engine struct {
-	g       *graph.Graph
-	mx      *dist.Matrix
-	cache   *dist.Cache
-	be      dist.Backend // active backend when mx is nil (cache, 2-hop, custom)
-	kind    string       // "matrix" | "twohop" | "cache" | "custom"
+	// cur is the current generation. Load-then-use is the whole read
+	// protocol: a loaded genState stays internally consistent forever
+	// (its graph is sealed when replaced, never edited in place).
+	cur atomic.Pointer[genState]
+
+	kind    string // "matrix" | "twohop" | "cache" | "custom"
 	workers int
 
 	// slots hands out (arena, worker identity) pairs; its capacity is
 	// the engine-wide concurrency bound.
 	slots chan *dist.Scratch
 
-	// cands is the engine-wide candidate memo (attribute inverted index
-	// + predicate→candidates cache), shared by every worker and batch;
-	// nil when DisableCandidateIndex is set.
-	cands *candidx.Memo
+	// writeMu serializes Apply and the standing-query registry: there
+	// is exactly one writer at a time, which is what lets Apply derive,
+	// index and publish without any reader-side locking.
+	writeMu sync.Mutex
+	subs    map[*Standing]struct{}
+
+	// Construction inputs remembered for per-generation backend
+	// rebuilds; immutable after New.
+	cacheSize int
+	filterK   int
+	immutable error // non-nil: why Apply is refused for this configuration
 }
 
 // ErrOptions wraps every configuration error New returns, so callers
@@ -159,6 +208,7 @@ func (o Options) validate() error {
 		{o.Cache != nil, "Cache"},
 		{o.Backend != nil, "Backend"},
 		{o.AutoBackend, "AutoBackend"},
+		{o.BackendKind != "", "BackendKind"},
 	} {
 		if f.on {
 			set++
@@ -171,8 +221,16 @@ func (o Options) validate() error {
 	if set > 1 {
 		return fmt.Errorf("%w: %s — set at most one backend selector", ErrOptions, names)
 	}
+	switch o.BackendKind {
+	case "", "matrix", "twohop", "cache":
+	default:
+		return fmt.Errorf("%w: unknown BackendKind %q (want matrix, twohop or cache)", ErrOptions, o.BackendKind)
+	}
 	if o.CacheSize > 0 && (o.Matrix != nil || o.Cache != nil || o.Backend != nil) {
 		return fmt.Errorf("%w: CacheSize with an explicit backend would be silently ignored", ErrOptions)
+	}
+	if o.CacheSize > 0 && (o.BackendKind == "matrix" || o.BackendKind == "twohop") {
+		return fmt.Errorf("%w: CacheSize with BackendKind %q would be silently ignored", ErrOptions, o.BackendKind)
 	}
 	if o.MemoryBudget != 0 && !o.AutoBackend {
 		return fmt.Errorf("%w: MemoryBudget without AutoBackend would be silently ignored", ErrOptions)
@@ -181,7 +239,7 @@ func (o Options) validate() error {
 		return fmt.Errorf("%w: ReachFilter and ReachFilterK — supply the filter or ask for one, not both", ErrOptions)
 	}
 	wantFilter := o.ReachFilter != nil || o.ReachFilterK > 0
-	if wantFilter && o.Matrix != nil {
+	if wantFilter && (o.Matrix != nil || o.BackendKind == "matrix") {
 		return fmt.Errorf("%w: ReachFilter with Matrix — matrix lookups have no filter hook", ErrOptions)
 	}
 	if wantFilter && o.Backend != nil {
@@ -227,6 +285,19 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 			kind = "cache"
 			cache = b
 		}
+	case opts.BackendKind != "":
+		// Engine-built by name: the same structures as the external
+		// equivalents, but owned by the engine — rebuilt per generation
+		// by Apply, so this path keeps the engine mutable.
+		kind = opts.BackendKind
+		switch kind {
+		case "matrix":
+			mx = dist.NewMatrix(g)
+		case "twohop":
+			be = dist.NewTwoHop(g)
+		case "cache":
+			cache = dist.NewCache(g, cacheSize)
+		}
 	case opts.AutoBackend:
 		budget := opts.MemoryBudget
 		if budget <= 0 {
@@ -270,19 +341,35 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 	// workers at once would race.
 	g.BuildColorIndex()
 	e := &Engine{
-		g:       g,
-		mx:      mx,
-		cache:   cache,
-		be:      be,
-		kind:    kind,
-		workers: workers,
-		slots:   make(chan *dist.Scratch, workers),
+		kind:      kind,
+		workers:   workers,
+		slots:     make(chan *dist.Scratch, workers),
+		subs:      map[*Standing]struct{}{},
+		cacheSize: cacheSize,
+		filterK:   opts.ReachFilterK,
 	}
+	// Mutability: Apply rebuilds the backend per generation from the
+	// construction inputs, which it can only do for backends the engine
+	// knows how to build. Anything externally owned makes the engine
+	// read-only (queries work as before; Apply returns the reason).
+	switch {
+	case opts.Backend != nil:
+		e.immutable = fmt.Errorf("%w: externally built Backend cannot be rebuilt per generation", ErrReadOnly)
+	case opts.Cache != nil:
+		e.immutable = fmt.Errorf("%w: externally owned Cache cannot be rebuilt per generation", ErrReadOnly)
+	case opts.Matrix != nil:
+		e.immutable = fmt.Errorf("%w: externally owned Matrix cannot be rebuilt per generation", ErrReadOnly)
+	case opts.ReachFilter != nil:
+		e.immutable = fmt.Errorf("%w: external ReachFilter cannot be rebuilt per generation", ErrReadOnly)
+	}
+	st := &genState{g: g, mx: mx, cache: cache, be: be}
 	if !opts.DisableCandidateIndex {
 		// Build the attribute inverted index once, up front, so no batch
-		// pays it mid-flight; the memo it feeds is shared engine-wide.
-		e.cands = candidx.NewMemo(g)
+		// pays it mid-flight; the memo it feeds is shared by every reader
+		// of this generation.
+		st.cands = candidx.NewMemo(g)
 	}
+	e.cur.Store(st)
 	for i := 0; i < workers; i++ {
 		e.slots <- dist.NewScratch()
 	}
@@ -299,47 +386,46 @@ func MustNew(g *graph.Graph, opts Options) *Engine {
 	return e
 }
 
-// Graph returns the engine's graph.
-func (e *Engine) Graph() *graph.Graph { return e.g }
+// Graph returns the current generation's graph. After an Apply this may
+// be a newer graph than a previous call returned; pin a Session for a
+// stable view.
+func (e *Engine) Graph() *graph.Graph { return e.cur.Load().g }
 
-// Matrix returns the shared distance matrix, nil unless the engine is
-// in matrix mode.
-func (e *Engine) Matrix() *dist.Matrix { return e.mx }
+// Generation returns the current generation number: 0 for the graph the
+// engine was built over, incremented by every committed Apply batch.
+func (e *Engine) Generation() uint64 { return e.cur.Load().gen }
 
-// Cache returns the shared distance cache, nil unless the engine's
-// backend is a cache.
-func (e *Engine) Cache() *dist.Cache { return e.cache }
+// Matrix returns the current generation's distance matrix, nil unless
+// the engine is in matrix mode.
+func (e *Engine) Matrix() *dist.Matrix { return e.cur.Load().mx }
 
-// Backend returns the active distance backend: the matrix in matrix
-// mode, otherwise whatever New selected or was given (cache, 2-hop
-// labels, custom).
+// Cache returns the current generation's distance cache, nil unless the
+// engine's backend is a cache.
+func (e *Engine) Cache() *dist.Cache { return e.cur.Load().cache }
+
+// Backend returns the current generation's distance backend: the matrix
+// in matrix mode, otherwise whatever New selected or was given (cache,
+// 2-hop labels, custom).
 func (e *Engine) Backend() dist.Backend {
-	if e.mx != nil {
-		return e.mx
+	st := e.cur.Load()
+	if st.mx != nil {
+		return st.mx
 	}
-	return e.be
+	return st.be
 }
 
 // BackendKind names the active backend — "matrix", "twohop", "cache"
 // or "custom" — mainly so AutoBackend's choice is observable (servers
-// log it; tests assert on it).
+// log it; tests assert on it). The kind is fixed at construction:
+// Apply rebuilds the same kind of backend for every generation.
 func (e *Engine) BackendKind() string { return e.kind }
 
 // Workers returns the engine's concurrency bound.
 func (e *Engine) Workers() int { return e.workers }
 
-// Cands returns the engine-wide candidate memo, nil when the candidate
-// index was disabled at construction.
-func (e *Engine) Cands() *candidx.Memo { return e.cands }
-
-// candSource adapts the memo field to the evaluators' interface
-// parameter without ever wrapping a nil *Memo in a non-nil interface.
-func (e *Engine) candSource() reach.CandidateSource {
-	if e.cands == nil {
-		return nil
-	}
-	return e.cands
-}
+// Cands returns the current generation's candidate memo, nil when the
+// candidate index was disabled at construction.
+func (e *Engine) Cands() *candidx.Memo { return e.cur.Load().cands }
 
 // Request is one query of a batch or session: exactly one of RQ or PQ
 // must be set.
@@ -468,19 +554,21 @@ func (e *Engine) RunRQs(qs []reach.Query) [][]reach.Pair {
 	return out
 }
 
-// runCtx evaluates one request on one worker's arena, with ctx threaded
-// into the evaluators' cancellation checkpoints.
-func (e *Engine) runCtx(ctx context.Context, r Request, s *dist.Scratch) Result {
+// runCtx evaluates one request on one worker's arena against one pinned
+// generation, with ctx threaded into the evaluators' cancellation
+// checkpoints. st never changes under the evaluation — that is the
+// snapshot-isolation guarantee sessions rely on.
+func (e *Engine) runCtx(ctx context.Context, st *genState, r Request, s *dist.Scratch) Result {
 	switch {
 	case r.RQ != nil && r.PQ != nil:
 		return Result{Err: fmt.Errorf("engine: request sets both RQ and PQ")}
 	case r.RQ != nil:
 		if r.Emit != nil {
 			var err error
-			if e.mx != nil {
-				err = r.RQ.StreamMatrix(ctx, e.g, e.mx, e.candSource(), r.Emit)
+			if st.mx != nil {
+				err = r.RQ.StreamMatrix(ctx, st.g, st.mx, st.candSource(), r.Emit)
 			} else {
-				err = r.RQ.StreamBackend(ctx, e.g, e.be, s, e.candSource(), r.Emit)
+				err = r.RQ.StreamBackend(ctx, st.g, st.be, s, st.candSource(), r.Emit)
 			}
 			return Result{Err: err}
 		}
@@ -490,18 +578,18 @@ func (e *Engine) runCtx(ctx context.Context, r Request, s *dist.Scratch) Result 
 			return true
 		}
 		var err error
-		if e.mx != nil {
-			err = r.RQ.StreamMatrix(ctx, e.g, e.mx, e.candSource(), collect)
+		if st.mx != nil {
+			err = r.RQ.StreamMatrix(ctx, st.g, st.mx, st.candSource(), collect)
 		} else {
-			err = r.RQ.StreamBackend(ctx, e.g, e.be, s, e.candSource(), collect)
+			err = r.RQ.StreamBackend(ctx, st.g, st.be, s, st.candSource(), collect)
 		}
 		if err != nil {
 			return Result{Err: err}
 		}
 		return Result{Pairs: pairs}
 	case r.PQ != nil:
-		match, err := pattern.JoinMatchCtx(ctx, e.g, r.PQ, pattern.Options{
-			Matrix: e.mx, Backend: e.be, Scratch: s, Cands: e.candSource(),
+		match, err := pattern.JoinMatchCtx(ctx, st.g, r.PQ, pattern.Options{
+			Matrix: st.mx, Backend: st.be, Scratch: s, Cands: st.candSource(),
 		})
 		if err != nil {
 			return Result{Err: err}

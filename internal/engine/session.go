@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"regraph/internal/dist"
+	"regraph/internal/graph"
 	"regraph/internal/metrics"
 )
 
@@ -112,7 +113,13 @@ type SessionOptions struct {
 // is closed or cancelled and the queue is drained, whether or not the
 // consumer is still reading.
 type Session struct {
-	e      *Engine
+	e *Engine
+	// st is the generation pinned at Open: every request of the session
+	// evaluates against this exact graph/backend/memo bundle, however
+	// many mutation batches commit while the session is open. That is
+	// the session's snapshot isolation — an in-flight stream never sees
+	// a half-applied batch, or any batch at all.
+	st     *genState
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -203,6 +210,7 @@ func (e *Engine) Open(ctx context.Context, opts SessionOptions) *Session {
 	sctx, cancel := context.WithCancel(ctx)
 	s := &Session{
 		e:           e,
+		st:          e.cur.Load(),
 		ctx:         sctx,
 		cancel:      cancel,
 		maxInFlight: m,
@@ -329,6 +337,13 @@ func (s *Session) kickReaper() {
 	default:
 	}
 }
+
+// Generation returns the generation the session pinned at Open — the
+// one every answer of this session describes.
+func (s *Session) Generation() uint64 { return s.st.gen }
+
+// Graph returns the session's pinned graph.
+func (s *Session) Graph() *graph.Graph { return s.st.g }
 
 // Results is the stream of answers, in completion order (not submission
 // order — use Result.ID to correlate). The channel closes once the
@@ -527,7 +542,7 @@ func (s *Session) process(it schedItem) Result {
 		ctx, cancel = context.WithDeadline(s.ctx, it.deadline)
 	}
 	t0 := time.Now()
-	r := s.e.runCtx(ctx, it.req, sc)
+	r := s.e.runCtx(ctx, s.st, it.req, sc)
 	if cancel != nil {
 		cancel()
 	}

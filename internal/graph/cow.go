@@ -1,0 +1,335 @@
+// Copy-on-write generations. Derive returns a successor graph that shares
+// every backing array with its base; the first mutation of any region
+// (a node's adjacency list, one color's posting column, an attribute map)
+// clones just that region into the derived graph. The base is never
+// written through shared storage, so readers holding the base — pinned
+// engine sessions, standing queries mid-refine — observe a stable
+// snapshot while the writer prepares the next generation. Once the
+// writer publishes the successor it seals the base (Seal), turning any
+// later direct mutation into a loud panic instead of a data race.
+//
+// The per-color adjacency index is maintained incrementally in a derived
+// generation (mutators patch outByColor/inByColor in place of the
+// invalidate-and-rebuild path), so Succ/Pred never pay a rebuild after a
+// mutation batch. Postings keep insertion order, which makes a derived
+// index bit-identical to colorIndex run from scratch on the same graph:
+// outByColor[c][v] is the order-preserving filter of out[v] by color c
+// under both constructions.
+package graph
+
+// colorNode keys one posting list of the per-color adjacency index.
+type colorNode struct {
+	c ColorID
+	v NodeID
+}
+
+// cowState records, for one unpublished derived generation, which backing
+// arrays are privately owned (safe to mutate in place) and which are still
+// shared with the base generation. It exists only between Derive and Seal;
+// a nil cowState means the graph owns all its storage (built from scratch)
+// and mutates in place as before.
+type cowState struct {
+	nodes    bool // g.nodes header is private
+	byName   bool
+	colors   bool
+	colorIdx bool
+	out      bool // top-level out slice is private
+	in       bool
+	outBC    bool // top-level outByColor slice is private
+	inBC     bool
+
+	outCols []bool // per color: outByColor[c] (the [node] level) is private
+	inCols  []bool
+
+	outNode map[NodeID]bool    // out[v] is private
+	inNode  map[NodeID]bool    // in[v] is private
+	outCN   map[colorNode]bool // outByColor[c][v] is private
+	inCN    map[colorNode]bool
+	attrs   map[NodeID]bool // nodes[v].Attrs is private
+}
+
+// Derive returns an unsealed copy-on-write successor of g. The successor
+// initially shares all storage with g; mutations clone only what they
+// touch. The base's per-color adjacency index is built first (if it is
+// not already) so both generations share it and the successor can patch
+// its private copies incrementally — a derived graph never invalidates
+// the index wholesale.
+//
+// The caller owns the concurrency contract: g may be read concurrently
+// during and after Derive, but the derived graph must be mutated by one
+// goroutine and published to readers with an appropriate barrier (the
+// engine does both under its write lock).
+func (g *Graph) Derive() *Graph {
+	g.colorIndex()
+	ng := &Graph{
+		nodes:      g.nodes,
+		byName:     g.byName,
+		colors:     g.colors,
+		colorIdx:   g.colorIdx,
+		out:        g.out,
+		in:         g.in,
+		numEdges:   g.numEdges,
+		outByColor: g.outByColor,
+		inByColor:  g.inByColor,
+		cow: &cowState{
+			outCols: make([]bool, len(g.colors)),
+			inCols:  make([]bool, len(g.colors)),
+			outNode: map[NodeID]bool{},
+			inNode:  map[NodeID]bool{},
+			outCN:   map[colorNode]bool{},
+			inCN:    map[colorNode]bool{},
+			attrs:   map[NodeID]bool{},
+		},
+	}
+	ng.indexed.Store(true)
+	ng.epoch.Store(g.epoch.Load())
+	return ng
+}
+
+// Seal freezes the graph: every subsequent mutation panics. The engine
+// seals a generation when it publishes the next one; pinned readers keep
+// using the sealed graph, and the panic converts any stray write into a
+// programming error instead of a racy corruption of shared storage. The
+// copy-on-write bookkeeping is dropped — a sealed generation can still be
+// Derived from (deriving needs no cow state on the base).
+func (g *Graph) Seal() {
+	g.sealed = true
+	g.cow = nil
+}
+
+// Sealed reports whether Seal has been called.
+func (g *Graph) Sealed() bool { return g.sealed }
+
+func (g *Graph) checkMutable() {
+	if g.sealed {
+		panic("graph: mutation of a sealed generation")
+	}
+}
+
+// ---- region cloning ------------------------------------------------------
+
+func (g *Graph) cowNodes() {
+	if !g.cow.nodes {
+		g.nodes = append([]Node(nil), g.nodes...)
+		g.cow.nodes = true
+	}
+}
+
+// cowAttrs makes nodes[v].Attrs private. The base generation keeps the
+// original map; readers of the base never see writes through the clone.
+func (g *Graph) cowAttrs(v NodeID) {
+	g.cowNodes()
+	if g.cow.attrs[v] {
+		return
+	}
+	old := g.nodes[v].Attrs
+	m := make(map[string]string, len(old)+1)
+	for k, val := range old {
+		m[k] = val
+	}
+	g.nodes[v].Attrs = m
+	g.cow.attrs[v] = true
+}
+
+func (g *Graph) cowByName() {
+	if g.cow.byName {
+		return
+	}
+	m := make(map[string]NodeID, len(g.byName)+1)
+	for k, v := range g.byName {
+		m[k] = v
+	}
+	g.byName = m
+	g.cow.byName = true
+}
+
+func (g *Graph) cowOut(v NodeID) {
+	if !g.cow.out {
+		g.out = append([][]Edge(nil), g.out...)
+		g.cow.out = true
+	}
+	if !g.cow.outNode[v] {
+		g.out[v] = append([]Edge(nil), g.out[v]...)
+		g.cow.outNode[v] = true
+	}
+}
+
+func (g *Graph) cowIn(v NodeID) {
+	if !g.cow.in {
+		g.in = append([][]Edge(nil), g.in...)
+		g.cow.in = true
+	}
+	if !g.cow.inNode[v] {
+		g.in[v] = append([]Edge(nil), g.in[v]...)
+		g.cow.inNode[v] = true
+	}
+}
+
+// cowOutBC makes outByColor[c][v] privately writable, growing the color's
+// [node] level if v was added in this generation (columns are grown
+// lazily: Succ/Pred treat an out-of-range node as having no postings).
+func (g *Graph) cowOutBC(c ColorID, v NodeID) {
+	if !g.cow.outBC {
+		g.outByColor = append([][][]NodeID(nil), g.outByColor...)
+		g.cow.outBC = true
+	}
+	if !g.cow.outCols[c] {
+		g.outByColor[c] = append([][]NodeID(nil), g.outByColor[c]...)
+		g.cow.outCols[c] = true
+	}
+	if int(v) >= len(g.outByColor[c]) {
+		grown := make([][]NodeID, len(g.nodes))
+		copy(grown, g.outByColor[c])
+		g.outByColor[c] = grown
+	}
+	key := colorNode{c, v}
+	if !g.cow.outCN[key] {
+		g.outByColor[c][v] = append([]NodeID(nil), g.outByColor[c][v]...)
+		g.cow.outCN[key] = true
+	}
+}
+
+func (g *Graph) cowInBC(c ColorID, v NodeID) {
+	if !g.cow.inBC {
+		g.inByColor = append([][][]NodeID(nil), g.inByColor...)
+		g.cow.inBC = true
+	}
+	if !g.cow.inCols[c] {
+		g.inByColor[c] = append([][]NodeID(nil), g.inByColor[c]...)
+		g.cow.inCols[c] = true
+	}
+	if int(v) >= len(g.inByColor[c]) {
+		grown := make([][]NodeID, len(g.nodes))
+		copy(grown, g.inByColor[c])
+		g.inByColor[c] = grown
+	}
+	key := colorNode{c, v}
+	if !g.cow.inCN[key] {
+		g.inByColor[c][v] = append([]NodeID(nil), g.inByColor[c][v]...)
+		g.cow.inCN[key] = true
+	}
+}
+
+// ---- copy-on-write mutators ----------------------------------------------
+
+func (g *Graph) cowAddNode(name string, attrs map[string]string) NodeID {
+	id := NodeID(len(g.nodes))
+	if attrs == nil {
+		attrs = map[string]string{}
+	}
+	g.cowNodes()
+	g.cowByName()
+	g.nodes = append(g.nodes, Node{Name: name, Attrs: attrs})
+	g.cow.attrs[id] = true // fresh map, nothing shared
+	g.byName[name] = id
+	if !g.cow.out {
+		g.out = append([][]Edge(nil), g.out...)
+		g.cow.out = true
+	}
+	if !g.cow.in {
+		g.in = append([][]Edge(nil), g.in...)
+		g.cow.in = true
+	}
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.cow.outNode[id] = true
+	g.cow.inNode[id] = true
+	// Per-color columns are not extended here; cowOutBC/cowInBC grow them
+	// on the first edge touching the new node, and Succ/Pred bounds-check.
+	g.epoch.Add(1)
+	return id
+}
+
+func (g *Graph) cowInternColor(color string) ColorID {
+	if !g.cow.colors {
+		g.colors = append([]string(nil), g.colors...)
+		g.cow.colors = true
+	}
+	if !g.cow.colorIdx {
+		m := make(map[string]ColorID, len(g.colorIdx)+1)
+		for k, v := range g.colorIdx {
+			m[k] = v
+		}
+		g.colorIdx = m
+		g.cow.colorIdx = true
+	}
+	id := ColorID(len(g.colors))
+	g.colors = append(g.colors, color)
+	g.colorIdx[color] = id
+	if !g.cow.outBC {
+		g.outByColor = append([][][]NodeID(nil), g.outByColor...)
+		g.cow.outBC = true
+	}
+	if !g.cow.inBC {
+		g.inByColor = append([][][]NodeID(nil), g.inByColor...)
+		g.cow.inBC = true
+	}
+	g.outByColor = append(g.outByColor, nil)
+	g.inByColor = append(g.inByColor, nil)
+	g.cow.outCols = append(g.cow.outCols, true) // nil column: nothing shared
+	g.cow.inCols = append(g.cow.inCols, true)
+	g.epoch.Add(1)
+	return id
+}
+
+func (g *Graph) cowAddEdge(from, to NodeID, c ColorID) {
+	g.cowOut(from)
+	g.out[from] = append(g.out[from], Edge{To: to, Color: c})
+	g.cowIn(to)
+	g.in[to] = append(g.in[to], Edge{To: from, Color: c})
+	g.numEdges++
+	g.cowOutBC(c, from)
+	g.outByColor[c][from] = append(g.outByColor[c][from], to)
+	g.cowInBC(c, to)
+	g.inByColor[c][to] = append(g.inByColor[c][to], from)
+	g.epoch.Add(1)
+}
+
+func (g *Graph) cowRemoveEdge(from, to NodeID, c ColorID, idx int) {
+	g.cowOut(from)
+	g.out[from] = append(g.out[from][:idx], g.out[from][idx+1:]...)
+	g.cowIn(to)
+	for i, e := range g.in[to] {
+		if e.To == from && e.Color == c {
+			g.in[to] = append(g.in[to][:i], g.in[to][i+1:]...)
+			break
+		}
+	}
+	g.numEdges--
+	// outByColor[c][from] is out[from] filtered by c in order, so the
+	// first (to,c) match in out[from] is the first `to` posting here.
+	g.cowOutBC(c, from)
+	col := g.outByColor[c][from]
+	for i, w := range col {
+		if w == to {
+			g.outByColor[c][from] = append(col[:i], col[i+1:]...)
+			break
+		}
+	}
+	g.cowInBC(c, to)
+	col = g.inByColor[c][to]
+	for i, w := range col {
+		if w == from {
+			g.inByColor[c][to] = append(col[:i], col[i+1:]...)
+			break
+		}
+	}
+	g.epoch.Add(1)
+}
+
+// SetAttr sets (or overwrites) one attribute of an existing node. On a
+// derived generation the node's attribute map is cloned first, so the
+// base generation's tuple is untouched. Panics on an out-of-range ID (a
+// programming error; the mutation log validates names before resolving
+// them to IDs).
+func (g *Graph) SetAttr(id NodeID, key, value string) {
+	g.checkMutable()
+	if int(id) >= len(g.nodes) || id < 0 {
+		panic("graph: SetAttr out of range")
+	}
+	if g.cow != nil {
+		g.cowAttrs(id)
+	}
+	g.nodes[id].Attrs[key] = value
+	g.epoch.Add(1)
+}

@@ -71,6 +71,13 @@ type Graph struct {
 	// Atomic so concurrent readers of an un-mutated graph stay race-free;
 	// mutations themselves still require external exclusion.
 	epoch atomic.Uint64
+
+	// Copy-on-write generation support (see cow.go). cow is non-nil
+	// between Derive and Seal and records which backing arrays are
+	// private to this generation; sealed turns further mutation into a
+	// panic once a successor generation has been published.
+	cow    *cowState
+	sealed bool
 }
 
 // Epoch returns the graph's mutation counter. Any mutation (AddNode,
@@ -94,6 +101,10 @@ func (g *Graph) AddNode(name string, attrs map[string]string) NodeID {
 	if id, ok := g.byName[name]; ok {
 		return id
 	}
+	g.checkMutable()
+	if g.cow != nil {
+		return g.cowAddNode(name, attrs)
+	}
 	id := NodeID(len(g.nodes))
 	if attrs == nil {
 		attrs = map[string]string{}
@@ -115,6 +126,10 @@ func (g *Graph) InternColor(color string) ColorID {
 	}
 	if id, ok := g.colorIdx[color]; ok {
 		return id
+	}
+	g.checkMutable()
+	if g.cow != nil {
+		return g.cowInternColor(color)
 	}
 	id := ColorID(len(g.colors))
 	g.colors = append(g.colors, color)
@@ -155,9 +170,14 @@ func (g *Graph) AddEdge(from, to NodeID, color string) {
 	if int(from) >= len(g.nodes) || int(to) >= len(g.nodes) || from < 0 || to < 0 {
 		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range (n=%d)", from, to, len(g.nodes)))
 	}
+	g.checkMutable()
 	c := g.InternColor(color)
 	if c == AnyColor {
 		panic("graph: the wildcard \"_\" is not a valid concrete edge color")
+	}
+	if g.cow != nil {
+		g.cowAddEdge(from, to, c)
+		return
 	}
 	g.out[from] = append(g.out[from], Edge{To: to, Color: c})
 	g.in[to] = append(g.in[to], Edge{To: from, Color: c})
@@ -183,6 +203,11 @@ func (g *Graph) RemoveEdge(from, to NodeID, color string) bool {
 	}
 	if idx < 0 {
 		return false
+	}
+	g.checkMutable()
+	if g.cow != nil {
+		g.cowRemoveEdge(from, to, c, idx)
+		return true
 	}
 	g.out[from] = append(g.out[from][:idx], g.out[from][idx+1:]...)
 	for i, e := range g.in[to] {
@@ -277,7 +302,13 @@ func (g *Graph) Succ(v NodeID, c ColorID) []NodeID {
 		return out
 	}
 	g.colorIndex()
-	return g.outByColor[c][v]
+	bc := g.outByColor[c]
+	if int(v) >= len(bc) {
+		// Node added to a derived generation after the column was built;
+		// its postings live only in columns grown by cowOutBC.
+		return nil
+	}
+	return bc[v]
 }
 
 // Pred returns the predecessors of v via edges of color c (all colors when
@@ -291,7 +322,11 @@ func (g *Graph) Pred(v NodeID, c ColorID) []NodeID {
 		return out
 	}
 	g.colorIndex()
-	return g.inByColor[c][v]
+	bc := g.inByColor[c]
+	if int(v) >= len(bc) {
+		return nil
+	}
+	return bc[v]
 }
 
 // Unreachable is the distance reported by BFS for unreachable nodes.

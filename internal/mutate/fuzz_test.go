@@ -1,0 +1,76 @@
+package mutate
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary multi-line input at the mutation decoder.
+// Invariants: the decoder never panics; every error is either io.EOF, a
+// recoverable *LineError (after which Next keeps working), or a
+// stream-level failure that is sticky; accepted ops validate and
+// round-trip through both their JSON and text renderings.
+func FuzzDecode(f *testing.F) {
+	f.Add(`{"op":"add_node","node":"alice","attrs":{"job":"doctor"}}`)
+	f.Add("add_node bob age=41\nadd_edge alice bob fn\nremove_edge alice bob fn")
+	f.Add("# comment\n\nset_attr alice job=surgeon\n{\"id\":7,\"op\":\"add_edge\",\"from\":\"a\",\"to\":\"b\",\"color\":\"c\"}")
+	f.Add("{broken\nadd_node ok\nfrobnicate\nadd_edge a b _\n")
+	f.Add(`set_attr n status="on leave" k=""`)
+	f.Add("{\"op\":\"add_edge\",\"from\":\"a\"}\nadd_node after")
+	f.Fuzz(func(t *testing.T, input string) {
+		dec := NewDecoder(strings.NewReader(input))
+		for i := 0; i < 10000; i++ {
+			op, err := dec.Next()
+			if err == io.EOF {
+				return
+			}
+			var le *LineError
+			if err != nil {
+				if errors.As(err, &le) {
+					continue // recoverable: keep decoding
+				}
+				// Stream-level failure must be sticky.
+				if _, err2 := dec.Next(); err2 == nil {
+					t.Fatalf("stream error %v followed by successful Next", err)
+				}
+				return
+			}
+			if op.ID == nil {
+				t.Fatalf("accepted op without id: %+v", op)
+			}
+			if verr := op.Validate(); verr != nil {
+				t.Fatalf("decoder returned invalid op %+v: %v", op, verr)
+			}
+			// JSON round-trip.
+			b, merr := json.Marshal(op)
+			if merr != nil {
+				t.Fatalf("marshal %+v: %v", op, merr)
+			}
+			var back Op
+			if uerr := json.Unmarshal(b, &back); uerr != nil {
+				t.Fatalf("unmarshal %s: %v", b, uerr)
+			}
+			// Text round-trip: rendered line must decode to the same
+			// fields (id is ordinal-assigned, so compare the rest).
+			line := op.Text()
+			d2 := NewDecoder(strings.NewReader(line))
+			got, terr := d2.Next()
+			if terr != nil {
+				t.Fatalf("op %+v rendered %q fails to decode: %v", op, line, terr)
+			}
+			got.ID, op.ID = nil, nil
+			if got.Verb != op.Verb || got.Node != op.Node || got.From != op.From ||
+				got.To != op.To || got.Color != op.Color || len(got.Attrs) != len(op.Attrs) {
+				t.Fatalf("text round-trip drift: %+v -> %q -> %+v", op, line, got)
+			}
+			for k, v := range op.Attrs {
+				if got.Attrs[k] != v {
+					t.Fatalf("text round-trip attr drift at %q: %+v -> %q -> %+v", k, op, line, got)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,292 @@
+// Package mutate defines the NDJSON mutation log: the write-path wire
+// format applied through the engine's single-writer apply loop
+// (Engine.Apply) and served as POST /v1/mutate. It mirrors
+// internal/wire's request/response discipline — one JSON object per
+// line, ordinal ids for lines that carry none, malformed lines reported
+// as recoverable per-line errors so the stream continues.
+//
+// A request line is one mutation op:
+//
+//	{"op":"add_node","node":"alice","attrs":{"job":"doctor"}}
+//	{"op":"set_attr","node":"alice","attrs":{"job":"surgeon"}}
+//	{"id":7,"op":"add_edge","from":"alice","to":"bob","color":"fn"}
+//	{"op":"remove_edge","from":"alice","to":"bob","color":"fn"}
+//
+// Lines whose first non-blank character is not '{' are parsed as the
+// qlang text form instead ("add_edge alice bob fn" — see
+// qlang.ParseMutLine), so mutation scripts can be written by hand;
+// '#' comments are allowed.
+//
+// The response is one ack line per op, then a trailing summary line:
+//
+//	{"id":0,"op":"add_node","gen":3}
+//	{"id":1,"op":"add_edge","error":"mutate: unknown node \"zz\""}
+//	{"kind":"summary","gen":3,"applied":1,"failed":1,"nodes":9,"edges":12}
+//
+// Failed ops are skipped, not fatal: the rest of the batch still
+// commits (per-op atomicity inside an atomically-published generation).
+// The schema is pinned by golden files (testdata/*.golden).
+package mutate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"regraph/internal/qlang"
+)
+
+// MaxLineBytes bounds one mutation line, mirroring wire.MaxLineBytes: a
+// line-oriented reader cannot resynchronize past an oversized record.
+const MaxLineBytes = 1 << 20
+
+// The mutation verbs.
+const (
+	VerbAddNode    = "add_node"
+	VerbSetAttr    = "set_attr"
+	VerbAddEdge    = "add_edge"
+	VerbRemoveEdge = "remove_edge"
+)
+
+// Op is one mutation line. Node/Attrs are the add_node and set_attr
+// fields; From/To/Color the edge-verb fields. Nodes are addressed by
+// name, never by ID — IDs are an engine-internal, generation-relative
+// notion.
+type Op struct {
+	// ID tags the op's ack. Optional: the decoder assigns the line's
+	// 0-based ordinal when absent.
+	ID *uint64 `json:"id,omitempty"`
+
+	// Verb is one of the Verb* constants.
+	Verb string `json:"op"`
+
+	// Node names the target of add_node (must be new) or set_attr (must
+	// exist).
+	Node string `json:"node,omitempty"`
+
+	// Attrs are add_node's initial attributes or set_attr's assignments
+	// (set_attr overwrites listed keys and leaves others alone).
+	Attrs map[string]string `json:"attrs,omitempty"`
+
+	// From/To/Color describe the edge for add_edge/remove_edge. Nodes
+	// must exist; remove_edge removes one edge matching all three.
+	From  string `json:"from,omitempty"`
+	To    string `json:"to,omitempty"`
+	Color string `json:"color,omitempty"`
+}
+
+// fieldOK reports whether s can stand as one whitespace-delimited field
+// of the text form: non-empty, no spaces, no control characters. Names,
+// colors and attribute keys must all satisfy it so JSON and text lines
+// describe the same universe of mutations.
+func fieldOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] <= ' ' || s[i] == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+func checkAttrs(verb string, attrs map[string]string) error {
+	for k := range attrs {
+		if !fieldOK(k) || strings.ContainsRune(k, '=') {
+			return fmt.Errorf("mutate: %s: bad attribute key %q", verb, k)
+		}
+	}
+	return nil
+}
+
+// Validate checks the op's shape (the field constraints a line must
+// satisfy regardless of graph state; name resolution happens at apply
+// time and yields per-op ack errors instead). Node names, colors and
+// attribute keys must be single whitespace-free tokens — the text form
+// cannot express anything else, and the two forms stay interchangeable.
+func (o *Op) Validate() error {
+	switch o.Verb {
+	case VerbAddNode:
+		if !fieldOK(o.Node) {
+			return fmt.Errorf("mutate: add_node needs a whitespace-free node name")
+		}
+		if o.From != "" || o.To != "" || o.Color != "" {
+			return fmt.Errorf("mutate: add_node takes node and attrs only")
+		}
+		return checkAttrs(o.Verb, o.Attrs)
+	case VerbSetAttr:
+		if !fieldOK(o.Node) {
+			return fmt.Errorf("mutate: set_attr needs a whitespace-free node name")
+		}
+		if len(o.Attrs) == 0 {
+			return fmt.Errorf("mutate: set_attr needs at least one attribute")
+		}
+		if o.From != "" || o.To != "" || o.Color != "" {
+			return fmt.Errorf("mutate: set_attr takes node and attrs only")
+		}
+		return checkAttrs(o.Verb, o.Attrs)
+	case VerbAddEdge, VerbRemoveEdge:
+		if !fieldOK(o.From) || !fieldOK(o.To) || !fieldOK(o.Color) {
+			return fmt.Errorf("mutate: %s needs whitespace-free from, to and color", o.Verb)
+		}
+		if o.Color == "_" {
+			return fmt.Errorf("mutate: the wildcard %q is not a concrete edge color", "_")
+		}
+		if o.Node != "" || len(o.Attrs) != 0 {
+			return fmt.Errorf("mutate: %s takes from, to and color only", o.Verb)
+		}
+	case "":
+		return fmt.Errorf("mutate: missing op verb")
+	default:
+		return fmt.Errorf("mutate: unknown op %q", o.Verb)
+	}
+	return nil
+}
+
+// Ack is one response line: the fate of one op. Gen is the generation
+// the op's batch committed as (0 — the pre-write generation — never
+// acks a successful op). Failed ops carry Err and no Gen.
+type Ack struct {
+	ID   uint64 `json:"id"`
+	Verb string `json:"op,omitempty"`
+	Gen  uint64 `json:"gen,omitempty"`
+	Err  string `json:"error,omitempty"`
+}
+
+// Summary is the trailing response line of a mutation stream: totals
+// across every batch the request committed, and the graph size after
+// the last one. Kind is always "summary", which is how clients tell it
+// apart from acks.
+type Summary struct {
+	Kind    string `json:"kind"`
+	Gen     uint64 `json:"gen"`
+	Applied int    `json:"applied"`
+	Failed  int    `json:"failed"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	// Err reports a stream-level failure (unreadable body, engine not
+	// mutable); per-op failures are ack errors, not this.
+	Err string `json:"error,omitempty"`
+}
+
+// SummaryKind is the Kind value of a Summary line.
+const SummaryKind = "summary"
+
+// LineError reports one malformed mutation line. It is recoverable: the
+// decoder has consumed the line and Next may be called again.
+type LineError struct {
+	Line int // physical line number, 1-based
+	Err  error
+}
+
+func (e *LineError) Error() string { return fmt.Sprintf("mutate: line %d: %v", e.Line, e.Err) }
+func (e *LineError) Unwrap() error { return e.Err }
+
+// Decoder reads mutation lines, JSON or qlang text form. Blank lines
+// and '#' comments are skipped; a malformed line yields a *LineError
+// (recoverable — keep calling Next) together with an Op carrying the
+// line's assigned ordinal so the caller can ack the failure; any other
+// error is a stream-level failure.
+type Decoder struct {
+	sc   *bufio.Scanner
+	line int
+	ord  uint64
+}
+
+// NewDecoder wraps r in a mutation decoder accepting lines up to
+// MaxLineBytes.
+func NewDecoder(r io.Reader) *Decoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), MaxLineBytes)
+	return &Decoder{sc: sc}
+}
+
+// Next returns the next op. At end of input it returns io.EOF.
+func (d *Decoder) Next() (Op, error) {
+	for d.sc.Scan() {
+		d.line++
+		text := strings.TrimSpace(d.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		id := d.ord
+		d.ord++
+		var op Op
+		if text[0] == '{' {
+			if err := json.Unmarshal([]byte(text), &op); err != nil {
+				return Op{ID: &id}, &LineError{Line: d.line, Err: err}
+			}
+		} else {
+			m, err := qlang.ParseMutLine(text)
+			if err != nil {
+				return Op{ID: &id}, &LineError{Line: d.line, Err: err}
+			}
+			op = Op{Verb: m.Verb, Node: m.Node, From: m.From, To: m.To, Color: m.Color, Attrs: m.Attrs}
+		}
+		if op.ID == nil {
+			op.ID = &id
+		}
+		if err := op.Validate(); err != nil {
+			return op, &LineError{Line: d.line, Err: err}
+		}
+		return op, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return Op{}, fmt.Errorf("mutate: read: %w", err)
+	}
+	return Op{}, io.EOF
+}
+
+// flusher / errFlusher mirror wire.Encoder's: each ack reaches a
+// streaming client the moment it is written.
+type flusher interface{ Flush() }
+
+type errFlusher interface{ Flush() error }
+
+// Encoder writes ack and summary lines; safe for concurrent use and
+// flushing per line when the writer supports it.
+type Encoder struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	f   flusher
+	ef  errFlusher
+}
+
+// NewEncoder wraps w in an ack encoder.
+func NewEncoder(w io.Writer) *Encoder {
+	e := &Encoder{enc: json.NewEncoder(w)}
+	switch f := w.(type) {
+	case flusher:
+		e.f = f
+	case errFlusher:
+		e.ef = f
+	}
+	return e
+}
+
+// Encode writes one line (an Ack or a Summary).
+func (e *Encoder) Encode(v any) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.enc.Encode(v); err != nil {
+		return err
+	}
+	if e.f != nil {
+		e.f.Flush()
+	} else if e.ef != nil {
+		return e.ef.Flush()
+	}
+	return nil
+}
+
+// Text renders an op in the qlang text form (round-tripping through
+// ParseMutLine), for script generation and error messages.
+func (o *Op) Text() string {
+	return qlang.FormatMut(qlang.Mut{
+		Verb: o.Verb, Node: o.Node, From: o.From, To: o.To, Color: o.Color, Attrs: o.Attrs,
+	})
+}

@@ -1,0 +1,259 @@
+package mutate
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the mutation-schema golden files")
+
+func u64(v uint64) *uint64 { return &v }
+
+// goldenOps are the canonical mutation request lines: every verb, with
+// and without explicit ids. Pinned byte-for-byte by testdata/ops.golden.
+func goldenOps() []Op {
+	return []Op{
+		{Verb: VerbAddNode, Node: "alice", Attrs: map[string]string{"job": "doctor"}},
+		{Verb: VerbAddNode, Node: "bob"},
+		{ID: u64(7), Verb: VerbSetAttr, Node: "alice", Attrs: map[string]string{"job": "surgeon"}},
+		{Verb: VerbAddEdge, From: "alice", To: "bob", Color: "fn"},
+		{ID: u64(9), Verb: VerbRemoveEdge, From: "alice", To: "bob", Color: "fn"},
+	}
+}
+
+// goldenAcks are the canonical response lines: success, per-op failure,
+// and the trailing summary. Pinned by testdata/acks.golden.
+func goldenAcks() []any {
+	return []any{
+		Ack{ID: 0, Verb: VerbAddNode, Gen: 3},
+		Ack{ID: 1, Verb: VerbAddEdge, Err: `mutate: unknown node "zz"`},
+		Summary{Kind: SummaryKind, Gen: 3, Applied: 1, Failed: 1, Nodes: 9, Edges: 12},
+		Summary{Kind: SummaryKind, Gen: 0, Err: "mutate: read-only engine"},
+	}
+}
+
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: mutation schema drifted.\n got:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestGoldenOps pins the request schema: fixtures encode to the golden
+// bytes, and the golden bytes decode back to the fixtures.
+func TestGoldenOps(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, o := range goldenOps() {
+		if err := enc.Encode(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goldenCompare(t, "ops.golden", buf.Bytes())
+
+	data, err := os.ReadFile(filepath.Join("testdata", "ops.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(bytes.NewReader(data))
+	want := goldenOps()
+	// Decoding fills the id-less fixtures with their line ordinals.
+	want[0].ID = u64(0)
+	want[1].ID = u64(1)
+	want[3].ID = u64(3)
+	for i := range want {
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("op %d: decoded %+v, want %+v", i, got, want[i])
+		}
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("trailing Next() = %v, want io.EOF", err)
+	}
+}
+
+// TestGoldenAcks pins the ack and summary schema byte for byte.
+func TestGoldenAcks(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, a := range goldenAcks() {
+		if err := enc.Encode(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goldenCompare(t, "acks.golden", buf.Bytes())
+}
+
+// TestDecoderMixedForms: JSON lines, text lines, comments and blanks
+// interleave in one stream; ordinals count ops, not physical lines.
+func TestDecoderMixedForms(t *testing.T) {
+	in := strings.Join([]string{
+		"# a mutation script",
+		`{"op":"add_node","node":"alice","attrs":{"job":"doctor"}}`,
+		"",
+		"add_node bob age=41",
+		`add_edge alice bob fn`,
+		"   # indented comment",
+		`{"id":99,"op":"remove_edge","from":"alice","to":"bob","color":"fn"}`,
+		`set_attr bob status="on leave"`,
+	}, "\n")
+	dec := NewDecoder(strings.NewReader(in))
+	want := []Op{
+		{ID: u64(0), Verb: VerbAddNode, Node: "alice", Attrs: map[string]string{"job": "doctor"}},
+		{ID: u64(1), Verb: VerbAddNode, Node: "bob", Attrs: map[string]string{"age": "41"}},
+		{ID: u64(2), Verb: VerbAddEdge, From: "alice", To: "bob", Color: "fn"},
+		{ID: u64(99), Verb: VerbRemoveEdge, From: "alice", To: "bob", Color: "fn"},
+		{ID: u64(4), Verb: VerbSetAttr, Node: "bob", Attrs: map[string]string{"status": "on leave"}},
+	}
+	for i, w := range want {
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if got.Attrs != nil && len(got.Attrs) == 0 {
+			got.Attrs = nil
+		}
+		if !reflect.DeepEqual(got, w) {
+			t.Errorf("op %d: %+v, want %+v", i, got, w)
+		}
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("trailing Next() = %v, want io.EOF", err)
+	}
+}
+
+// TestDecoderRecoverableErrors: malformed lines yield *LineError with
+// the right line number and an op carrying the assigned ordinal, and the
+// stream continues.
+func TestDecoderRecoverableErrors(t *testing.T) {
+	in := strings.Join([]string{
+		`{"op":"add_node","node":"a"}`,                      // line 1, id 0: ok
+		`{broken json`,                                      // line 2, id 1: JSON error
+		`frobnicate x`,                                      // line 3, id 2: unknown verb
+		`{"op":"add_edge","from":"a"}`,                      // line 4, id 3: validation error
+		`{"op":"add_edge","from":"a","to":"b","color":"_"}`, // line 5, id 4: wildcard color
+		`add_node b`,                                        // line 6, id 5: ok
+	}, "\n")
+	dec := NewDecoder(strings.NewReader(in))
+
+	op, err := dec.Next()
+	if err != nil || *op.ID != 0 {
+		t.Fatalf("op 0: %+v, %v", op, err)
+	}
+	for _, want := range []struct {
+		line int
+		id   uint64
+	}{{2, 1}, {3, 2}, {4, 3}, {5, 4}} {
+		op, err := dec.Next()
+		var le *LineError
+		if !errors.As(err, &le) {
+			t.Fatalf("line %d: err = %v, want *LineError", want.line, err)
+		}
+		if le.Line != want.line {
+			t.Errorf("LineError.Line = %d, want %d", le.Line, want.line)
+		}
+		if op.ID == nil || *op.ID != want.id {
+			t.Errorf("failed op id = %v, want %d", op.ID, want.id)
+		}
+	}
+	op, err = dec.Next()
+	if err != nil || *op.ID != 5 || op.Node != "b" {
+		t.Fatalf("recovery op: %+v, %v", op, err)
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("trailing Next() = %v, want io.EOF", err)
+	}
+}
+
+// TestDecoderOversizedLine: a line past MaxLineBytes is a stream-level
+// failure, not a recoverable one (the reader cannot resynchronize).
+func TestDecoderOversizedLine(t *testing.T) {
+	in := `{"op":"add_node","node":"` + strings.Repeat("x", MaxLineBytes) + `"}`
+	dec := NewDecoder(strings.NewReader(in))
+	_, err := dec.Next()
+	if err == nil || err == io.EOF {
+		t.Fatalf("err = %v, want stream error", err)
+	}
+	var le *LineError
+	if errors.As(err, &le) {
+		t.Fatalf("oversized line reported as recoverable: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Op{
+		{},
+		{Verb: "nope"},
+		{Verb: VerbAddNode},
+		{Verb: VerbAddNode, Node: "a", From: "b"},
+		{Verb: VerbSetAttr, Node: "a"},
+		{Verb: VerbSetAttr, Attrs: map[string]string{"k": "v"}},
+		{Verb: VerbSetAttr, Node: "a", Attrs: map[string]string{"k": "v"}, Color: "c"},
+		{Verb: VerbAddEdge, From: "a", To: "b"},
+		{Verb: VerbAddEdge, From: "a", To: "b", Color: "_"},
+		{Verb: VerbAddEdge, From: "a", To: "b", Color: "c", Node: "x"},
+		{Verb: VerbRemoveEdge, To: "b", Color: "c"},
+		{Verb: VerbRemoveEdge, From: "a", To: "b", Color: "c", Attrs: map[string]string{"k": "v"}},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", o)
+		}
+	}
+	good := []Op{
+		{Verb: VerbAddNode, Node: "a"},
+		{Verb: VerbAddNode, Node: "a", Attrs: map[string]string{"k": "v"}},
+		{Verb: VerbSetAttr, Node: "a", Attrs: map[string]string{"k": ""}},
+		{Verb: VerbAddEdge, From: "a", To: "b", Color: "c"},
+		{Verb: VerbRemoveEdge, From: "a", To: "b", Color: "c"},
+	}
+	for _, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", o, err)
+		}
+	}
+}
+
+// TestOpText: ops render to the text form and decode back identically.
+func TestOpText(t *testing.T) {
+	for i, o := range goldenOps() {
+		line := o.Text()
+		dec := NewDecoder(strings.NewReader(line))
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("op %d: text %q: %v", i, line, err)
+		}
+		want := o
+		want.ID = u64(0) // text form carries no id; decoder assigns ordinal
+		if got.Attrs != nil && len(got.Attrs) == 0 {
+			got.Attrs = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("op %d: %+v -> %q -> %+v", i, o, line, got)
+		}
+	}
+}

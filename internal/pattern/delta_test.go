@@ -1,0 +1,182 @@
+package pattern_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"regraph/internal/graph"
+	"regraph/internal/pattern"
+	"regraph/internal/predicate"
+	"regraph/internal/rex"
+)
+
+// churnGraph builds a random attributed multigraph over the colors the
+// delta tests mutate.
+func churnGraph(r *rand.Rand, n int, colors []string) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("v%d", i), map[string]string{
+			"t": fmt.Sprint(r.Intn(4)),
+			"w": fmt.Sprint(r.Intn(5)),
+		})
+	}
+	for i := 0; i < n*3; i++ {
+		g.AddEdge(graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n)), colors[r.Intn(len(colors))])
+	}
+	return g
+}
+
+// randomBatch applies a random mutation batch to a Derive of g and
+// returns the new generation plus the pattern.Delta describing it, built
+// exactly as the engine's apply loop builds it.
+func randomBatch(r *rand.Rand, g *graph.Graph, colors []string, genNo int) (*graph.Graph, pattern.Delta) {
+	ng := g.Derive()
+	var d pattern.Delta
+	attrChanged := map[graph.NodeID]bool{}
+	oldN := ng.NumNodes()
+	nops := 1 + r.Intn(6)
+	for i := 0; i < nops; i++ {
+		switch r.Intn(4) {
+		case 0: // add_edge
+			from := graph.NodeID(r.Intn(ng.NumNodes()))
+			to := graph.NodeID(r.Intn(ng.NumNodes()))
+			color := colors[r.Intn(len(colors))]
+			ng.AddEdge(from, to, color)
+			c, _ := ng.ColorID(color)
+			d.AddedEdges = append(d.AddedEdges, pattern.DeltaEdge{From: from, To: to, Color: c})
+		case 1: // remove_edge (pick an existing one when possible)
+			v := graph.NodeID(r.Intn(ng.NumNodes()))
+			outs := ng.Out(v)
+			if len(outs) == 0 {
+				continue
+			}
+			e := outs[r.Intn(len(outs))]
+			color := ng.ColorName(e.Color)
+			if !ng.RemoveEdge(v, e.To, color) {
+				continue
+			}
+			d.RemovedEdges = append(d.RemovedEdges, pattern.DeltaEdge{From: v, To: e.To, Color: e.Color})
+		case 2: // set_attr
+			v := graph.NodeID(r.Intn(ng.NumNodes()))
+			key := []string{"t", "w"}[r.Intn(2)]
+			ng.SetAttr(v, key, fmt.Sprint(r.Intn(5)))
+			if int(v) < oldN {
+				attrChanged[v] = true
+			}
+		case 3: // add_node (sometimes with an edge to wire it in)
+			id := ng.AddNode(fmt.Sprintf("g%dn%d", genNo, i), map[string]string{
+				"t": fmt.Sprint(r.Intn(4)),
+				"w": fmt.Sprint(r.Intn(5)),
+			})
+			d.AddedNodes = append(d.AddedNodes, id)
+			if r.Intn(2) == 0 {
+				to := graph.NodeID(r.Intn(oldN))
+				color := colors[r.Intn(len(colors))]
+				ng.AddEdge(id, to, color)
+				c, _ := ng.ColorID(color)
+				d.AddedEdges = append(d.AddedEdges, pattern.DeltaEdge{From: id, To: to, Color: c})
+			}
+		}
+	}
+	for v := range attrChanged {
+		d.AttrChanged = append(d.AttrChanged, v)
+	}
+	return ng, d
+}
+
+// deltaQueries is a spread of patterns over the churn graphs: DAG-bounded
+// (the locality path), a cyclic pattern (the full-recompute path), and a
+// wildcard one.
+func deltaQueries() []*pattern.Query {
+	var qs []*pattern.Query
+
+	q1 := pattern.New()
+	a := q1.AddNode("A", predicate.MustParse("t = 1"))
+	b := q1.AddNode("B", predicate.MustParse("t = 2"))
+	q1.AddEdge(a, b, rex.MustParse("x{2}"))
+	qs = append(qs, q1)
+
+	q2 := pattern.New()
+	a = q2.AddNode("A", predicate.MustParse("w >= 2"))
+	b = q2.AddNode("B", predicate.MustParse("t = 0"))
+	c := q2.AddNode("C", predicate.MustParse("w <= 3"))
+	q2.AddEdge(a, b, rex.MustParse("x{2}"))
+	q2.AddEdge(a, c, rex.MustParse("y{3}"))
+	q2.AddEdge(b, c, rex.MustParse("_{2}")) // wildcard atom
+	qs = append(qs, q2)
+
+	q3 := pattern.New() // cyclic: exercises the full-recompute fallback
+	a = q3.AddNode("A", predicate.MustParse("t = 1"))
+	b = q3.AddNode("B", predicate.MustParse("t = 2"))
+	q3.AddEdge(a, b, rex.MustParse("x{2}"))
+	q3.AddEdge(b, a, rex.MustParse("y{2}"))
+	qs = append(qs, q3)
+
+	return qs
+}
+
+// TestApplyCommittedMatchesFresh is the oracle property for the engine's
+// standing-query path: across chains of random committed batches on
+// copy-on-write generations, ApplyCommitted must keep the answer
+// bit-identical to a fresh JoinMatch of each generation.
+func TestApplyCommittedMatchesFresh(t *testing.T) {
+	colors := []string{"x", "y"}
+	for qi, q := range deltaQueries() {
+		for seed := int64(0); seed < 6; seed++ {
+			r := rand.New(rand.NewSource(900 + seed))
+			g := churnGraph(r, 25+r.Intn(40), colors)
+			inc, err := pattern.NewIncremental(g, q)
+			if err != nil {
+				t.Fatalf("query %d seed %d: %v", qi, seed, err)
+			}
+			if fresh := pattern.JoinMatch(g, q, pattern.Options{}); !inc.Result().Equal(fresh) {
+				t.Fatalf("query %d seed %d: initial answer differs", qi, seed)
+			}
+			for gen := 0; gen < 15; gen++ {
+				ng, d := randomBatch(r, g, colors, gen)
+				changed := inc.ApplyCommitted(ng, d)
+				fresh := pattern.JoinMatch(ng, q, pattern.Options{})
+				got := inc.Result()
+				if !got.Equal(fresh) {
+					t.Fatalf("query %d seed %d gen %d (changed=%v): incremental %s != fresh %s (delta %+v)",
+						qi, seed, gen, changed, got.String(ng), fresh.String(ng), d)
+				}
+				g.Seal()
+				g = ng
+			}
+		}
+	}
+}
+
+// TestApplyCommittedIrrelevantSkips: a batch of edges in a color the
+// pattern never mentions must report unchanged without recomputation.
+func TestApplyCommittedIrrelevantSkips(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	colors := []string{"x", "y", "z"}
+	g := churnGraph(r, 30, colors)
+	q := pattern.New()
+	a := q.AddNode("A", predicate.MustParse("t = 1"))
+	b := q.AddNode("B", predicate.MustParse("t = 2"))
+	q.AddEdge(a, b, rex.MustParse("x{2}"))
+	inc, err := pattern.NewIncremental(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := inc.Result()
+
+	ng := g.Derive()
+	ng.AddEdge(0, 1, "z")
+	ng.AddEdge(2, 3, "z")
+	c, _ := ng.ColorID("z")
+	d := pattern.Delta{AddedEdges: []pattern.DeltaEdge{{From: 0, To: 1, Color: c}, {From: 2, To: 3, Color: c}}}
+	if inc.ApplyCommitted(ng, d) {
+		t.Fatal("irrelevant-color batch reported a change")
+	}
+	if !inc.Result().Equal(before) {
+		t.Fatal("irrelevant-color batch changed the answer")
+	}
+	if !inc.Result().Equal(pattern.JoinMatch(ng, q, pattern.Options{})) {
+		t.Fatal("answer diverged from fresh evaluation")
+	}
+}

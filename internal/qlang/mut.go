@@ -1,0 +1,140 @@
+package qlang
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Mut is one parsed textual mutation line — the qlang counterpart of a
+// JSON mutation op (internal/mutate converts between the two). Exactly
+// the fields relevant to Verb are set.
+type Mut struct {
+	Verb  string // "add_node", "set_attr", "add_edge", "remove_edge"
+	Node  string // add_node / set_attr
+	From  string // add_edge / remove_edge
+	To    string
+	Color string
+	Attrs map[string]string // add_node initial attrs / set_attr assignments
+}
+
+// ParseMutLine parses the text form of one mutation:
+//
+//	add_node <name> [key=value]...
+//	set_attr <node> <key>=<value>...
+//	add_edge <from> <to> <color>
+//	remove_edge <from> <to> <color>
+//
+// Fields are separated by tabs or runs of spaces, like the rest of
+// qlang. Attribute values containing whitespace (or starting with a
+// quote) use %q quoting: status="on leave".
+func ParseMutLine(line string) (Mut, error) {
+	if strings.ContainsAny(line, "\n\r") {
+		return Mut{}, fmt.Errorf("qlang: mutation line contains a line break")
+	}
+	verb, rest := splitField(line)
+	switch verb {
+	case "add_node", "set_attr":
+		name, attrSrc := splitField(rest)
+		if name == "" {
+			return Mut{}, fmt.Errorf("qlang: %s needs a node name", verb)
+		}
+		attrs, err := parseAttrList(attrSrc)
+		if err != nil {
+			return Mut{}, err
+		}
+		if verb == "set_attr" && len(attrs) == 0 {
+			return Mut{}, fmt.Errorf("qlang: set_attr needs at least one key=value")
+		}
+		return Mut{Verb: verb, Node: name, Attrs: attrs}, nil
+	case "add_edge", "remove_edge":
+		from, rest2 := splitField(rest)
+		to, color := splitField(rest2)
+		if from == "" || to == "" || color == "" {
+			return Mut{}, fmt.Errorf("qlang: %s needs from, to and a color", verb)
+		}
+		if strings.ContainsAny(color, " \t") {
+			return Mut{}, fmt.Errorf("qlang: %s: trailing fields after color %q", verb, color)
+		}
+		return Mut{Verb: verb, From: from, To: to, Color: color}, nil
+	case "":
+		return Mut{}, fmt.Errorf("qlang: empty mutation line")
+	default:
+		return Mut{}, fmt.Errorf("qlang: unknown mutation verb %q (want add_node/set_attr/add_edge/remove_edge)", verb)
+	}
+}
+
+// parseAttrList parses a whitespace-separated run of key=value tokens,
+// with %q-quoted values for anything containing whitespace.
+func parseAttrList(s string) (map[string]string, error) {
+	attrs := map[string]string{}
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return attrs, nil
+		}
+		eq := strings.IndexByte(s, '=')
+		sp := strings.IndexAny(s, " \t")
+		if eq <= 0 || (sp >= 0 && sp < eq) {
+			tok := s
+			if sp >= 0 {
+				tok = s[:sp]
+			}
+			return nil, fmt.Errorf("qlang: bad attribute %q (want key=value)", tok)
+		}
+		key := s[:eq]
+		s = s[eq+1:]
+		if strings.HasPrefix(s, `"`) {
+			q, err := strconv.QuotedPrefix(s)
+			if err != nil {
+				return nil, fmt.Errorf("qlang: bad quoted value for %q: %v", key, err)
+			}
+			val, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("qlang: bad quoted value for %q: %v", key, err)
+			}
+			s = s[len(q):]
+			if s != "" && s[0] != ' ' && s[0] != '\t' {
+				return nil, fmt.Errorf("qlang: trailing characters after quoted value of %q", key)
+			}
+			attrs[key] = val
+			continue
+		}
+		end := strings.IndexAny(s, " \t")
+		if end < 0 {
+			end = len(s)
+		}
+		attrs[key] = s[:end]
+		s = s[end:]
+	}
+}
+
+// FormatMut renders a mutation in the syntax ParseMutLine reads
+// (attributes in sorted key order, quoting values that need it), so
+// scripts round-trip.
+func FormatMut(m Mut) string {
+	var b strings.Builder
+	b.WriteString(m.Verb)
+	switch m.Verb {
+	case "add_node", "set_attr":
+		b.WriteByte('\t')
+		b.WriteString(m.Node)
+		keys := make([]string, 0, len(m.Attrs))
+		for k := range m.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v := m.Attrs[k]
+			if v == "" || strings.ContainsAny(v, " \t\n\r") || strings.HasPrefix(v, `"`) {
+				fmt.Fprintf(&b, "\t%s=%q", k, v)
+			} else {
+				fmt.Fprintf(&b, "\t%s=%s", k, v)
+			}
+		}
+	case "add_edge", "remove_edge":
+		fmt.Fprintf(&b, "\t%s\t%s\t%s", m.From, m.To, m.Color)
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package qlang_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"regraph/internal/qlang"
+)
+
+func TestParseMutLine(t *testing.T) {
+	cases := []struct {
+		in   string
+		want qlang.Mut
+	}{
+		{"add_node alice", qlang.Mut{Verb: "add_node", Node: "alice", Attrs: map[string]string{}}},
+		{"add_node alice job=doctor age=32", qlang.Mut{
+			Verb: "add_node", Node: "alice",
+			Attrs: map[string]string{"job": "doctor", "age": "32"},
+		}},
+		{"add_node\tbob\tstatus=\"on leave\"", qlang.Mut{
+			Verb: "add_node", Node: "bob",
+			Attrs: map[string]string{"status": "on leave"},
+		}},
+		{"set_attr alice job=surgeon", qlang.Mut{
+			Verb: "set_attr", Node: "alice",
+			Attrs: map[string]string{"job": "surgeon"},
+		}},
+		{`set_attr alice note="" job=x`, qlang.Mut{
+			Verb: "set_attr", Node: "alice",
+			Attrs: map[string]string{"note": "", "job": "x"},
+		}},
+		{"add_edge alice bob fn", qlang.Mut{Verb: "add_edge", From: "alice", To: "bob", Color: "fn"}},
+		{"remove_edge  alice \t bob  fn", qlang.Mut{Verb: "remove_edge", From: "alice", To: "bob", Color: "fn"}},
+	}
+	for _, c := range cases {
+		got, err := qlang.ParseMutLine(c.in)
+		if err != nil {
+			t.Errorf("ParseMutLine(%q): %v", c.in, err)
+			continue
+		}
+		if got.Attrs == nil {
+			got.Attrs = map[string]string{}
+		}
+		if c.want.Attrs == nil {
+			c.want.Attrs = map[string]string{}
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseMutLine(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseMutLineErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"frobnicate alice",
+		"add_node",
+		"set_attr alice",                   // no assignments
+		"set_attr alice job",               // not key=value
+		"set_attr alice =doctor",           // empty key
+		`set_attr alice job="unterminated`, // bad quote
+		`set_attr alice job="a"x`,          // trailing junk after quote
+		"add_edge alice bob",               // missing color
+		"add_edge alice",
+		"add_edge alice bob fn extra", // trailing field
+		"remove_edge a b c d",
+	}
+	for _, in := range bad {
+		if m, err := qlang.ParseMutLine(in); err == nil {
+			t.Errorf("ParseMutLine(%q) = %+v, want error", in, m)
+		}
+	}
+}
+
+func TestFormatMutRoundTrip(t *testing.T) {
+	muts := []qlang.Mut{
+		{Verb: "add_node", Node: "alice", Attrs: map[string]string{"job": "doctor", "note": "on leave", "q": `"quoted"`, "empty": ""}},
+		{Verb: "add_node", Node: "n1"},
+		{Verb: "set_attr", Node: "n1", Attrs: map[string]string{"k": "v", "tabby": "a\tb"}},
+		{Verb: "add_edge", From: "a", To: "b", Color: "fn"},
+		{Verb: "remove_edge", From: "a", To: "b", Color: "fn"},
+	}
+	for _, m := range muts {
+		line := qlang.FormatMut(m)
+		got, err := qlang.ParseMutLine(line)
+		if err != nil {
+			t.Errorf("round-trip %+v: rendered %q failed to parse: %v", m, line, err)
+			continue
+		}
+		if m.Attrs == nil {
+			m.Attrs = map[string]string{}
+		}
+		if got.Attrs == nil {
+			got.Attrs = map[string]string{}
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round-trip: %+v -> %q -> %+v", m, line, got)
+		}
+	}
+}
+
+func FuzzParseMutLine(f *testing.F) {
+	f.Add("add_node alice job=doctor")
+	f.Add(`add_node bob status="on leave"`)
+	f.Add("set_attr alice job=surgeon age=33")
+	f.Add("add_edge alice bob fn")
+	f.Add("remove_edge alice bob fn")
+	f.Add("add_edge a b _")
+	f.Add(`set_attr x k="\t\"esc\""`)
+	f.Fuzz(func(t *testing.T, line string) {
+		m, err := qlang.ParseMutLine(line)
+		if err != nil {
+			return
+		}
+		// Any accepted line must round-trip through the renderer.
+		rendered := qlang.FormatMut(m)
+		got, err := qlang.ParseMutLine(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rendered %q fails: %v", line, rendered, err)
+		}
+		if m.Attrs == nil {
+			m.Attrs = map[string]string{}
+		}
+		if got.Attrs == nil {
+			got.Attrs = map[string]string{}
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round-trip drift: %q -> %+v -> %q -> %+v", line, m, rendered, got)
+		}
+		if strings.ContainsAny(rendered, "\n\r") {
+			t.Fatalf("rendered line contains a newline: %q", rendered)
+		}
+	})
+}

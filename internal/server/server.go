@@ -14,6 +14,20 @@
 //	                 reaches the client. ?timeout_ms=N sets a deadline
 //	                 for the whole stream (capped by the server's
 //	                 StreamTimeout).
+//	POST /v1/mutate  NDJSON mutation lines in (internal/mutate: JSON ops
+//	                 or the qlang text form, interchangeable), NDJSON
+//	                 ack lines out plus one trailing summary. Ops are
+//	                 applied in chunks of MutateBatch, each chunk one
+//	                 atomic engine generation; queries running on older
+//	                 generations are never blocked or torn (snapshot
+//	                 isolation). A read-only engine (externally built
+//	                 backend) refuses the stream with 409 up front.
+//	POST /v1/subscribe  one NDJSON request line naming a pattern (pq)
+//	                 in, a standing-query stream out: an init line with
+//	                 the full answer, then one delta line per committed
+//	                 mutation batch that changes it, then an end line
+//	                 (error "lagged" when the client fell behind,
+//	                 "draining" when the server shut down).
 //	GET  /v1/stats   JSON snapshot: engine shape plus request counters,
 //	                 latency summary and live-session aggregates.
 //	GET  /healthz    liveness: 200 "ok" while the process runs, even
@@ -76,6 +90,19 @@ type Options struct {
 	// evaluation latency approaches the deadline budgets requests carry
 	// (deadline_ms on the wire), and grows back under headroom.
 	AdaptiveInFlight bool
+
+	// MutateBatch caps how many mutation ops one /v1/mutate stream
+	// accumulates before committing them as a single engine generation
+	// (engine.Apply). Smaller batches publish sooner (standing queries
+	// see finer-grained deltas); larger ones amortize the per-generation
+	// index maintenance. Zero means 1024.
+	MutateBatch int
+
+	// SubscribeBuffer sizes each standing query's update channel: how
+	// many commits a /v1/subscribe client may fall behind before the
+	// engine declares it lagged and closes the stream (see
+	// engine.Subscribe). Zero means the engine default (16).
+	SubscribeBuffer int
 }
 
 // Server serves an Engine over HTTP. Create it with New; it is safe for
@@ -92,9 +119,19 @@ type Server struct {
 	cancelBase context.CancelFunc
 	draining   atomic.Bool
 
-	mu   sync.Mutex
-	live map[*engine.Session]struct{}
-	hs   *http.Server
+	// subsCtx derives from base and is cancelled the moment a drain
+	// begins (not only when it is forced): a standing-query stream never
+	// ends on its own, so a graceful drain must cut it loose up front —
+	// each subscriber gets its end line and the stream count reaches
+	// zero. Mutation streams, by contrast, are bounded by their request
+	// body and drain like query streams.
+	subsCtx    context.Context
+	subsCancel context.CancelFunc
+
+	mu      sync.Mutex
+	live    map[*engine.Session]struct{}
+	liveAux int // live /v1/mutate and /v1/subscribe streams (no session)
+	hs      *http.Server
 
 	// drained closes (once) when draining is on and the last live stream
 	// has ended — the signal Drain blocks on.
@@ -103,6 +140,12 @@ type Server struct {
 
 	streamsTotal metrics.Counter
 	parseErrors  metrics.Counter
+	// Write-path counters: mutation streams served, ops applied/failed
+	// across them, subscriptions opened and currently live.
+	mutateStreams         metrics.Counter
+	opsApplied, opsFailed metrics.Counter
+	subsTotal             metrics.Counter
+	subsActive            atomic.Int64
 	// Folded session totals (streams that have ended); Stats() adds the
 	// live sessions on top.
 	submitted, completed, cancelled metrics.Counter
@@ -114,16 +157,21 @@ type Server struct {
 // New builds a server over a ready engine.
 func New(e *engine.Engine, opts Options) *Server {
 	base, cancel := context.WithCancel(context.Background())
+	subsCtx, subsCancel := context.WithCancel(base)
 	s := &Server{
 		e:          e,
 		opts:       opts,
 		base:       base,
 		cancelBase: cancel,
+		subsCtx:    subsCtx,
+		subsCancel: subsCancel,
 		live:       map[*engine.Session]struct{}{},
 		drained:    make(chan struct{}),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/mutate", s.handleMutate)
+	mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/readyz", s.handleReady)
@@ -186,9 +234,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // (error-tagged) responses and end — and Drain returns ctx.Err() after
 // they do. Either way, no session goroutine survives the call.
 func (s *Server) Drain(ctx context.Context) error {
+	// Subscriptions end now, not at the force deadline: a standing-query
+	// stream has no natural completion to wait for.
+	s.subsCancel()
 	s.mu.Lock()
 	s.draining.Store(true)
-	if len(s.live) == 0 {
+	if len(s.live) == 0 && s.liveAux == 0 {
 		s.signalDrained()
 	}
 	s.mu.Unlock()
@@ -244,6 +295,17 @@ type Stats struct {
 	StreamsTotal  uint64 `json:"streams_total"`
 	ParseErrors   uint64 `json:"parse_errors"`
 
+	// Write-path counters. Generation is the engine's current committed
+	// generation (0 until the first mutation batch applies); OpsApplied
+	// and OpsFailed total the per-op outcomes across every /v1/mutate
+	// stream; Subscriptions is the number of standing-query streams
+	// currently live.
+	Generation    uint64 `json:"generation"`
+	MutateStreams uint64 `json:"mutate_streams"`
+	OpsApplied    uint64 `json:"ops_applied"`
+	OpsFailed     uint64 `json:"ops_failed"`
+	Subscriptions int    `json:"subscriptions"`
+
 	// Session totals (engine.SessionStats summed across all streams).
 	// Expired counts requests shed because their deadline budget ran out
 	// before evaluation; Missed those abandoned mid-evaluation at their
@@ -268,14 +330,19 @@ type Stats struct {
 // Stats returns a point-in-time snapshot (the /v1/stats payload).
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Nodes:        s.e.Graph().NumNodes(),
-		Edges:        s.e.Graph().NumEdges(),
-		Workers:      s.e.Workers(),
-		Matrix:       s.e.Matrix() != nil,
-		Draining:     s.draining.Load(),
-		StreamsTotal: s.streamsTotal.Load(),
-		ParseErrors:  s.parseErrors.Load(),
-		Latency:      s.latency.Snapshot(),
+		Nodes:         s.e.Graph().NumNodes(),
+		Edges:         s.e.Graph().NumEdges(),
+		Workers:       s.e.Workers(),
+		Matrix:        s.e.Matrix() != nil,
+		Draining:      s.draining.Load(),
+		StreamsTotal:  s.streamsTotal.Load(),
+		ParseErrors:   s.parseErrors.Load(),
+		Generation:    s.e.Generation(),
+		MutateStreams: s.mutateStreams.Load(),
+		OpsApplied:    s.opsApplied.Load(),
+		OpsFailed:     s.opsFailed.Load(),
+		Subscriptions: int(s.subsActive.Load()),
+		Latency:       s.latency.Snapshot(),
 	}
 	// Folded totals and the live scan must come from one critical
 	// section: endStream moves a session from live to folded under the
@@ -336,7 +403,30 @@ func (s *Server) endStream(sess *engine.Session) {
 	s.missed.Add(ss.Missed)
 	s.delivered.Add(ss.Delivered)
 	s.dropped.Add(ss.Dropped)
-	if s.draining.Load() && len(s.live) == 0 {
+	if s.draining.Load() && len(s.live) == 0 && s.liveAux == 0 {
+		s.signalDrained()
+	}
+	s.mu.Unlock()
+}
+
+// addAux registers a live sessionless stream (/v1/mutate or
+// /v1/subscribe) with the drain accounting; it reports false when the
+// server is draining and the stream must be refused.
+func (s *Server) addAux() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.liveAux++
+	return true
+}
+
+// endAux unregisters a finished sessionless stream.
+func (s *Server) endAux() {
+	s.mu.Lock()
+	s.liveAux--
+	if s.draining.Load() && len(s.live) == 0 && s.liveAux == 0 {
 		s.signalDrained()
 	}
 	s.mu.Unlock()

@@ -66,14 +66,42 @@ func postStream(url string, reqs []Request, fn func(raw []byte, resp *Response) 
 		}
 		pw.Close()
 	}()
-	httpResp, err := http.Post(url, "application/x-ndjson", pr)
+	return postLines(url, pr, func(line []byte) error {
+		var resp Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			return fmt.Errorf("wire: malformed response line %q: %w", line, err)
+		}
+		return fn(line, &resp)
+	})
+}
+
+// PostLines streams an arbitrary NDJSON body to url and invokes fn for
+// every non-blank response line, raw — the transport under PostStream,
+// exported for streams whose line schemas are not Request/Response
+// (the mutation endpoint's Op/Ack/Summary lines, the subscribe
+// endpoint's Delta lines). A non-nil error from fn stops the read loop
+// and is returned. The body is consumed as the server reads it, so a
+// server that stalls its reads (admission flow control, a chunked
+// apply loop) back-pressures the producer behind body.
+func PostLines(url string, body io.Reader, fn func(line []byte) error) error {
+	_, err := postLines(url, body, fn)
+	return err
+}
+
+// postLines is the shared POST core: send body, scan the NDJSON reply,
+// hand every non-blank line to fn. connected reports whether an HTTP
+// response arrived (the retry-safety boundary PostStreamRetry relies
+// on); a non-200 status is rendered into an error with the (truncated)
+// response body.
+func postLines(url string, body io.Reader, fn func(line []byte) error) (connected bool, err error) {
+	httpResp, err := http.Post(url, "application/x-ndjson", body)
 	if err != nil {
 		return false, err
 	}
 	defer httpResp.Body.Close()
 	if httpResp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4<<10))
-		return true, fmt.Errorf("wire: %s: %s", httpResp.Status, strings.TrimSpace(string(body)))
+		b, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4<<10))
+		return true, fmt.Errorf("wire: %s: %s", httpResp.Status, strings.TrimSpace(string(b)))
 	}
 	sc := bufio.NewScanner(httpResp.Body)
 	sc.Buffer(make([]byte, 64<<10), MaxResponseLineBytes)
@@ -82,11 +110,7 @@ func postStream(url string, reqs []Request, fn func(raw []byte, resp *Response) 
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
-		var resp Response
-		if err := json.Unmarshal(line, &resp); err != nil {
-			return true, fmt.Errorf("wire: malformed response line %q: %w", line, err)
-		}
-		if err := fn(line, &resp); err != nil {
+		if err := fn(line); err != nil {
 			return true, err
 		}
 	}

@@ -110,3 +110,38 @@ func FuzzResponse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDelta drives the standing-query stream schema with arbitrary
+// bytes under the same contract as FuzzResponse: never panic, and any
+// line that parses must survive an encode/decode round trip
+// byte-identically — a client folding delta lines into its local
+// answer, or a proxy re-encoding them, must not corrupt the stream.
+func FuzzDelta(f *testing.F) {
+	f.Add(`{"gen":4,"kind":"init","count":2,"match":[{"from":"A","to":"B","expr":"fn+","pairs":[[0,3],[7,3]]}]}`)
+	f.Add(`{"gen":5,"kind":"delta","count":3,"added":[{"from":"A","to":"B","expr":"fn+","pairs":[[9,3]]}]}`)
+	f.Add(`{"gen":6,"kind":"delta","count":2,"removed":[{"from":"A","to":"B","expr":"fn+","pairs":[[9,3]]}]}`)
+	f.Add(`{"gen":7,"kind":"end","count":0,"error":"lagged"}`)
+	f.Add(`{"gen":18446744073709551615,"kind":"","count":-1}`)
+	f.Add("\x00\xff\xfe")
+	f.Fuzz(func(t *testing.T, input string) {
+		var d Delta
+		if err := json.Unmarshal([]byte(input), &d); err != nil {
+			return // not a delta line; nothing to round-trip
+		}
+		first, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("decoded delta failed to re-encode: %v", err)
+		}
+		var back Delta
+		if err := json.Unmarshal(first, &back); err != nil {
+			t.Fatalf("re-encoded delta failed to decode: %v\n%s", err, first)
+		}
+		second, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("delta round trip not stable:\n first %s\nsecond %s", first, second)
+		}
+	})
+}

@@ -155,6 +155,68 @@ type MatchEdge struct {
 	Pairs [][2]int64 `json:"pairs"`
 }
 
+// Delta kinds (Delta.Kind): the three line shapes of a /v1/subscribe
+// stream.
+const (
+	DeltaInit  = "init"  // subscription snapshot: full answer at Gen
+	DeltaDelta = "delta" // one committed batch changed the answer
+	DeltaEnd   = "end"   // stream over; Err says why when abnormal
+)
+
+// Delta is one NDJSON line of a standing-query stream (POST
+// /v1/subscribe). The first line is always kind "init" — the full
+// answer at the generation the subscription registered against. Every
+// later "delta" line reports one committed mutation batch that changed
+// the answer: Count and Match describe the full answer at Gen, while
+// Added and Removed list, per pattern edge, exactly the pairs that
+// entered and left it since the previous line (edges with no change are
+// omitted — MatchEdge names identify them positionally-independently).
+// The final "end" line closes the stream; Err distinguishes an abnormal
+// end ("lagged": the consumer fell behind the commit stream and must
+// re-subscribe for a fresh snapshot; "draining": the server is shutting
+// down) from the client simply going away.
+//
+//	{"gen":4,"kind":"init","count":2,"match":[{"from":"A","to":"B","expr":"fn+","pairs":[[0,3],[7,3]]}]}
+//	{"gen":5,"kind":"delta","count":3,"added":[{"from":"A","to":"B","expr":"fn+","pairs":[[9,3]]}]}
+//	{"gen":7,"kind":"end","count":0,"error":"lagged"}
+type Delta struct {
+	Gen   uint64 `json:"gen"`
+	Kind  string `json:"kind"`
+	Count int    `json:"count"`
+
+	// Match is the full answer (init lines; delta lines omit it — the
+	// client folds Added/Removed into its copy of the init answer).
+	Match []MatchEdge `json:"match,omitempty"`
+
+	// Added and Removed are the per-edge pair deltas since the previous
+	// line (delta lines only).
+	Added   []MatchEdge `json:"added,omitempty"`
+	Removed []MatchEdge `json:"removed,omitempty"`
+
+	Err string `json:"error,omitempty"`
+}
+
+// DeltaEdges converts per-edge pair sets (indexed like q's edges, as
+// engine.StandingUpdate carries them) to the wire representation,
+// omitting edges with no pairs — the MatchEdge names identify each
+// edge, so positions need not line up with the pattern.
+func DeltaEdges(q *pattern.Query, sets [][]reach.Pair) []MatchEdge {
+	var out []MatchEdge
+	for i, ps := range sets {
+		if len(ps) == 0 {
+			continue
+		}
+		e := q.Edge(i)
+		out = append(out, MatchEdge{
+			From:  q.Node(e.From).Name,
+			To:    q.Node(e.To).Name,
+			Expr:  e.Expr.String(),
+			Pairs: PairsOf(ps),
+		})
+	}
+	return out
+}
+
 // LineError reports one malformed request line. It is recoverable: the
 // decoder has consumed the line and Next may be called again.
 type LineError struct {
@@ -339,10 +401,11 @@ type flusher interface{ Flush() }
 
 type errFlusher interface{ Flush() error }
 
-// Encoder writes NDJSON response lines. It is safe for concurrent use
-// (the service writes parse errors from its reader goroutine and
-// results from its consumer loop); each line is flushed when the
-// underlying writer supports it.
+// Encoder writes NDJSON lines (Response, Delta, or any other
+// line-schema value). It is safe for concurrent use (the service
+// writes parse errors from its reader goroutine and results from its
+// consumer loop); each line is flushed when the underlying writer
+// supports it.
 type Encoder struct {
 	mu  sync.Mutex
 	enc *json.Encoder
@@ -362,12 +425,12 @@ func NewEncoder(w io.Writer) *Encoder {
 	return e
 }
 
-// Encode writes one response line (and flushes it through to the
-// client when the writer supports flushing).
-func (e *Encoder) Encode(r Response) error {
+// Encode writes one NDJSON line (and flushes it through to the client
+// when the writer supports flushing).
+func (e *Encoder) Encode(v any) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.enc.Encode(r); err != nil {
+	if err := e.enc.Encode(v); err != nil {
 		return err
 	}
 	if e.f != nil {

@@ -12,6 +12,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"regraph/internal/qlang"
+	"regraph/internal/reach"
 )
 
 var update = flag.Bool("update", false, "rewrite the wire-schema golden files")
@@ -48,6 +51,25 @@ func goldenResponses() []Response {
 		{ID: 7, Kind: "pq", Err: "context deadline exceeded", ErrKind: "deadline", LatencyUS: 251000},
 		{ID: 8, Err: "router: no live replica available", ErrKind: ErrKindUnavailable},
 		{ID: 9, Err: "router: stream canceled before the request was answered", ErrKind: "canceled"},
+	}
+}
+
+// goldenDeltas are the canonical standing-query stream lines: the init
+// snapshot, deltas with additions and removals, and both end shapes.
+// Pinned by testdata/deltas.golden.
+func goldenDeltas() []Delta {
+	return []Delta{
+		{Gen: 4, Kind: DeltaInit, Count: 2, Match: []MatchEdge{
+			{From: "A", To: "B", Expr: "fn+", Pairs: [][2]int64{{0, 3}, {7, 3}}},
+		}},
+		{Gen: 5, Kind: DeltaDelta, Count: 3, Added: []MatchEdge{
+			{From: "A", To: "B", Expr: "fn+", Pairs: [][2]int64{{9, 3}}},
+		}},
+		{Gen: 6, Kind: DeltaDelta, Count: 2,
+			Added:   []MatchEdge{{From: "A", To: "B", Expr: "fn+", Pairs: [][2]int64{{2, 3}}}},
+			Removed: []MatchEdge{{From: "A", To: "B", Expr: "fn+", Pairs: [][2]int64{{9, 3}}}}},
+		{Gen: 6, Kind: DeltaEnd},
+		{Gen: 7, Kind: DeltaEnd, Err: "lagged"},
 	}
 }
 
@@ -116,6 +138,52 @@ func goldenCompare(t *testing.T, name string, got []byte) {
 // TestGoldenResponses pins the response schema byte for byte.
 func TestGoldenResponses(t *testing.T) {
 	goldenCompare(t, "responses.golden", encodeResponses(t, goldenResponses()))
+}
+
+// TestGoldenDeltas pins the standing-query stream schema: fixtures
+// encode to the golden bytes, and the golden bytes decode back.
+func TestGoldenDeltas(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, d := range goldenDeltas() {
+		if err := enc.Encode(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goldenCompare(t, "deltas.golden", buf.Bytes())
+
+	data, err := os.ReadFile(filepath.Join("testdata", "deltas.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenDeltas()
+	for i, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+		var back Delta
+		if err := json.Unmarshal(line, &back); err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		if !reflect.DeepEqual(back, want[i]) {
+			t.Errorf("line %d: decoded %+v, want %+v", i+1, back, want[i])
+		}
+	}
+}
+
+// TestDeltaEdges: per-edge pair sets render to named MatchEdges with
+// empty edges omitted.
+func TestDeltaEdges(t *testing.T) {
+	q, err := qlang.ParsePatternString("node A\t*\nnode B\t*\nnode C\t*\nedge A B\tfn+\nedge B C\tfa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := [][]reach.Pair{nil, {{From: 4, To: 9}}}
+	got := DeltaEdges(q, sets)
+	want := []MatchEdge{{From: "B", To: "C", Expr: "fa", Pairs: [][2]int64{{4, 9}}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DeltaEdges = %+v, want %+v", got, want)
+	}
+	if got := DeltaEdges(q, [][]reach.Pair{nil, nil}); got != nil {
+		t.Errorf("all-empty sets rendered %+v, want nil", got)
+	}
 }
 
 // TestGoldenRouterStats pins the router stats schema byte for byte, in

@@ -45,6 +45,7 @@ import (
 	"regraph/internal/engine"
 	"regraph/internal/gen"
 	"regraph/internal/graph"
+	"regraph/internal/mutate"
 	"regraph/internal/pattern"
 	"regraph/internal/predicate"
 	"regraph/internal/reach"
@@ -157,6 +158,38 @@ type (
 	SessionStats = engine.SessionStats
 )
 
+// Write-path types (see Engine.Apply, Engine.Subscribe and DESIGN.md §13).
+type (
+	// Mutation is one graph mutation op — add_node, set_attr, add_edge
+	// or remove_edge — as decoded from the NDJSON mutation log (or its
+	// qlang text form) and applied by Engine.Apply. Each op of a batch
+	// applies or fails individually.
+	Mutation = mutate.Op
+	// MutationAck is the per-op outcome of an applied batch: the op's id,
+	// the generation it committed as, or its error.
+	MutationAck = mutate.Ack
+	// MutationCommit reports one Engine.Apply batch: the acks in op
+	// order, the committed generation and the graph size after it.
+	MutationCommit = engine.Commit
+	// StandingQuery is a registered standing pattern query
+	// (Engine.Subscribe): its answer is maintained incrementally across
+	// committed generations and every change is pushed as a
+	// StandingUpdate on its Updates channel.
+	StandingQuery = engine.Standing
+	// StandingUpdate is one pushed delta answer: the full result at the
+	// committed generation plus the per-edge pair sets that entered and
+	// left it.
+	StandingUpdate = engine.StandingUpdate
+)
+
+// ErrEngineReadOnly is returned by Engine.Apply when the engine was
+// built around externally owned distance structures (an explicit
+// Matrix/Cache/Backend or ReachFilter): the engine cannot rebuild what
+// it does not own, so such configurations serve queries only. Select
+// backends by name (EngineOptions.BackendKind, AutoBackend, or the
+// default cache) to keep an engine writable.
+var ErrEngineReadOnly = engine.ErrReadOnly
+
 // ErrSessionClosed is returned by Session.Submit after Close (or after
 // the session's context was cancelled and the session drained).
 var ErrSessionClosed = engine.ErrSessionClosed
@@ -173,7 +206,10 @@ var ErrDeadlineExpired = engine.ErrDeadlineExpired
 type (
 	// Server serves an Engine over HTTP speaking the NDJSON wire format:
 	// POST /v1/query streams request lines in and response lines out in
-	// completion order, GET /v1/stats snapshots the serving counters,
+	// completion order, POST /v1/mutate streams mutation ops in and acks
+	// out (each chunk committing one snapshot-isolated generation),
+	// POST /v1/subscribe follows a standing pattern query with pushed
+	// delta lines, GET /v1/stats snapshots the serving counters,
 	// GET /healthz reports liveness. cmd/rgserve is the ready-made
 	// binary; cmd/rgquery -remote is the matching client.
 	Server = server.Server
@@ -245,8 +281,11 @@ func PredictMatrixBytes(g *Graph) int64 { return dist.PredictMatrixBytes(g) }
 // AutoBackend memory-budget heuristic, or the default auto-created
 // cache). Engine.Open starts a streaming Session (Submit/Results with
 // back-pressure and context cancellation); Engine.RunBatch evaluates
-// one whole batch at a time. The graph must not be mutated while the
-// engine is in use. Conflicting options (two backends at once, a
+// one whole batch at a time. Once the engine exists, mutate the graph
+// only through Engine.Apply — each batch commits as a copy-on-write
+// generation, readers keep their pinned snapshot, and the construction
+// graph itself must no longer be touched. Conflicting options (two
+// backends at once, a
 // CacheSize that would be ignored, a filter the backend cannot hold)
 // return an error wrapping ErrEngineOptions.
 func NewEngine(g *Graph, opts EngineOptions) (*Engine, error) { return engine.New(g, opts) }
