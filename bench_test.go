@@ -175,6 +175,26 @@ func BenchmarkMutate(b *testing.B) {
 	}
 }
 
+// Durable write path (ISSUE 10): commit throughput of the same
+// mutation stream with the write-ahead log under each fsync policy
+// (none, interval, always) against the no-WAL engine. The per-policy
+// commit QPS is forwarded through ReportMetric so BENCH_wal.json
+// records what each durability promise costs next to BENCH_mutate's
+// in-memory commit rates.
+func BenchmarkWAL(b *testing.B) {
+	env := benchEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := bench.WAL(env)
+		if len(tab.Rows) == 0 {
+			b.Fatal("driver produced no rows")
+		}
+		for unit, v := range tab.Metrics {
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
 // Replica router tier (ISSUE 8): open-loop throughput scaling at 1, 2
 // and 4 single-worker replicas behind one router, plus the fault
 // schedule (one of two replicas RST-killed for the middle third of the

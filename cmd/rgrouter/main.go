@@ -11,6 +11,14 @@
 //	curl -sN -X POST --data-binary @queries.ndjson localhost:8080/v1/query
 //	curl -s localhost:8080/v1/stats
 //
+// Writes have a single owner, not a replica set: POST /v1/mutate and
+// POST /v1/subscribe stream through to the -writer upstream when one is
+// configured. Without -writer the router is a read-only tier and
+// refuses them explicitly — in each endpoint's own NDJSON protocol,
+// every line tagged error_kind "read_only" — never with a bare 404:
+//
+//	rgrouter -addr :8080 -replicas http://localhost:8081 -writer http://localhost:8090
+//
 // On SIGINT/SIGTERM the router drains: /readyz turns 503, new streams
 // are refused, live ones run to completion, and after -drain-timeout
 // any stragglers are cancelled (their remaining requests answered with
@@ -35,6 +43,7 @@ func main() {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
 		replicas      = flag.String("replicas", "", "comma-separated replica base URLs (http://host:port)")
+		writer        = flag.String("writer", "", "writer upstream base URL for /v1/mutate and /v1/subscribe (empty = read-only tier, writes refused with error_kind read_only)")
 		maxInFlight   = flag.Int("maxinflight", 0, "per-stream bound on unanswered requests (0 = default 256)")
 		probeInterval = flag.Duration("probe-interval", 0, "replica readiness probe period (0 = default 250ms)")
 		failThreshold = flag.Int("fail-threshold", 0, "consecutive failures that open a replica's breaker (0 = default 3)")
@@ -58,6 +67,7 @@ func main() {
 	}
 	rt, err := router.New(router.Options{
 		Replicas:         urls,
+		Writer:           *writer,
 		MaxInFlight:      *maxInFlight,
 		ProbeInterval:    *probeInterval,
 		FailThreshold:    *failThreshold,
@@ -77,7 +87,11 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- rt.ListenAndServe(*addr) }()
-	fmt.Fprintf(os.Stderr, "rgrouter: listening on %s, routing to %d replicas\n", *addr, len(urls))
+	mode := "read-only (no -writer)"
+	if *writer != "" {
+		mode = "writes to " + *writer
+	}
+	fmt.Fprintf(os.Stderr, "rgrouter: listening on %s, routing to %d replicas, %s\n", *addr, len(urls), mode)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

@@ -26,6 +26,17 @@
 // The engine builds (and per generation rebuilds) its own backend, so
 // every -backend kind accepts mutations.
 //
+// With -wal-dir the server is durable: every committed mutation batch
+// is appended to a write-ahead log before it is acknowledged, and on
+// restart the engine recovers by loading the log's latest snapshot and
+// replaying the tail through the ordinary apply path — the log's
+// snapshot (when one exists) wins over the -graph seed, so -graph only
+// matters on the very first run. -fsync picks the durability/latency
+// trade-off (always, interval, none — see internal/wal):
+//
+//	rgserve -demo -wal-dir /var/lib/regraph/wal -fsync always
+//	rgserve -wal-dir /var/lib/regraph/wal -fsync interval   # seedless restart
+//
 // On SIGINT/SIGTERM the server drains: new streams are refused, live
 // ones run to completion, and after -drain-timeout any stragglers'
 // sessions are cancelled (their remaining requests answered with
@@ -43,8 +54,10 @@ import (
 	"time"
 
 	"regraph"
+	"regraph/internal/engine"
 	"regraph/internal/graph"
 	"regraph/internal/server"
+	"regraph/internal/wal"
 )
 
 func main() {
@@ -64,15 +77,28 @@ func main() {
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
 		mutateBatch   = flag.Int("mutate-batch", 0, "ops per committed mutation generation on /v1/mutate (0 = 1024)")
 		subBuffer     = flag.Int("sub-buffer", 0, "commits a /v1/subscribe client may lag before being dropped (0 = 16)")
+		maxPendingOps = flag.Int("max-pending-ops", 0, "per-mutation-stream admission bound on unacked ops (0 = 4096)")
+		maxPendingB   = flag.Int64("max-pending-bytes", 0, "per-mutation-stream admission bound on unacked input bytes (0 = 8 MiB)")
+		walDir        = flag.String("wal-dir", "", "write-ahead log directory: append every committed batch, recover from it at startup")
+		fsync         = flag.String("fsync", "always", "WAL durability policy: always, interval or none")
+		walSegBytes   = flag.Int64("wal-segment-bytes", 0, "rotate WAL segments past this size (0 = 64 MiB)")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*graphPath, *demo)
-	if err != nil {
-		fatal(err)
+	// With a WAL whose snapshot will win anyway, the seed is optional: a
+	// bare `rgserve -wal-dir DIR` restarts from the log alone. A -graph
+	// that was asked for but fails to load is still fatal either way.
+	var g *regraph.Graph
+	if *graphPath == "" && !*demo && *walDir != "" {
+		g = nil
+	} else {
+		var err error
+		if g, err = loadGraph(*graphPath, *demo); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rgserve: graph: %d nodes, %d edges, colors %v\n",
+			g.NumNodes(), g.NumEdges(), g.Colors())
 	}
-	fmt.Fprintf(os.Stderr, "rgserve: graph: %d nodes, %d edges, colors %v\n",
-		g.NumNodes(), g.NumEdges(), g.Colors())
 
 	kind := *backend
 	if kind == "" {
@@ -102,9 +128,30 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -backend %q (want matrix, twohop, cache or auto)", kind))
 	}
-	e, err := regraph.NewEngine(g, opts)
-	if err != nil {
-		fatal(err)
+	var e *regraph.Engine
+	if *walDir == "" {
+		var err error
+		if e, err = regraph.NewEngine(g, opts); err != nil {
+			fatal(err)
+		}
+	} else {
+		w, err := wal.Open(wal.Options{Dir: *walDir, Fsync: *fsync, SegmentBytes: *walSegBytes})
+		if err != nil {
+			fatal(err)
+		}
+		var info engine.RecoverInfo
+		if e, info, err = engine.Recover(w, g, opts); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rgserve: wal: recovered to generation %d in %v (snapshot gen %d + %d batches / %d ops, fsync=%s)\n",
+			info.LastGen, info.Duration.Round(time.Millisecond), info.SnapshotGen, info.Batches, info.Ops, *fsync)
+		if info.Batches > 0 {
+			// Fold the replayed tail into a fresh snapshot so the next
+			// restart replays only what commits from here on.
+			if err := e.CompactWAL(); err != nil {
+				fatal(fmt.Errorf("wal: compact after recovery: %w", err))
+			}
+		}
 	}
 	fmt.Fprintf(os.Stderr, "rgserve: %s backend ready in %v\n", e.BackendKind(), time.Since(t0).Round(time.Millisecond))
 	srv := server.New(e, server.Options{
@@ -113,6 +160,8 @@ func main() {
 		StreamTimeout:    *streamTimeout,
 		MutateBatch:      *mutateBatch,
 		SubscribeBuffer:  *subBuffer,
+		MaxPendingOps:    *maxPendingOps,
+		MaxPendingBytes:  *maxPendingB,
 	})
 
 	errc := make(chan error, 1)
@@ -139,6 +188,16 @@ func main() {
 		if st.MutateStreams > 0 {
 			fmt.Fprintf(os.Stderr, "rgserve: write path: generation %d after %d mutation streams (%d ops applied, %d failed)\n",
 				st.Generation, st.MutateStreams, st.OpsApplied, st.OpsFailed)
+		}
+		// A buffered WAL (fsync interval/none) flushes on Close: a graceful
+		// drain loses nothing regardless of policy.
+		if w := e.WAL(); w != nil {
+			ws := w.Stats()
+			if err := w.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "rgserve: wal: close: %v\n", err)
+			}
+			fmt.Fprintf(os.Stderr, "rgserve: wal: %d batches (%d bytes) appended, %d fsyncs, %d rotations, %d segments at generation %d\n",
+				ws.Appended, ws.AppendedBytes, ws.Fsyncs, ws.Rotations, ws.Segments, ws.LastGen)
 		}
 	}
 }

@@ -266,6 +266,7 @@ func All() []NamedDriver {
 		{"server-throughput", ServerThroughput},
 		{"load", ServerLoad},
 		{"mutate", Mutate},
+		{"wal", WAL},
 		{"cluster", Cluster},
 		{"twohop", TwoHop},
 		{"ablation-containment", AblationContainment},

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"regraph/internal/engine"
+	"regraph/internal/gen"
+	"regraph/internal/mutate"
+	"regraph/internal/wal"
+)
+
+// WAL measures what durability costs the write path (ISSUE 10): the
+// same deterministic mutation stream committed through engines whose
+// write-ahead log runs each fsync policy, against the no-WAL engine
+// from the Mutate driver as the baseline. The spread is the point:
+// FsyncNone pays only the serialization and buffered write (small),
+// FsyncInterval adds a background fsync off the commit path (still
+// small), FsyncAlways puts an fsync(2) inside every commit and its
+// commit rate is bounded by the disk's sync latency, not the CPU. The
+// per-policy commit QPS lands in BENCH_wal.json next to the Mutate
+// driver's commit-qps-gen so the trajectory records durable vs
+// in-memory write throughput side by side.
+func WAL(e *Env) *Table {
+	t := &Table{
+		ID:     "WAL",
+		Title:  "write-ahead log: commit throughput per fsync policy vs no-WAL baseline",
+		XLabel: "policy",
+		Series: []string{"commit-qps", "slowdown-x"},
+	}
+
+	n := e.ScaleN(2000)
+	_, batches := mixedWorkload(e, n)
+
+	base := walArm(e, n, batches, "")
+	t.Metric("commit-qps-nowal", base)
+	t.Add("nowal", map[string]float64{"commit-qps": base, "slowdown-x": 1})
+	for _, policy := range []string{wal.FsyncNone, wal.FsyncInterval, wal.FsyncAlways} {
+		qps := walArm(e, n, batches, policy)
+		t.Metric("commit-qps-"+policy, qps)
+		t.Add(policy, map[string]float64{"commit-qps": qps, "slowdown-x": base / qps})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("wal: %d-node graph, %d-op batches, cache backend, fresh log per arm (tmpdir)", n, len(batches[0])))
+	return t
+}
+
+// walArm replays the op stream on a fresh engine — logging under the
+// given fsync policy, or without a WAL when policy is empty — and
+// returns commits per second. Same minimum-wall-clock pass structure as
+// runMixed, so the arms stay comparable with each other and with the
+// Mutate driver's commit rates.
+func walArm(e *Env, n int, batches [][]mutate.Op, policy string) float64 {
+	g := gen.Synthetic(e.Cfg.Seed, n, 4*n, 3, gen.DefaultColors)
+	opts := engine.Options{Workers: 2, BackendKind: "cache"}
+	var w *wal.WAL
+	if policy != "" {
+		dir, err := os.MkdirTemp("", "regraph-bench-wal-*")
+		if err != nil {
+			panic(fmt.Sprintf("bench: wal tmpdir: %v", err))
+		}
+		defer os.RemoveAll(dir)
+		if w, err = wal.Open(wal.Options{Dir: dir, Fsync: policy}); err != nil {
+			panic(fmt.Sprintf("bench: wal open: %v", err))
+		}
+		defer w.Close()
+		opts.WAL = w
+	}
+	en := engine.MustNew(g, opts)
+
+	const minDur = 300 * time.Millisecond
+	commits := 0
+	t0 := time.Now()
+	for pass := 0; pass == 0 || time.Since(t0) < minDur; pass++ {
+		for _, ops := range batches {
+			if _, err := en.Apply(ops); err != nil {
+				panic(fmt.Sprintf("bench: wal apply: %v", err))
+			}
+			commits++
+		}
+	}
+	return float64(commits) / time.Since(t0).Seconds()
+}

@@ -169,6 +169,16 @@ func (e *Engine) Apply(ops []mutate.Op) (Commit, error) {
 		idx := base.cands.Index().WithChanges(ng, chs)
 		ns.cands = base.cands.NextGen(ng, idx, touched, nodesAdded)
 	}
+	if e.wal != nil {
+		// Append-then-commit: the whole submitted batch (failed ops
+		// included — replaying it re-fails them identically) must be on
+		// the log before the generation becomes visible. An append error
+		// fails the batch with nothing published, so the log never lags
+		// the engine.
+		if err := e.wal.Append(gen, ops); err != nil {
+			return Commit{}, fmt.Errorf("engine: wal: %w", err)
+		}
+	}
 	e.cur.Store(ns)
 	base.g.Seal()
 	cm.Gen = gen

@@ -47,6 +47,7 @@ import (
 	"regraph/internal/pattern"
 	"regraph/internal/reach"
 	"regraph/internal/reachidx"
+	"regraph/internal/wal"
 )
 
 // Options configures an Engine. At most one of Matrix, Cache, Backend
@@ -126,6 +127,16 @@ type Options struct {
 	// an escape hatch for tiny graphs where the index build outweighs a
 	// handful of scans.
 	DisableCandidateIndex bool
+
+	// WAL, when non-nil, makes Apply durable: every committed batch is
+	// appended to the log before its generation is published
+	// (append-then-commit — an append failure fails the batch with
+	// nothing published). The engine takes over Append ordering but not
+	// the log's lifetime; the caller still closes it. Pair with Recover
+	// at startup (which installs the WAL itself; set this field only
+	// when building an engine over a fresh log). Requires a mutable
+	// backend configuration (BackendKind or engine defaults).
+	WAL *wal.WAL
 }
 
 // filterable is satisfied by backends that accept a front filter.
@@ -188,6 +199,20 @@ type Engine struct {
 	cacheSize int
 	filterK   int
 	immutable error // non-nil: why Apply is refused for this configuration
+
+	// wal, when non-nil, receives every committed batch before its
+	// generation is published (Options.WAL, or installed by Recover).
+	wal *wal.WAL
+
+	// recovered describes the Recover call that built this engine (zero
+	// for engines built by New).
+	recovered RecoverInfo
+
+	// queuedReads counts read requests admitted to any session and not
+	// yet picked up by a worker, engine-wide. The write path's read
+	// fence polls it so a committing writer yields to queued readers
+	// instead of starving them on few cores.
+	queuedReads atomic.Int64
 }
 
 // ErrOptions wraps every configuration error New returns, so callers
@@ -361,6 +386,12 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		e.immutable = fmt.Errorf("%w: externally owned Matrix cannot be rebuilt per generation", ErrReadOnly)
 	case opts.ReachFilter != nil:
 		e.immutable = fmt.Errorf("%w: external ReachFilter cannot be rebuilt per generation", ErrReadOnly)
+	}
+	if opts.WAL != nil {
+		if e.immutable != nil {
+			return nil, fmt.Errorf("%w: WAL on a read-only engine (%v)", ErrOptions, e.immutable)
+		}
+		e.wal = opts.WAL
 	}
 	st := &genState{g: g, mx: mx, cache: cache, be: be}
 	if !opts.DisableCandidateIndex {

@@ -298,6 +298,7 @@ func (s *Session) Submit(ctx context.Context, req Request) (uint64, error) {
 	s.submitted.Inc()
 	s.inFlight.Add(1)
 	s.queueDepth.Add(1)
+	s.e.queuedReads.Add(1)
 	hasDeadline := !req.Deadline.IsZero()
 	if hasDeadline {
 		if b := time.Until(req.Deadline); b > 0 {
@@ -430,6 +431,7 @@ func (s *Session) worker() {
 			return
 		}
 		s.queueDepth.Add(-1)
+		s.e.queuedReads.Add(-1)
 		s.deliver(s.process(it))
 		<-s.inflight
 		s.inFlight.Add(-1)
@@ -496,6 +498,7 @@ func (s *Session) sweepExpired() {
 			s.kickReaper()
 		}
 		s.queueDepth.Add(-1)
+		s.e.queuedReads.Add(-1)
 		s.deliver(s.shed(it))
 		<-s.inflight
 		s.inFlight.Add(-1)

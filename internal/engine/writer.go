@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"regraph/internal/mutate"
+)
+
+// ErrWriterClosed is returned by WriteSession.Submit after Close.
+var ErrWriterClosed = errors.New("engine: write session closed")
+
+// WriterOptions configures OpenWriter. The two bounds are the write
+// path's admission control, the mirror of the read path's MaxInFlight:
+// they cap how much submitted-but-uncommitted work the session holds,
+// so a saturating writer blocks in Submit — at the wire, where HTTP
+// flow control pushes back on the client — instead of accumulating
+// unbounded batches or monopolizing the process.
+type WriterOptions struct {
+	// MaxPendingOps bounds the ops admitted and not yet delivered on
+	// Commits (default 4096). A single batch larger than the bound is
+	// admitted alone rather than deadlocking.
+	MaxPendingOps int
+
+	// MaxPendingBytes bounds the same window by payload bytes as
+	// reported to Submit (default 8 MiB).
+	MaxPendingBytes int64
+
+	// NoFence disables the read fence (see WriteSession): commits no
+	// longer yield to queued readers. The starvation regression test's
+	// control arm; production callers should leave it off.
+	NoFence bool
+}
+
+func (o WriterOptions) withDefaults() WriterOptions {
+	if o.MaxPendingOps <= 0 {
+		o.MaxPendingOps = 4096
+	}
+	if o.MaxPendingBytes <= 0 {
+		o.MaxPendingBytes = 8 << 20
+	}
+	return o
+}
+
+// WriteCommit is one Submit batch's outcome, delivered on Commits in
+// submission order: the Apply result, or the error that failed it.
+type WriteCommit struct {
+	Commit Commit
+	Err    error
+}
+
+// writeBatch is one admitted, not-yet-delivered batch.
+type writeBatch struct {
+	ops    []mutate.Op
+	nbytes int64
+}
+
+// WriteSession is the served write path's admission-bounded feed into
+// the engine's single-writer apply loop. Submit enqueues whole batches
+// (each becomes exactly one Apply call, so generation assignment is as
+// deterministic as the submission order); a dedicated applier goroutine
+// commits them and delivers a WriteCommit per batch on Commits.
+// Admission capacity — MaxPendingOps/MaxPendingBytes — is held from
+// Submit until the batch's WriteCommit is *received* from Commits,
+// mirroring the read path's token-on-delivery: a consumer that stops
+// draining acks stalls the writer instead of growing a queue.
+//
+// The read fence: before each Apply, the applier waits (briefly,
+// bounded) while any session has queued read requests engine-wide.
+// Apply itself never blocks readers — they answer from pinned
+// generations — but on few cores an un-throttled writer can occupy the
+// scheduler so thoroughly that queued reads wait out the writer's whole
+// burst. The fence makes the writer the yielding party: queued readers
+// get workers first, and the writer commits in the gaps. The wait is
+// clamped (scaled to recent apply cost) so a saturated read queue
+// cannot starve the writer either.
+type WriteSession struct {
+	e    *Engine
+	opts WriterOptions
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []writeBatch
+	heldOps   int   // admitted ops not yet delivered (queued + applying + undelivered)
+	heldBytes int64 // same window in bytes
+	closed    bool
+	stickyErr error // first Apply/WAL error; fails every later Submit
+	lastApply time.Duration
+	ctxErr    error // session context canceled
+	ctxDone   chan struct{}
+	commits   chan WriteCommit
+}
+
+// OpenWriter opens a write session. ctx bounds the session's lifetime:
+// cancellation unblocks Submit calls waiting for admission and stops
+// the applier after the batch in flight. Close releases the session's
+// goroutine; Commits closes once every admitted batch has been
+// delivered (or abandoned on cancellation).
+func (e *Engine) OpenWriter(ctx context.Context, opts WriterOptions) *WriteSession {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ws := &WriteSession{
+		e:       e,
+		opts:    opts.withDefaults(),
+		commits: make(chan WriteCommit),
+		ctxDone: make(chan struct{}),
+	}
+	ws.cond = sync.NewCond(&ws.mu)
+	stop := context.AfterFunc(ctx, func() {
+		ws.mu.Lock()
+		ws.ctxErr = context.Cause(ctx)
+		close(ws.ctxDone)
+		ws.cond.Broadcast()
+		ws.mu.Unlock()
+	})
+	go func() {
+		defer stop()
+		ws.applier()
+	}()
+	return ws
+}
+
+// Submit admits one batch, blocking while the session's pending window
+// is full (that block is the backpressure: the server's decode loop
+// stalls here, TCP flow control stalls the client). The batch commits
+// as exactly one Apply call. nbytes is the batch's wire size for the
+// byte bound; pass 0 when unknown. Returns immediately with the sticky
+// error once a previous batch failed, ErrWriterClosed after Close, or
+// the context error if ctx (or the session context) is canceled while
+// waiting.
+func (ws *WriteSession) Submit(ctx context.Context, ops []mutate.Op, nbytes int64) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var stop func() bool
+	if ctx.Done() != nil {
+		stop = context.AfterFunc(ctx, func() {
+			ws.mu.Lock()
+			ws.cond.Broadcast()
+			ws.mu.Unlock()
+		})
+		defer stop()
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for {
+		switch {
+		case ws.stickyErr != nil:
+			return ws.stickyErr
+		case ws.closed:
+			return ErrWriterClosed
+		case ws.ctxErr != nil:
+			return ws.ctxErr
+		case ctx.Err() != nil:
+			return ctx.Err()
+		}
+		// Admit when the batch fits — or unconditionally when the window
+		// is empty, so a batch larger than the bound progresses instead of
+		// deadlocking.
+		if ws.heldOps == 0 ||
+			(ws.heldOps+len(ops) <= ws.opts.MaxPendingOps &&
+				ws.heldBytes+nbytes <= ws.opts.MaxPendingBytes) {
+			break
+		}
+		ws.cond.Wait()
+	}
+	ws.heldOps += len(ops)
+	ws.heldBytes += nbytes
+	ws.queue = append(ws.queue, writeBatch{ops: ops, nbytes: nbytes})
+	ws.cond.Broadcast()
+	return nil
+}
+
+// Commits delivers one WriteCommit per admitted batch, in order. The
+// channel closes once the session is closed (or its context canceled)
+// and every admitted batch has been delivered or abandoned.
+func (ws *WriteSession) Commits() <-chan WriteCommit { return ws.commits }
+
+// Close stops admission. Batches already admitted still commit and
+// deliver; Commits closes when they have. Safe to call more than once.
+func (ws *WriteSession) Close() {
+	ws.mu.Lock()
+	ws.closed = true
+	ws.cond.Broadcast()
+	ws.mu.Unlock()
+}
+
+// applier is the session's single consumer: it takes batches in order,
+// runs the read fence, applies, and delivers. It exits when the session
+// is closed and drained, or its context is canceled.
+func (ws *WriteSession) applier() {
+	defer close(ws.commits)
+	for {
+		ws.mu.Lock()
+		for len(ws.queue) == 0 && !ws.closed && ws.ctxErr == nil {
+			ws.cond.Wait()
+		}
+		if len(ws.queue) == 0 || ws.ctxErr != nil {
+			// Closed and drained — or canceled, abandoning what is queued
+			// (the producer saw the same cancellation from Submit).
+			ws.mu.Unlock()
+			return
+		}
+		wb := ws.queue[0]
+		ws.queue = ws.queue[1:]
+		sticky := ws.stickyErr
+		lastApply := ws.lastApply
+		ws.mu.Unlock()
+
+		var wc WriteCommit
+		if sticky != nil {
+			wc.Err = sticky
+		} else {
+			if !ws.opts.NoFence {
+				ws.fence(lastApply)
+			}
+			t0 := time.Now()
+			wc.Commit, wc.Err = ws.e.Apply(wb.ops)
+			ws.mu.Lock()
+			ws.lastApply = time.Since(t0)
+			if wc.Err != nil {
+				ws.stickyErr = wc.Err
+				ws.cond.Broadcast()
+			}
+			ws.mu.Unlock()
+		}
+
+		// Deliver, then release the batch's admission capacity — held
+		// until the consumer actually received the ack, so an undrained
+		// Commits channel stalls the write path by design.
+		select {
+		case ws.commits <- wc:
+		case <-ws.ctxDone:
+			return
+		}
+		ws.mu.Lock()
+		ws.heldOps -= len(wb.ops)
+		ws.heldBytes -= wb.nbytes
+		ws.cond.Broadcast()
+		ws.mu.Unlock()
+	}
+}
+
+// fence blocks while any read session engine-wide has queued requests,
+// up to a deadline scaled to recent commit cost (a commit's fair share
+// of the scheduler is about one apply duration; waiting a few multiples
+// lets queued readers clear without letting a saturated read queue
+// shut the writer out). Polling is deliberate: queued reads drain in
+// microseconds once a worker frees up, and a condition variable shared
+// across every session would put a broadcast on the read hot path.
+func (ws *WriteSession) fence(lastApply time.Duration) {
+	if ws.e.queuedReads.Load() == 0 {
+		return
+	}
+	limit := 4 * lastApply
+	if limit < time.Millisecond {
+		limit = time.Millisecond
+	}
+	if limit > 100*time.Millisecond {
+		limit = 100 * time.Millisecond
+	}
+	deadline := time.Now().Add(limit)
+	for ws.e.queuedReads.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+}

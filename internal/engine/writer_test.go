@@ -1,0 +1,346 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"regraph/internal/engine"
+	"regraph/internal/gen"
+	"regraph/internal/mutate"
+	"regraph/internal/wal"
+)
+
+func writerOps(k int, tag string, n int) []mutate.Op {
+	ops := make([]mutate.Op, 0, k)
+	for i := 0; i < k; i++ {
+		ops = append(ops, mutate.Op{Verb: mutate.VerbSetAttr,
+			Node:  fmt.Sprintf("n%d", (i*37+len(tag))%n),
+			Attrs: map[string]string{"a0": fmt.Sprintf("%s%d", tag, i)}})
+	}
+	return ops
+}
+
+func TestWriteSessionCommitsInOrder(t *testing.T) {
+	g := gen.Synthetic(3, 50, 200, 2, gen.DefaultColors)
+	e := engine.MustNew(g, engine.Options{Workers: 1, BackendKind: "cache"})
+	ws := e.OpenWriter(context.Background(), engine.WriterOptions{})
+
+	var got []engine.WriteCommit
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for wc := range ws.Commits() {
+			got = append(got, wc)
+		}
+	}()
+	for b := 0; b < 5; b++ {
+		if err := ws.Submit(context.Background(), writerOps(4, fmt.Sprint(b), 50), 0); err != nil {
+			t.Fatalf("submit %d: %v", b, err)
+		}
+	}
+	ws.Close()
+	<-done
+	if len(got) != 5 {
+		t.Fatalf("%d commits delivered, want 5", len(got))
+	}
+	for i, wc := range got {
+		if wc.Err != nil {
+			t.Fatalf("commit %d: %v", i, wc.Err)
+		}
+		// One Submit = one Apply = one generation: batch boundaries are
+		// preserved, so generation assignment is deterministic.
+		if wc.Commit.Gen != uint64(i+1) {
+			t.Fatalf("commit %d got gen %d, want %d", i, wc.Commit.Gen, i+1)
+		}
+		if len(wc.Commit.Acks) != 4 {
+			t.Fatalf("commit %d has %d acks, want 4", i, len(wc.Commit.Acks))
+		}
+	}
+}
+
+func TestWriteSessionAdmissionBound(t *testing.T) {
+	g := gen.Synthetic(3, 50, 200, 2, gen.DefaultColors)
+	e := engine.MustNew(g, engine.Options{Workers: 1, BackendKind: "cache"})
+	ws := e.OpenWriter(context.Background(), engine.WriterOptions{MaxPendingOps: 8})
+
+	// First batch fills the window; nothing drains Commits, so capacity
+	// is held even after the engine applies it.
+	if err := ws.Submit(context.Background(), writerOps(8, "a", 50), 0); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() {
+		blocked <- ws.Submit(context.Background(), writerOps(4, "b", 50), 0)
+	}()
+	select {
+	case err := <-blocked:
+		t.Fatalf("second submit was admitted past a full window (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Draining the first commit releases its capacity; the blocked
+	// submit must now go through.
+	wc := <-ws.Commits()
+	if wc.Err != nil {
+		t.Fatal(wc.Err)
+	}
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatalf("unblocked submit failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("submit still blocked after capacity was released")
+	}
+	ws.Close()
+	for range ws.Commits() {
+	}
+}
+
+func TestWriteSessionOversizedBatchAdmittedWhenEmpty(t *testing.T) {
+	g := gen.Synthetic(3, 50, 200, 2, gen.DefaultColors)
+	e := engine.MustNew(g, engine.Options{Workers: 1, BackendKind: "cache"})
+	ws := e.OpenWriter(context.Background(), engine.WriterOptions{MaxPendingOps: 4})
+	done := make(chan error, 1)
+	go func() {
+		// 16 ops against a 4-op bound: must be admitted alone, not
+		// deadlock.
+		done <- ws.Submit(context.Background(), writerOps(16, "big", 50), 0)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("oversized batch deadlocked an empty window")
+	}
+	if wc := <-ws.Commits(); wc.Err != nil || len(wc.Commit.Acks) != 16 {
+		t.Fatalf("oversized batch commit: %+v", wc)
+	}
+	ws.Close()
+}
+
+func TestWriteSessionSubmitUnblocksOnCancel(t *testing.T) {
+	g := gen.Synthetic(3, 50, 200, 2, gen.DefaultColors)
+	e := engine.MustNew(g, engine.Options{Workers: 1, BackendKind: "cache"})
+	ws := e.OpenWriter(context.Background(), engine.WriterOptions{MaxPendingOps: 4})
+	if err := ws.Submit(context.Background(), writerOps(4, "a", 50), 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- ws.Submit(ctx, writerOps(4, "b", 50), 0)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled submit returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("submit did not unblock on context cancellation")
+	}
+	ws.Close()
+	for range ws.Commits() {
+	}
+}
+
+func TestWriteSessionStickyError(t *testing.T) {
+	dir := t.TempDir()
+	w, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Synthetic(3, 50, 200, 2, gen.DefaultColors)
+	e := engine.MustNew(g, engine.Options{Workers: 1, BackendKind: "cache", WAL: w})
+	ws := e.OpenWriter(context.Background(), engine.WriterOptions{})
+	// Closing the log under the engine makes the next Apply fail its
+	// append — the clean way to inject a write-path failure.
+	w.Close()
+	if err := ws.Submit(context.Background(), writerOps(4, "a", 50), 0); err != nil {
+		t.Fatal(err)
+	}
+	wc := <-ws.Commits()
+	if wc.Err == nil {
+		t.Fatal("apply against a closed WAL reported no error")
+	}
+	// The error is sticky: later submits fail fast with it.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := ws.Submit(context.Background(), writerOps(1, "b", 50), 0)
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submit kept succeeding after a sticky apply error")
+		}
+		<-ws.Commits()
+	}
+	ws.Close()
+	for range ws.Commits() {
+	}
+}
+
+// ---- writer starvation regression (GOMAXPROCS=1) --------------------------
+
+// starvOps is one deterministic 32-op set_attr batch for the
+// starvation arms — cheap commits, which is the worst case for
+// readers: the shorter an apply, the tighter the writer loop spins and
+// the longer a queued read waits for the scheduler to preempt it.
+func starvOps(b, n int) []mutate.Op {
+	ops := make([]mutate.Op, 0, 32)
+	for j := 0; j < 32; j++ {
+		ops = append(ops, mutate.Op{Verb: mutate.VerbSetAttr,
+			Node:  fmt.Sprintf("n%d", (b*31+j*7)%n),
+			Attrs: map[string]string{"a0": fmt.Sprint((b + j) % 10)}})
+	}
+	return ops
+}
+
+// starvationArm drives a saturating writer against an open-loop read
+// stream on one core and returns the read p99 queue wait. With direct
+// true the writer is the pre-admission shape — a tight Engine.Apply
+// loop on one goroutine, exactly what the served decode loop used to
+// do — the control this regression test exists to keep demonstrably
+// bad. Otherwise the writer goes through a WriteSession (admission
+// window + read fence), the productized fix. The open-loop submitter is
+// the coordinated-omission-safe shape: reads arrive on a clock, not
+// after the previous answer, so writer-induced queue delay accumulates
+// in Wait instead of silently stretching the arrival gaps.
+func starvationArm(t *testing.T, direct bool) time.Duration {
+	t.Helper()
+	runtime.GC() // don't let the previous arm's garbage pay this arm's pauses
+	n := 2000
+	g := gen.Synthetic(1, n, 4*n, 3, gen.DefaultColors)
+	e := engine.MustNew(g, engine.Options{Workers: 1, BackendKind: "cache"})
+	r := rand.New(rand.NewSource(7))
+	q := gen.RQ(g, 4, 6, 3, r)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var wg sync.WaitGroup
+	if direct {
+		wg.Add(1)
+		go func() { // the old write path: apply as fast as decode allows
+			defer wg.Done()
+			for b := 0; ctx.Err() == nil; b++ {
+				if _, err := e.Apply(starvOps(b, n)); err != nil {
+					return
+				}
+			}
+		}()
+	} else {
+		ws := e.OpenWriter(ctx, engine.WriterOptions{})
+		defer ws.Close()
+		wg.Add(2)
+		go func() { // saturating writer at the admission window
+			defer wg.Done()
+			for b := 0; ; b++ {
+				if err := ws.Submit(ctx, starvOps(b, n), 0); err != nil {
+					return
+				}
+			}
+		}()
+		go func() { // ack consumer
+			defer wg.Done()
+			for range ws.Commits() {
+			}
+		}()
+	}
+
+	s := e.Open(ctx, engine.SessionOptions{MaxInFlight: 1 << 16})
+	var waits []time.Duration
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for res := range s.Results() {
+			if res.Err == nil {
+				waits = append(waits, res.Wait)
+			}
+		}
+	}()
+
+	// Dense arrivals are the regime that exposes starvation: reads
+	// arrive faster than the single worker drains them while the writer
+	// holds the core, so every preemption quantum the writer wins is a
+	// quantum the whole read queue ages.
+	const (
+		interval = 500 * time.Microsecond
+		runFor   = 3 * time.Second
+	)
+	start := time.Now()
+	for i := 0; time.Since(start) < runFor; i++ {
+		next := start.Add(time.Duration(i) * interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		if _, err := s.Submit(ctx, engine.Request{RQ: &q}); err != nil {
+			break
+		}
+	}
+	s.Close()
+	rwg.Wait()
+	cancel()
+	wg.Wait()
+
+	if len(waits) < 100 {
+		t.Fatalf("only %d read results in %v — arm produced no signal", len(waits), runFor)
+	}
+	sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+	return waits[len(waits)*99/100]
+}
+
+// TestWriterStarvationRegression pins the write-path admission fix on
+// one core: through a WriteSession, a saturating writer cannot push
+// read queue waits past a few preemption quanta; through the old direct
+// Apply loop (the control), queue waits blow up by a healthy multiple —
+// bounded only by Go's scheduler preemption, which is the regression
+// this test exists to catch. The assertion is both absolute (session
+// p99 under 15ms) and relative (control at least 2× worse), so it stays
+// meaningful on slow CI hosts.
+func TestWriterStarvationRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2s-per-arm load test skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("tail-latency thresholds are meaningless under the race detector's slowdown; CI runs this in a plain build")
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+
+	// A single-core tail measurement has scheduler-shaped variance; one
+	// bad GC pause can push either arm over a threshold. Retry a couple
+	// of times — a real regression fails every attempt.
+	var bounded, control time.Duration
+	for attempt := 1; ; attempt++ {
+		bounded = starvationArm(t, false)
+		control = starvationArm(t, true)
+		t.Logf("attempt %d read wait p99: write-session=%v direct-apply control=%v (ratio %.1fx)",
+			attempt, bounded, control, float64(control)/float64(bounded))
+		if bounded <= 15*time.Millisecond && control >= 2*bounded {
+			return
+		}
+		if attempt == 3 {
+			break
+		}
+	}
+	if bounded > 15*time.Millisecond {
+		t.Errorf("write-session read p99 %v exceeds 15ms — admission is not protecting readers", bounded)
+	}
+	if control < 2*bounded {
+		t.Errorf("control p99 %v is not ≥2× the write-session p99 %v — the control arm no longer demonstrates starvation",
+			control, bounded)
+	}
+}

@@ -155,6 +155,12 @@ type Ack struct {
 	Verb string `json:"op,omitempty"`
 	Gen  uint64 `json:"gen,omitempty"`
 	Err  string `json:"error,omitempty"`
+
+	// ErrKind classifies Err for programmatic handling, mirroring
+	// wire.Response.ErrKind: "read_only" marks an op refused by a tier
+	// that cannot write (a replica router with no writer upstream).
+	// Empty for success and for ordinary per-op failures.
+	ErrKind string `json:"error_kind,omitempty"`
 }
 
 // Summary is the trailing response line of a mutation stream: totals
@@ -171,6 +177,10 @@ type Summary struct {
 	// Err reports a stream-level failure (unreadable body, engine not
 	// mutable); per-op failures are ack errors, not this.
 	Err string `json:"error,omitempty"`
+
+	// ErrKind classifies Err, mirroring Ack.ErrKind ("read_only" when
+	// the whole stream was refused by a non-writing tier).
+	ErrKind string `json:"error_kind,omitempty"`
 }
 
 // SummaryKind is the Kind value of a Summary line.
@@ -192,9 +202,10 @@ func (e *LineError) Unwrap() error { return e.Err }
 // line's assigned ordinal so the caller can ack the failure; any other
 // error is a stream-level failure.
 type Decoder struct {
-	sc   *bufio.Scanner
-	line int
-	ord  uint64
+	sc     *bufio.Scanner
+	line   int
+	ord    uint64
+	nbytes int64
 }
 
 // NewDecoder wraps r in a mutation decoder accepting lines up to
@@ -209,6 +220,7 @@ func NewDecoder(r io.Reader) *Decoder {
 func (d *Decoder) Next() (Op, error) {
 	for d.sc.Scan() {
 		d.line++
+		d.nbytes += int64(len(d.sc.Bytes())) + 1
 		text := strings.TrimSpace(d.sc.Text())
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
@@ -240,6 +252,11 @@ func (d *Decoder) Next() (Op, error) {
 	}
 	return Op{}, io.EOF
 }
+
+// Consumed reports the input bytes the decoder has read so far
+// (including skipped blanks and comments) — the wire-size accounting a
+// byte-bounded admission window needs.
+func (d *Decoder) Consumed() int64 { return d.nbytes }
 
 // flusher / errFlusher mirror wire.Encoder's: each ack reaches a
 // streaming client the moment it is written.

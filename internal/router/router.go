@@ -39,6 +39,8 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/httputil"
+	"net/url"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -115,6 +117,13 @@ type Options struct {
 	// inject fault-scripted dialers). Nil means a clone of
 	// http.DefaultTransport.
 	Transport http.RoundTripper
+
+	// Writer is the writer upstream's base URL ("http://host:port"): the
+	// rgserve owning the write path. When set, POST /v1/mutate and POST
+	// /v1/subscribe stream through to it; when empty the router is a
+	// read-only tier and refuses write-path streams explicitly with
+	// error_kind "read_only" lines (never a silent 404).
+	Writer string
 }
 
 // withDefaults resolves zero fields to documented defaults.
@@ -395,6 +404,12 @@ type Router struct {
 	unavailable   metrics.Counter
 	budgetDenied  metrics.Counter
 	parseErrors   metrics.Counter
+
+	// Write path (see write.go): nil writeProxy means a read-only tier.
+	writeProxy     *httputil.ReverseProxy
+	writeForwarded metrics.Counter
+	writeRejected  metrics.Counter
+	writeErrors    metrics.Counter
 }
 
 // New builds a router over the configured replica set and starts its
@@ -434,8 +449,18 @@ func New(opts Options) (*Router, error) {
 		rep.ready.Store(true)
 		rt.reps = append(rt.reps, rep)
 	}
+	if w := strings.TrimRight(strings.TrimSpace(opts.Writer), "/"); w != "" {
+		u, err := url.Parse(w)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			cancel()
+			return nil, fmt.Errorf("router: bad writer url %q", opts.Writer)
+		}
+		rt.writeProxy = rt.newWriteProxy(u, tr)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", rt.handleQuery)
+	mux.HandleFunc("/v1/mutate", rt.handleMutate)
+	mux.HandleFunc("/v1/subscribe", rt.handleSubscribe)
 	mux.HandleFunc("/v1/stats", rt.handleStats)
 	mux.HandleFunc("/healthz", rt.handleHealth)
 	mux.HandleFunc("/readyz", rt.handleReady)
@@ -681,16 +706,19 @@ func (rt *Router) endStream() {
 // Stats returns the /v1/stats snapshot.
 func (rt *Router) Stats() wire.RouterStats {
 	st := wire.RouterStats{
-		Draining:      rt.draining.Load(),
-		StreamsActive: int(rt.streamsActive.Load()),
-		StreamsTotal:  rt.streamsTotal.Load(),
-		Requests:      rt.requests.Load(),
-		Retries:       rt.retries.Load(),
-		Hedges:        rt.hedges.Load(),
-		DupSuppressed: rt.dups.Load(),
-		Unavailable:   rt.unavailable.Load(),
-		BudgetDenied:  rt.budgetDenied.Load(),
-		ParseErrors:   rt.parseErrors.Load(),
+		Draining:       rt.draining.Load(),
+		StreamsActive:  int(rt.streamsActive.Load()),
+		StreamsTotal:   rt.streamsTotal.Load(),
+		Requests:       rt.requests.Load(),
+		Retries:        rt.retries.Load(),
+		Hedges:         rt.hedges.Load(),
+		DupSuppressed:  rt.dups.Load(),
+		Unavailable:    rt.unavailable.Load(),
+		BudgetDenied:   rt.budgetDenied.Load(),
+		ParseErrors:    rt.parseErrors.Load(),
+		WriteForwarded: rt.writeForwarded.Load(),
+		WriteRejected:  rt.writeRejected.Load(),
+		WriteErrors:    rt.writeErrors.Load(),
 	}
 	for _, rep := range rt.reps {
 		st.Replicas = append(st.Replicas, rep.stats())

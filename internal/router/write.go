@@ -1,0 +1,147 @@
+package router
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"time"
+
+	"regraph/internal/mutate"
+	"regraph/internal/wire"
+)
+
+// This file is the router's write path. A replica router load-balances
+// reads; writes have a single owner (the rgserve holding the engine's
+// apply loop and its WAL), so POST /v1/mutate and POST /v1/subscribe
+// either stream through to the configured writer upstream
+// (Options.Writer) or — on a read-only tier with none configured — are
+// refused *explicitly*, speaking the endpoint's own NDJSON protocol:
+// one ack per mutation line and a trailing summary, every line tagged
+// error_kind "read_only". The silent 404 the mux used to serve here was
+// a bug: a status-checking client saw "not found" and could not tell a
+// misrouted request from a read-only tier.
+
+// errReadOnly is the per-line error message of a read-only refusal.
+const errReadOnly = "router: read-only tier: no writer upstream configured (-writer)"
+
+// newWriteProxy builds the streaming reverse proxy to the writer
+// upstream. FlushInterval -1 flushes every write through immediately —
+// ack lines and subscription deltas reach the client as the writer
+// emits them, preserving the endpoints' streaming contracts through
+// the extra hop.
+func (rt *Router) newWriteProxy(u *url.URL, tr http.RoundTripper) *httputil.ReverseProxy {
+	return &httputil.ReverseProxy{
+		Rewrite:       func(pr *httputil.ProxyRequest) { pr.SetURL(u) },
+		FlushInterval: -1,
+		Transport:     tr,
+		ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
+			// Reached only before any response byte: a dead or unreachable
+			// writer. Mid-stream failures abort the inbound stream instead
+			// (the client sees a truncated NDJSON stream, its signal to
+			// retry).
+			rt.writeErrors.Inc()
+			http.Error(w, "router: writer upstream: "+err.Error(), http.StatusBadGateway)
+		},
+	}
+}
+
+// handleMutate serves POST /v1/mutate: proxied to the writer upstream
+// when one is configured, refused explicitly otherwise.
+func (rt *Router) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST NDJSON mutation lines to /v1/mutate", http.StatusMethodNotAllowed)
+		return
+	}
+	if !rt.addStream() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	defer rt.endStream()
+	if rt.writeProxy == nil {
+		rt.writeRejected.Inc()
+		rt.rejectMutate(w, r)
+		return
+	}
+	rt.writeForwarded.Inc()
+	// The writer streams acks while the client is still uploading ops;
+	// without full duplex the first proxied response byte would close
+	// the inbound body. Best effort — HTTP/2 is duplex natively.
+	http.NewResponseController(w).EnableFullDuplex()
+	rt.writeProxy.ServeHTTP(w, r)
+}
+
+// handleSubscribe serves POST /v1/subscribe the same way: proxy or
+// explicit refusal.
+func (rt *Router) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST one NDJSON pattern request line to /v1/subscribe", http.StatusMethodNotAllowed)
+		return
+	}
+	if !rt.addStream() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	defer rt.endStream()
+	if rt.writeProxy == nil {
+		rt.writeRejected.Inc()
+		// The subscribe protocol's refusal shape is its end line: the
+		// stream ends before it begins, tagged read_only.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		wire.NewEncoder(w).Encode(wire.Delta{
+			Kind: wire.DeltaEnd, Err: errReadOnly, ErrKind: wire.ErrKindReadOnly,
+		})
+		return
+	}
+	rt.writeForwarded.Inc()
+	http.NewResponseController(w).EnableFullDuplex()
+	rt.writeProxy.ServeHTTP(w, r)
+}
+
+// rejectMutate answers a mutation stream on a tier that cannot write:
+// every op line — malformed ones included, they never had a writer to
+// fail against either — gets an ack with error_kind "read_only", and
+// the trailing summary carries the same tag, so both line-reading and
+// summary-only clients see the refusal. Nothing is applied anywhere:
+// Applied is 0 and Failed counts every line.
+func (rt *Router) rejectMutate(w http.ResponseWriter, r *http.Request) {
+	rc := http.NewResponseController(w)
+	rc.EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc.Flush()
+
+	enc := mutate.NewEncoder(w)
+	writeOK := true
+	send := func(v any) {
+		if writeOK && enc.Encode(v) != nil {
+			writeOK = false
+		}
+	}
+	sum := mutate.Summary{Kind: mutate.SummaryKind, Err: errReadOnly, ErrKind: wire.ErrKindReadOnly}
+	dec := mutate.NewDecoder(r.Body)
+	for writeOK {
+		op, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		var le *mutate.LineError
+		if err != nil && !errors.As(err, &le) {
+			// Unreadable stream (oversized line, dead connection): the
+			// summary still goes out with the count so far. Drain the rest
+			// (deadline-bounded) so net/http can reuse the connection.
+			rc.SetReadDeadline(time.Now().Add(2 * time.Second))
+			io.Copy(io.Discard, r.Body)
+			break
+		}
+		var id uint64
+		if op.ID != nil {
+			id = *op.ID
+		}
+		sum.Failed++
+		send(mutate.Ack{ID: id, Verb: op.Verb, Err: errReadOnly, ErrKind: wire.ErrKindReadOnly})
+	}
+	send(sum)
+}

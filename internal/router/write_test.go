@@ -1,0 +1,211 @@
+package router_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"regraph/internal/engine"
+	"regraph/internal/graph"
+	"regraph/internal/mutate"
+	"regraph/internal/router"
+	"regraph/internal/server"
+	"regraph/internal/wire"
+)
+
+// writeTestGraph is the write-path tests' tiny deterministic graph:
+// a(t=1) --x--> b(t=2), same shape the server's mutate tests use.
+func writeTestGraph() *graph.Graph {
+	g := graph.New()
+	a := g.AddNode("a", map[string]string{"t": "1"})
+	b := g.AddNode("b", map[string]string{"t": "2"})
+	g.AddEdge(a, b, "x")
+	return g
+}
+
+// postWriteStream posts body to url+path and decodes the NDJSON
+// response into ack lines and the trailing summary.
+func postWriteStream(t *testing.T, url, path, body string) (int, []mutate.Ack, mutate.Summary, bool) {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil, mutate.Summary{}, false
+	}
+	var acks []mutate.Ack
+	var sum mutate.Summary
+	sawSummary := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.Contains(line, `"kind":"summary"`) {
+			if err := json.Unmarshal([]byte(line), &sum); err != nil {
+				t.Fatalf("summary line %q: %v", line, err)
+			}
+			sawSummary = true
+			continue
+		}
+		var a mutate.Ack
+		if err := json.Unmarshal([]byte(line), &a); err != nil {
+			t.Fatalf("ack line %q: %v", line, err)
+		}
+		acks = append(acks, a)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, acks, sum, sawSummary
+}
+
+// TestRouterWriteReject is the regression test for the silent-404 bug:
+// a read-only router (no -writer) must answer POST /v1/mutate in the
+// endpoint's own protocol — one ack per line and a summary, every line
+// tagged error_kind "read_only" — and POST /v1/subscribe with a
+// read_only end line. Neither may 404.
+func TestRouterWriteReject(t *testing.T) {
+	rep := startReplica(t, writeTestGraph(), nil)
+	defer rep.stop()
+	rt, url, stop := startRouter(t, router.Options{ProbeInterval: -1}, rep)
+	defer stop()
+
+	body := strings.Join([]string{
+		"add_node c t=2",
+		`{"op":"add_edge","from":"a","to":"c","color":"x"}`,
+		"frobnicate q", // malformed: still refused read_only, never parsed against a writer
+	}, "\n")
+	status, acks, sum, sawSummary := postWriteStream(t, url, "/v1/mutate", body)
+	if status != http.StatusOK {
+		t.Fatalf("read-only mutate status %d, want 200 with protocol lines (the 404 regression)", status)
+	}
+	if !sawSummary {
+		t.Fatal("read-only mutate stream ended without a summary line")
+	}
+	if len(acks) != 3 {
+		t.Fatalf("got %d acks, want 3: %+v", len(acks), acks)
+	}
+	for i, a := range acks {
+		if a.ID != uint64(i) || a.ErrKind != wire.ErrKindReadOnly || a.Err == "" || a.Gen != 0 {
+			t.Errorf("ack %d: %+v, want id %d error_kind %q", i, a, i, wire.ErrKindReadOnly)
+		}
+	}
+	if sum.ErrKind != wire.ErrKindReadOnly || sum.Applied != 0 || sum.Failed != 3 {
+		t.Errorf("summary %+v, want error_kind read_only applied 0 failed 3", sum)
+	}
+
+	// Subscribe: one end line, tagged the same way.
+	resp, err := http.Post(url+"/v1/subscribe", "application/x-ndjson",
+		strings.NewReader(`{"pq":"node A\tt = 1\nnode B\tt = 2\nedge A B\tx"}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read-only subscribe status %d, want 200 with an end line", resp.StatusCode)
+	}
+	var d wire.Delta
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != wire.DeltaEnd || d.ErrKind != wire.ErrKindReadOnly || d.Err == "" {
+		t.Errorf("subscribe refusal %+v, want kind end error_kind read_only", d)
+	}
+
+	st := rt.Stats()
+	if st.WriteRejected != 2 || st.WriteForwarded != 0 {
+		t.Errorf("write counters: rejected %d forwarded %d, want 2/0", st.WriteRejected, st.WriteForwarded)
+	}
+}
+
+// TestRouterWriteForward: with a writer upstream configured, mutation
+// and subscription streams proxy through — acks and deltas arrive
+// line-streamed, and the write lands on the writer's engine.
+func TestRouterWriteForward(t *testing.T) {
+	g := writeTestGraph()
+	e := engine.MustNew(g, engine.Options{Workers: 2})
+	writer := server.New(e, server.Options{})
+	wts := httptest.NewServer(writer.Handler())
+	defer wts.Close()
+	defer writer.Close()
+
+	rep := startReplica(t, writeTestGraph(), nil)
+	defer rep.stop()
+	rt, url, stop := startRouter(t, router.Options{ProbeInterval: -1, Writer: wts.URL}, rep)
+	defer stop()
+
+	status, acks, sum, sawSummary := postWriteStream(t, url, "/v1/mutate",
+		"add_node c t=2\nadd_edge a c x\n")
+	if status != http.StatusOK || !sawSummary {
+		t.Fatalf("forwarded mutate: status %d summary %v", status, sawSummary)
+	}
+	if len(acks) != 2 || acks[0].Gen != 1 || acks[1].Gen != 1 {
+		t.Fatalf("forwarded acks: %+v, want both committed at gen 1", acks)
+	}
+	if sum.Applied != 2 || sum.Failed != 0 || sum.Gen != 1 {
+		t.Fatalf("forwarded summary: %+v", sum)
+	}
+	if e.Generation() != 1 || e.Graph().NumNodes() != 3 {
+		t.Fatalf("writer engine after forwarded stream: gen %d nodes %d, want 1/3",
+			e.Generation(), e.Graph().NumNodes())
+	}
+
+	// Subscribe through the router: the writer's init snapshot arrives
+	// on the proxied stream.
+	resp, err := http.Post(url+"/v1/subscribe", "application/x-ndjson",
+		strings.NewReader(`{"pq":"node A\tt = 1\nnode B\tt = 2\nedge A B\tx"}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded subscribe status %d", resp.StatusCode)
+	}
+	var init wire.Delta
+	if err := json.NewDecoder(resp.Body).Decode(&init); err != nil {
+		t.Fatal(err)
+	}
+	if init.Kind != wire.DeltaInit || init.Gen != 1 || init.Err != "" {
+		t.Errorf("forwarded init delta %+v, want kind init at gen 1", init)
+	}
+
+	st := rt.Stats()
+	if st.WriteForwarded != 2 || st.WriteRejected != 0 {
+		t.Errorf("write counters: forwarded %d rejected %d, want 2/0", st.WriteForwarded, st.WriteRejected)
+	}
+}
+
+// TestRouterWriteForwardDeadWriter: a configured-but-unreachable writer
+// yields an explicit 502, not a hang or a 404.
+func TestRouterWriteForwardDeadWriter(t *testing.T) {
+	rep := startReplica(t, writeTestGraph(), nil)
+	defer rep.stop()
+	// A listener that is immediately closed: connection refused.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	rt, url, stop := startRouter(t, router.Options{ProbeInterval: -1, Writer: deadURL}, rep)
+	defer stop()
+
+	resp, err := http.Post(url+"/v1/mutate", "application/x-ndjson", strings.NewReader("add_node c\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("dead-writer status %d, want 502", resp.StatusCode)
+	}
+	if st := rt.Stats(); st.WriteErrors != 1 {
+		t.Errorf("write errors = %d, want 1", st.WriteErrors)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"regraph/internal/engine"
 	"regraph/internal/mutate"
 	"regraph/internal/wire"
 )
@@ -19,11 +20,18 @@ const defaultMutateBatch = 1024
 // handleMutate serves POST /v1/mutate: NDJSON mutation lines in
 // (internal/mutate — JSON ops or the qlang text form), ack lines out as
 // each chunk commits, one trailing summary. Ops are grouped into
-// chunks of at most MutateBatch and each chunk is one engine.Apply —
-// one atomic generation; malformed lines get error acks and the stream
-// continues, exactly like the query endpoint's per-line errors. Only an
-// unreadable stream (oversized line, dead connection) or a mid-stream
-// Apply refusal ends it early, tagged in the summary's error field.
+// chunks of at most MutateBatch and each chunk is one Submit to the
+// stream's WriteSession — one atomic generation; malformed lines get
+// error acks and the stream continues, exactly like the query
+// endpoint's per-line errors. The session's admission window
+// (MaxPendingOps/MaxPendingBytes) is the write path's flow control: a
+// full window stalls the decode loop, which stalls the body read, and
+// TCP back-pressure reaches the client — the mirror of the read path's
+// MaxInFlight. Only an unreadable stream (oversized line, dead
+// connection) or a write-path failure (WAL append error) ends it
+// early, tagged in the summary's error field — and even then the
+// trailing summary still reports the counts of everything that did
+// commit.
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST NDJSON mutation lines to /v1/mutate", http.StatusMethodNotAllowed)
@@ -97,31 +105,70 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		Kind: mutate.SummaryKind,
 		Gen:  probe.Gen, Nodes: probe.Nodes, Edges: probe.Edges,
 	}
-	var ops []mutate.Op
-	// flush commits the pending chunk as one generation and streams its
-	// acks. An Apply error (the engine turned read-only mid-stream is
-	// impossible today, but the contract allows it) is terminal.
-	flush := func() {
-		if len(ops) == 0 || sum.Err != "" {
-			return
+
+	ws := s.e.OpenWriter(ctx, engine.WriterOptions{
+		MaxPendingOps:   s.opts.MaxPendingOps,
+		MaxPendingBytes: s.opts.MaxPendingBytes,
+	})
+	defer ws.Close()
+
+	// Consumer: drain commits as the applier produces them, streaming
+	// each batch's acks and folding its totals. Concurrent with the
+	// decode loop, so acks reach the client while later chunks are still
+	// uploading; the totals are read only after consumerDone.
+	var (
+		applied, failed int
+		lastCommit      engine.Commit
+		haveCommit      bool
+		commitErr       error
+	)
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for wc := range ws.Commits() {
+			if wc.Err != nil {
+				// Sticky write-path failure (WAL append, engine refusal):
+				// remember the first, keep draining so held capacity frees.
+				if commitErr == nil {
+					commitErr = wc.Err
+				}
+				continue
+			}
+			s.opsApplied.Add(uint64(wc.Commit.Applied))
+			s.opsFailed.Add(uint64(wc.Commit.Failed))
+			applied += wc.Commit.Applied
+			failed += wc.Commit.Failed
+			lastCommit, haveCommit = wc.Commit, true
+			for _, a := range wc.Commit.Acks {
+				send(a)
+			}
 		}
-		cm, err := s.e.Apply(ops)
-		ops = ops[:0]
-		if err != nil {
-			sum.Err = err.Error()
-			return
-		}
-		s.opsApplied.Add(uint64(cm.Applied))
-		s.opsFailed.Add(uint64(cm.Failed))
-		sum.Gen, sum.Nodes, sum.Edges = cm.Gen, cm.Nodes, cm.Edges
-		sum.Applied += cm.Applied
-		sum.Failed += cm.Failed
-		for _, a := range cm.Acks {
-			send(a)
-		}
-	}
+	}()
 
 	dec := mutate.NewDecoder(r.Body)
+	var ops []mutate.Op
+	mark := dec.Consumed()
+	parseFailed := 0
+	// submit hands the pending chunk to the write session (one Submit =
+	// one generation), blocking on the admission window. A Submit error
+	// — sticky write failure, cancellation, drain — is terminal.
+	submit := func() bool {
+		if len(ops) == 0 {
+			return true
+		}
+		nbytes := dec.Consumed() - mark
+		mark = dec.Consumed()
+		err := ws.Submit(ctx, ops, nbytes)
+		ops = nil // the session owns the slice until delivery
+		if err != nil {
+			if sum.Err == "" {
+				sum.Err = err.Error()
+			}
+			return false
+		}
+		return true
+	}
+
 	for sum.Err == "" && !writeFailed.Load() {
 		op, err := dec.Next()
 		if err == io.EOF {
@@ -133,7 +180,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			// ack it as failed and keep reading.
 			s.parseErrors.Inc()
 			s.opsFailed.Inc()
-			sum.Failed++
+			parseFailed++
 			var id uint64
 			if op.ID != nil {
 				id = *op.ID
@@ -142,24 +189,53 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if err != nil {
-			// Unreadable stream: commit what was read, then report. Reads
+			// Unreadable stream: submit what was read, then report. Reads
 			// broken by a disconnect or drain are not protocol failures.
 			if ctx.Err() == nil {
 				s.parseErrors.Inc()
-				flush()
-				sum.Err = "mutation stream aborted: " + err.Error()
+				submit()
+				if sum.Err == "" {
+					sum.Err = "mutation stream aborted: " + err.Error()
+				}
 			} else {
-				flush()
-				sum.Err = "mutation stream canceled"
+				submit()
+				if sum.Err == "" {
+					sum.Err = "mutation stream canceled"
+				}
 			}
 			break
 		}
 		ops = append(ops, op)
 		if len(ops) >= batch {
-			flush()
+			submit()
 		}
 	}
-	flush()
+	submit()
+
+	// Close admission and wait for every submitted chunk's outcome: the
+	// summary must account for everything that committed, even when the
+	// stream died mid-way (the oversized-line contract).
+	ws.Close()
+	<-consumerDone
+
+	// A stream that died mid-body (oversized line, write-path failure)
+	// leaves unread input. Read it to EOF — bounded by a read deadline —
+	// before returning: net/http's connection reader panics on reuse
+	// when a full-duplex handler abandons a half-read body, and the
+	// drain happens after every commit is acked so the client sees the
+	// complete response either way.
+	if sum.Err != "" && ctx.Err() == nil && !writeFailed.Load() {
+		rc.SetReadDeadline(time.Now().Add(2 * time.Second))
+		io.Copy(io.Discard, r.Body)
+	}
+	sum.Applied = applied
+	sum.Failed = failed + parseFailed
+	if haveCommit {
+		sum.Gen, sum.Nodes, sum.Edges = lastCommit.Gen, lastCommit.Nodes, lastCommit.Edges
+	}
+	if sum.Err == "" && commitErr != nil {
+		sum.Err = commitErr.Error()
+	}
 	send(sum)
 }
 

@@ -2,11 +2,14 @@ package server_test
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -141,6 +144,47 @@ func TestServerMutate(t *testing.T) {
 	}
 	if st.ParseErrors != 1 {
 		t.Errorf("parse errors = %d, want 1", st.ParseErrors)
+	}
+}
+
+// TestServerMutateOversizedLine pins the oversized-line contract byte
+// for byte: a line past mutate.MaxLineBytes is unrecoverable (a line
+// decoder cannot resynchronize) and ends the stream, but every op
+// decoded before it still commits, still acks, and the trailing
+// summary line still arrives with the exact applied/failed counts and
+// the sticky stream error. Mirrors the read path's oversized-line
+// handling — the stream dies loudly, never silently.
+func TestServerMutateOversizedLine(t *testing.T) {
+	e := engine.MustNew(mutateGraph(), engine.Options{Workers: 2})
+	srv := server.New(e, server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	body := "add_node c t=2\n" +
+		"add_edge a c x\n" +
+		strings.Repeat("x", mutate.MaxLineBytes+1) + "\n" +
+		"add_node never-reached\n" // after the poison line: must not apply
+	resp, err := http.Post(ts.URL+"/v1/mutate", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "mutate_oversized.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("oversized-line response drifted.\n got:\n%s\nwant:\n%s", got, want)
+	}
+	// The committed prefix is durable engine state; the poison line and
+	// everything after it never applied.
+	if g := e.Graph(); g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Errorf("graph after aborted stream: %d nodes %d edges, want 3/2", g.NumNodes(), g.NumEdges())
 	}
 }
 

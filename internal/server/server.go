@@ -103,6 +103,15 @@ type Options struct {
 	// engine declares it lagged and closes the stream (see
 	// engine.Subscribe). Zero means the engine default (16).
 	SubscribeBuffer int
+
+	// MaxPendingOps / MaxPendingBytes bound each /v1/mutate stream's
+	// admitted-but-uncommitted write window (engine.WriterOptions) — the
+	// write path's mirror of MaxInFlight. When the window fills, the
+	// server stops reading the request body and TCP back-pressure
+	// reaches the client. Zero means the engine defaults (4096 ops,
+	// 8 MiB).
+	MaxPendingOps   int
+	MaxPendingBytes int64
 }
 
 // Server serves an Engine over HTTP. Create it with New; it is safe for
@@ -325,6 +334,30 @@ type Stats struct {
 	// Latency summarizes evaluation time of every successful query the
 	// server has delivered, across all streams.
 	Latency metrics.LatencySnapshot `json:"latency"`
+
+	// WAL reports the engine's write-ahead log; absent on a non-durable
+	// server.
+	WAL *WALStats `json:"wal,omitempty"`
+}
+
+// WALStats is the wal section of /v1/stats: the log's counters plus the
+// recovery that built this engine (zero fields when the process started
+// from an empty or absent log).
+type WALStats struct {
+	Appended      uint64 `json:"appended"`       // records (committed batches) appended by this process
+	AppendedBytes uint64 `json:"appended_bytes"` // their framed size on disk
+	Fsyncs        uint64 `json:"fsyncs"`
+	Rotations     uint64 `json:"rotations"`
+	Compactions   uint64 `json:"compactions"`
+	Segments      int    `json:"segments"`
+	LastCommitGen uint64 `json:"last_commit_gen"` // newest generation on the log
+	SnapshotGen   uint64 `json:"snapshot_gen"`    // latest snapshot's generation (0 = none)
+
+	// RecoveredBatches and RecoveryMS describe the startup Recover:
+	// how many logged batches were replayed and how long load+replay
+	// took.
+	RecoveredBatches int   `json:"recovered_batches"`
+	RecoveryMS       int64 `json:"recovery_ms"`
 }
 
 // Stats returns a point-in-time snapshot (the /v1/stats payload).
@@ -343,6 +376,22 @@ func (s *Server) Stats() Stats {
 		OpsFailed:     s.opsFailed.Load(),
 		Subscriptions: int(s.subsActive.Load()),
 		Latency:       s.latency.Snapshot(),
+	}
+	if w := s.e.WAL(); w != nil {
+		ws := w.Stats()
+		ri := s.e.Recovered()
+		st.WAL = &WALStats{
+			Appended:         ws.Appended,
+			AppendedBytes:    ws.AppendedBytes,
+			Fsyncs:           ws.Fsyncs,
+			Rotations:        ws.Rotations,
+			Compactions:      ws.Compactions,
+			Segments:         ws.Segments,
+			LastCommitGen:    ws.LastGen,
+			SnapshotGen:      ws.SnapshotGen,
+			RecoveredBatches: ri.Batches,
+			RecoveryMS:       ri.Duration.Milliseconds(),
+		}
 	}
 	// Folded totals and the live scan must come from one critical
 	// section: endStream moves a session from live to folded under the
@@ -567,6 +616,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 					// kind "stream" marks a failure of the stream itself, not of
 					// the request whose (defaulted) id the line would carry.
 					send(wire.Response{Kind: "stream", Err: "request stream aborted: " + err.Error()})
+					// Drain the abandoned body to EOF (deadline-bounded):
+					// a full-duplex handler that returns mid-body trips a
+					// connection-reader panic in net/http on reuse.
+					rc.SetReadDeadline(time.Now().Add(2 * time.Second))
+					io.Copy(io.Discard, r.Body)
 				}
 				return
 			}

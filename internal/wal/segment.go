@@ -1,0 +1,197 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"regraph/internal/mutate"
+)
+
+// Segment framing. A segment file is the magic header followed by
+// length/checksum-framed records:
+//
+//	[8B magic "RGWAL001"]
+//	[4B BE payload length][4B BE CRC32-IEEE(payload)][payload] ...
+//
+// and a record payload is the committed generation number followed by
+// the batch in the already-replayable NDJSON mutation format —
+// internal/mutate's JSON op lines, exactly what POST /v1/mutate
+// accepts:
+//
+//	[8B BE generation][one JSON op per '\n'-terminated line]
+//
+// The whole submitted batch is framed, failed ops included: replaying a
+// record through the same Engine.Apply that produced it re-fails them
+// identically, which is what makes recovery oracle-identical by
+// construction instead of by careful bookkeeping.
+//
+// The frame is what makes a torn tail detectable: a crash mid-write
+// leaves a record whose length header, payload or checksum is
+// incomplete, and the decoder stops cleanly at the last intact record
+// instead of replaying a partial batch. There is no end-of-segment
+// marker — a clean EOF exactly after a record is the normal end.
+
+// magic identifies (and versions) a segment file.
+const magic = "RGWAL001"
+
+// frameHeaderLen is the per-record length+checksum prefix.
+const frameHeaderLen = 8
+
+// MaxRecordBytes bounds one record's payload. It exists so a corrupt
+// length header makes the decoder stop instead of allocating gigabytes;
+// Append enforces the same bound so every legal record is decodable.
+const MaxRecordBytes = 64 << 20
+
+// Record is one decoded WAL record: a mutation batch and the
+// generation it committed as.
+type Record struct {
+	Gen uint64
+	Ops []mutate.Op
+}
+
+// encodeRecord frames one batch. The returned buffer is
+// header+payload, ready to be written to a segment.
+func encodeRecord(gen uint64, ops []mutate.Op) ([]byte, error) {
+	var payload bytes.Buffer
+	payload.Grow(8 + 64*len(ops))
+	var genb [8]byte
+	binary.BigEndian.PutUint64(genb[:], gen)
+	payload.Write(genb[:])
+	for i := range ops {
+		b, err := json.Marshal(&ops[i])
+		if err != nil {
+			return nil, fmt.Errorf("wal: marshal op %d: %w", i, err)
+		}
+		payload.Write(b)
+		payload.WriteByte('\n')
+	}
+	if payload.Len() > MaxRecordBytes {
+		return nil, fmt.Errorf("wal: batch of %d ops encodes to %d bytes (max %d)",
+			len(ops), payload.Len(), MaxRecordBytes)
+	}
+	out := make([]byte, frameHeaderLen+payload.Len())
+	binary.BigEndian.PutUint32(out[0:4], uint32(payload.Len()))
+	binary.BigEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	copy(out[frameHeaderLen:], payload.Bytes())
+	return out, nil
+}
+
+// decodePayload parses a checksum-verified record payload. Any decode
+// failure discards the whole record — a record is replayed fully or
+// not at all.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) < 8 {
+		return Record{}, fmt.Errorf("wal: record payload shorter than its generation header")
+	}
+	rec := Record{Gen: binary.BigEndian.Uint64(p[:8])}
+	for _, line := range bytes.Split(p[8:], []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		var op mutate.Op
+		if err := json.Unmarshal(line, &op); err != nil {
+			return Record{}, fmt.Errorf("wal: record op line: %w", err)
+		}
+		rec.Ops = append(rec.Ops, op)
+	}
+	return rec, nil
+}
+
+// SegmentInfo reports how reading one segment ended.
+type SegmentInfo struct {
+	// Records and FirstGen/LastGen describe the intact prefix (gens are
+	// zero when the segment holds no records).
+	Records  int
+	FirstGen uint64
+	LastGen  uint64
+
+	// GoodBytes is the byte offset just past the last intact record —
+	// where a recovering writer truncates before appending again.
+	GoodBytes int64
+
+	// Torn is non-empty when the segment ends in anything but a clean
+	// record boundary (truncated frame, checksum mismatch, undecodable
+	// payload, bad magic): a human-readable reason, recorded rather
+	// than returned as an error because a torn tail is the expected
+	// crash artifact, not a failure of the reader.
+	Torn string
+}
+
+// ReadSegment decodes records from one segment stream, calling emit
+// for each fully intact record in order. It never returns a partially
+// decoded record: the first torn or corrupt frame ends the scan, with
+// the reason in SegmentInfo.Torn. The returned error is non-nil only
+// for real I/O failures from r or an emit callback error — corruption
+// is a clean stop, not an error.
+func ReadSegment(r io.Reader, emit func(Record) error) (SegmentInfo, error) {
+	var info SegmentInfo
+	br := bufio.NewReaderSize(r, 64<<10)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			info.Torn = "missing file header"
+			return info, nil
+		}
+		return info, err
+	}
+	if string(head) != magic {
+		info.Torn = "bad file magic"
+		return info, nil
+	}
+	info.GoodBytes = int64(len(magic))
+	hdr := make([]byte, frameHeaderLen)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			if err == io.EOF {
+				return info, nil // clean end on a record boundary
+			}
+			if err == io.ErrUnexpectedEOF {
+				info.Torn = "truncated record header"
+				return info, nil
+			}
+			return info, err
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		if n == 0 || n > MaxRecordBytes {
+			info.Torn = fmt.Sprintf("implausible record length %d", n)
+			return info, nil
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				info.Torn = "truncated record payload"
+				return info, nil
+			}
+			return info, err
+		}
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[4:8]) {
+			info.Torn = "record checksum mismatch"
+			return info, nil
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			info.Torn = err.Error()
+			return info, nil
+		}
+		if emit != nil {
+			if err := emit(rec); err != nil {
+				return info, err
+			}
+		}
+		if info.Records == 0 {
+			info.FirstGen = rec.Gen
+		}
+		info.Records++
+		info.LastGen = rec.Gen
+		info.GoodBytes += int64(frameHeaderLen) + int64(n)
+	}
+}

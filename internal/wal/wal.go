@@ -1,0 +1,649 @@
+// Package wal is the engine's write-ahead log: every committed
+// Engine.Apply batch is framed into checksummed segment files before
+// the generation it produces is published, so a process that dies —
+// crash, kill, power loss — reconstructs its graph by replaying the
+// log through the same apply path that built it the first time
+// (engine.Recover). The log format is the NDJSON mutation format the
+// write path already speaks (internal/mutate), wrapped in
+// length/CRC32-framed records per batch (see segment.go), which is
+// what makes a torn tail detectable: recovery stops at the last intact
+// record and never replays a partial batch.
+//
+// Durability is a configured trade (Options.Fsync):
+//
+//   - "always":   flush + fsync per append. Every batch whose Apply
+//     returned survives both process kill and machine crash.
+//   - "interval": appends buffer in user space and a background ticker
+//     flushes + fsyncs every FsyncInterval. A crash loses at most the
+//     last window — the throughput/durability middle ground.
+//   - "none":     appends flush to the OS per batch but the file is
+//     never fsynced. Survives process kill (the write(2) completed);
+//     machine crash can lose whatever the kernel had not written back.
+//
+// Segments rotate at SegmentBytes so history is bounded-size files,
+// and Compact writes a snapshot of the live graph (graph.WriteTSV,
+// tmp+rename) and deletes every segment the snapshot supersedes, so
+// recovery time tracks the distance to the last snapshot instead of
+// the total write history.
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regraph/internal/graph"
+	"regraph/internal/mutate"
+)
+
+// Fsync policies.
+const (
+	FsyncAlways   = "always"
+	FsyncInterval = "interval"
+	FsyncNone     = "none"
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the log directory, created if missing. Required.
+	Dir string
+
+	// Fsync is the durability policy: FsyncAlways (default), FsyncInterval
+	// or FsyncNone. See the package comment for the exact promises.
+	Fsync string
+
+	// FsyncInterval is the background sync period under FsyncInterval
+	// (default 50ms) — the bound on what a crash can lose.
+	FsyncInterval time.Duration
+
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 64 MiB).
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Dir == "" {
+		return o, fmt.Errorf("wal: Options.Dir is required")
+	}
+	switch o.Fsync {
+	case "":
+		o.Fsync = FsyncAlways
+	case FsyncAlways, FsyncInterval, FsyncNone:
+	default:
+		return o, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or none)", o.Fsync)
+	}
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 50 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o, nil
+}
+
+// Stats is a point-in-time snapshot of a WAL's counters (served in
+// /v1/stats by internal/server).
+type Stats struct {
+	// Appended counts records (= committed batches) appended by this
+	// process; AppendedBytes their framed size. Fsyncs counts fsync(2)
+	// calls on segment files; Rotations segment rotations; Compactions
+	// completed Compact calls.
+	Appended      uint64
+	AppendedBytes uint64
+	Fsyncs        uint64
+	Rotations     uint64
+	Compactions   uint64
+
+	// Segments is the current segment-file count; LastGen the newest
+	// generation in the log (appended or found at Open); SnapshotGen the
+	// generation of the latest snapshot (0 = none).
+	Segments    int
+	LastGen     uint64
+	SnapshotGen uint64
+}
+
+// WAL is an open write-ahead log. Append serializes internally, but the
+// intended caller is already single-writer (the engine's apply loop,
+// under its write mutex). Stats may be read concurrently.
+type WAL struct {
+	opts Options
+
+	mu       sync.Mutex
+	seg      *os.File
+	segBuf   *bufWriter
+	segSize  int64
+	segFirst uint64 // generation the active segment is named after
+	segs     []segMeta
+	snapGen  uint64
+	lastGen  atomic.Uint64
+	needSync bool
+	closed   bool
+
+	stop     chan struct{} // interval syncer
+	syncDone chan struct{}
+
+	appended      atomic.Uint64
+	appendedBytes atomic.Uint64
+	fsyncs        atomic.Uint64
+	rotations     atomic.Uint64
+	compactions   atomic.Uint64
+	nsegs         atomic.Int64
+}
+
+// bufWriter is a small userspace buffer over the segment file. Its
+// size is deliberately what makes the fsync policies mean what they
+// say under SIGKILL: bytes still in this buffer die with the process,
+// so "interval" genuinely loses its unflushed window while "always"
+// and "none" (which flush per append) keep every appended batch.
+type bufWriter struct {
+	f   *os.File
+	buf []byte
+}
+
+func newBufWriter(f *os.File) *bufWriter {
+	return &bufWriter{f: f, buf: make([]byte, 0, 256<<10)}
+}
+
+func (b *bufWriter) Write(p []byte) (int, error) {
+	if len(b.buf)+len(p) > cap(b.buf) {
+		if err := b.Flush(); err != nil {
+			return 0, err
+		}
+		if len(p) > cap(b.buf) {
+			return b.f.Write(p)
+		}
+	}
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+
+func (b *bufWriter) Flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	_, err := b.f.Write(b.buf)
+	b.buf = b.buf[:0]
+	return err
+}
+
+// segMeta is one segment file: its name and the first generation it
+// holds (which is also encoded in the name). Segments partition the
+// generation sequence contiguously: segment i covers
+// [first_i, first_{i+1}-1].
+type segMeta struct {
+	name  string
+	first uint64
+}
+
+func segName(first uint64) string { return fmt.Sprintf("wal-%016x.log", first) }
+func snapName(gen uint64) string  { return fmt.Sprintf("snapshot-%016x.tsv", gen) }
+func parseSeg(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
+	return v, err == nil
+}
+func parseSnap(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snapshot-") || !strings.HasSuffix(name, ".tsv") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snapshot-"), ".tsv"), 16, 64)
+	return v, err == nil
+}
+
+// Open opens (or initializes) the log directory and prepares it for
+// appending. Recovery from a crash happens here: the last segment's
+// torn tail, if any, is truncated to the last intact record — so a
+// later Append never writes past a hole — and any segments beyond a
+// torn or non-contiguous point are deleted (they are unreachable by
+// replay; under correct operation this never happens, it is a
+// corruption repair). Open does not replay anything into an engine;
+// that is Replay / engine.Recover.
+func Open(opts Options) (*WAL, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	w := &WAL{opts: opts, stop: make(chan struct{}), syncDone: make(chan struct{})}
+	if err := w.scan(); err != nil {
+		return nil, err
+	}
+	if err := w.openActive(); err != nil {
+		return nil, err
+	}
+	if opts.Fsync == FsyncInterval {
+		go w.syncLoop()
+	} else {
+		close(w.syncDone)
+	}
+	return w, nil
+}
+
+// scan inventories the directory: segment list in generation order,
+// latest snapshot, last intact generation; truncates the tail segment
+// past its last intact record and drops segments beyond a hole.
+func (w *WAL) scan() error {
+	ents, err := os.ReadDir(w.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range ents {
+		if first, ok := parseSeg(e.Name()); ok {
+			w.segs = append(w.segs, segMeta{name: e.Name(), first: first})
+		} else if gen, ok := parseSnap(e.Name()); ok && gen >= w.snapGen {
+			w.snapGen = gen
+		}
+	}
+	sort.Slice(w.segs, func(i, j int) bool { return w.segs[i].first < w.segs[j].first })
+
+	last := w.snapGen
+	for i := 0; i < len(w.segs); i++ {
+		sm := w.segs[i]
+		path := filepath.Join(w.opts.Dir, sm.name)
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		info, err := ReadSegment(f, nil)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("wal: scan %s: %w", sm.name, err)
+		}
+		contiguous := info.Records == 0 || last == 0 || info.FirstGen <= last+1
+		if info.Torn == "" && contiguous && i < len(w.segs)-1 {
+			if info.Records > 0 {
+				last = info.LastGen
+			}
+			continue
+		}
+		if !contiguous {
+			// A gap before this segment: everything from here on is
+			// unreachable by replay. Drop it rather than appending after a
+			// hole.
+			w.dropSegments(i)
+			break
+		}
+		if info.Records > 0 {
+			last = info.LastGen
+		}
+		if info.Torn != "" {
+			// Crash artifact (or corruption): keep the intact prefix, cut
+			// the tail so the next append lands on a record boundary.
+			if err := os.Truncate(path, info.GoodBytes); err != nil {
+				return fmt.Errorf("wal: truncate torn tail of %s: %w", sm.name, err)
+			}
+			if info.Records == 0 && info.GoodBytes < int64(len(magic)) {
+				// Not even a header survived: recreate the file below.
+				if err := os.Remove(path); err != nil {
+					return fmt.Errorf("wal: %w", err)
+				}
+				w.segs = append(w.segs[:i], w.segs[i+1:]...)
+				i--
+			}
+			w.dropSegments(i + 1)
+			break
+		}
+	}
+	w.lastGen.Store(last)
+	w.nsegs.Store(int64(len(w.segs)))
+	return nil
+}
+
+// dropSegments removes segment files from index i on (corruption
+// repair; see scan).
+func (w *WAL) dropSegments(i int) {
+	for _, sm := range w.segs[i:] {
+		os.Remove(filepath.Join(w.opts.Dir, sm.name))
+	}
+	w.segs = w.segs[:i]
+}
+
+// openActive opens the newest segment for appending, or creates the
+// first one (named after the next generation to be appended).
+func (w *WAL) openActive() error {
+	if len(w.segs) == 0 {
+		return w.newSegment(w.lastGen.Load() + 1)
+	}
+	sm := w.segs[len(w.segs)-1]
+	f, err := os.OpenFile(filepath.Join(w.opts.Dir, sm.name), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.seg, w.segBuf, w.segSize, w.segFirst = f, newBufWriter(f), st.Size(), sm.first
+	return nil
+}
+
+// newSegment creates and activates a fresh segment named after first,
+// writing its header and fsyncing the directory so the file itself
+// survives a crash.
+func (w *WAL) newSegment(first uint64) error {
+	name := segName(first)
+	f, err := os.OpenFile(filepath.Join(w.opts.Dir, name), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.WriteString(magic); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(w.opts.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.seg, w.segBuf, w.segSize, w.segFirst = f, newBufWriter(f), int64(len(magic)), first
+	w.segs = append(w.segs, segMeta{name: name, first: first})
+	w.nsegs.Store(int64(len(w.segs)))
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Append frames one committed batch into the log. gen must be exactly
+// LastGen()+1 — the engine's apply loop calls Append between building
+// a generation and publishing it, so the log's generation sequence is
+// contiguous by construction, and Replay can verify it. When Append
+// returns under the "always" policy the record is on stable storage;
+// under "none" it is in the OS; under "interval" it may still be in
+// user space until the next tick. An error means the batch must not be
+// published (append-then-commit).
+func (w *WAL) Append(gen uint64, ops []mutate.Op) error {
+	rec, err := encodeRecord(gen, ops)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal: closed")
+	}
+	if want := w.lastGen.Load() + 1; gen != want {
+		return fmt.Errorf("wal: out-of-order append: gen %d, want %d", gen, want)
+	}
+	if w.segSize > int64(len(magic)) && w.segSize+int64(len(rec)) > w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := w.segBuf.Write(rec); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	w.segSize += int64(len(rec))
+	switch w.opts.Fsync {
+	case FsyncAlways:
+		if err := w.flushSyncLocked(); err != nil {
+			return err
+		}
+	case FsyncNone:
+		if err := w.segBuf.Flush(); err != nil {
+			return fmt.Errorf("wal: flush: %w", err)
+		}
+	default: // interval: leave it to the syncer's next tick
+		w.needSync = true
+	}
+	w.lastGen.Store(gen)
+	w.appended.Add(1)
+	w.appendedBytes.Add(uint64(len(rec)))
+	return nil
+}
+
+// flushSyncLocked pushes buffered bytes to the OS and the OS to disk.
+func (w *WAL) flushSyncLocked() error {
+	if err := w.segBuf.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if err := w.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	w.fsyncs.Add(1)
+	w.needSync = false
+	return nil
+}
+
+// rotateLocked seals the active segment (flush + fsync — a rotation is
+// a durability point under every policy) and starts the next one.
+func (w *WAL) rotateLocked() error {
+	if err := w.flushSyncLocked(); err != nil {
+		return err
+	}
+	if err := w.seg.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := w.newSegment(w.lastGen.Load() + 1); err != nil {
+		return err
+	}
+	w.rotations.Add(1)
+	return nil
+}
+
+// syncLoop is the FsyncInterval background syncer.
+func (w *WAL) syncLoop() {
+	defer close(w.syncDone)
+	t := time.NewTicker(w.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if !w.closed && w.needSync {
+				w.flushSyncLocked() // an error here surfaces on the next Append
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Sync forces an immediate flush + fsync regardless of policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal: closed")
+	}
+	return w.flushSyncLocked()
+}
+
+// Close syncs and closes the log. The WAL is unusable afterwards.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	err := w.flushSyncLocked()
+	w.closed = true
+	if cerr := w.seg.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: %w", cerr)
+	}
+	w.mu.Unlock()
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.syncDone
+	return err
+}
+
+// LastGen returns the newest generation in the log (appended by this
+// process or found intact at Open).
+func (w *WAL) LastGen() uint64 { return w.lastGen.Load() }
+
+// Dir returns the log directory.
+func (w *WAL) Dir() string { return w.opts.Dir }
+
+// Stats returns a point-in-time snapshot of the log's counters.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	snap := w.snapGen
+	w.mu.Unlock()
+	return Stats{
+		Appended:      w.appended.Load(),
+		AppendedBytes: w.appendedBytes.Load(),
+		Fsyncs:        w.fsyncs.Load(),
+		Rotations:     w.rotations.Load(),
+		Compactions:   w.compactions.Load(),
+		Segments:      int(w.nsegs.Load()),
+		LastGen:       w.lastGen.Load(),
+		SnapshotGen:   snap,
+	}
+}
+
+// LoadSnapshot reads the latest snapshot, if any: the graph it holds
+// and the generation it captures. ok is false when the log has no
+// snapshot (recovery then starts from the caller's seed graph).
+func (w *WAL) LoadSnapshot() (g *graph.Graph, gen uint64, ok bool, err error) {
+	w.mu.Lock()
+	gen = w.snapGen
+	w.mu.Unlock()
+	if gen == 0 {
+		return nil, 0, false, nil
+	}
+	f, err := os.Open(filepath.Join(w.opts.Dir, snapName(gen)))
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	g, err = graph.ReadTSV(f)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("wal: snapshot %d: %w", gen, err)
+	}
+	return g, gen, true, nil
+}
+
+// Replay streams every intact record with generation > afterGen to fn,
+// in order, verifying that the generation sequence is contiguous. It
+// stops cleanly at a torn tail (the crash artifact Open already
+// truncated, or one that appeared since); a generation gap after
+// records have been emitted is corruption and returns an error.
+func (w *WAL) Replay(afterGen uint64, fn func(Record) error) error {
+	w.mu.Lock()
+	if err := w.segBuf.Flush(); err != nil {
+		w.mu.Unlock()
+		return fmt.Errorf("wal: flush before replay: %w", err)
+	}
+	segs := append([]segMeta(nil), w.segs...)
+	w.mu.Unlock()
+	next := afterGen + 1
+	for _, sm := range segs {
+		f, err := os.Open(filepath.Join(w.opts.Dir, sm.name))
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		_, err = ReadSegment(f, func(rec Record) error {
+			if rec.Gen < next {
+				return nil // superseded by the snapshot (or afterGen)
+			}
+			if rec.Gen != next {
+				return fmt.Errorf("wal: replay gap: got gen %d, want %d", rec.Gen, next)
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+			next++
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact makes the log independent of its history before gen: it
+// snapshots g (the live graph at exactly generation gen) to
+// snapshot-<gen>.tsv via tmp-file + fsync + rename, rotates the active
+// segment, deletes every segment wholly superseded by the snapshot and
+// removes older snapshots. Recovery afterwards loads the snapshot and
+// replays only generations > gen. The engine calls this under its
+// write mutex (Engine.CompactWAL) so gen cannot move mid-compaction.
+func (w *WAL) Compact(g *graph.Graph, gen uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal: closed")
+	}
+	if gen == 0 {
+		return fmt.Errorf("wal: compact at gen 0 (generation 0 has no snapshot representation)")
+	}
+	if last := w.lastGen.Load(); gen > last {
+		return fmt.Errorf("wal: compact at gen %d beyond log end %d", gen, last)
+	}
+	name := snapName(gen)
+	tmp := filepath.Join(w.opts.Dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	werr := g.WriteTSV(f)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", werr)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.opts.Dir, name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(w.opts.Dir); err != nil {
+		return err
+	}
+	oldSnap := w.snapGen
+	w.snapGen = gen
+
+	// Rotate so the active segment starts past the snapshot; then a
+	// segment is obsolete exactly when its successor starts at or before
+	// gen+1 (segments partition the generation sequence contiguously).
+	if w.segSize > int64(len(magic)) {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	keep := w.segs[:0]
+	for i, sm := range w.segs {
+		if i+1 < len(w.segs) && w.segs[i+1].first <= gen+1 {
+			os.Remove(filepath.Join(w.opts.Dir, sm.name))
+			continue
+		}
+		keep = append(keep, sm)
+	}
+	w.segs = keep
+	w.nsegs.Store(int64(len(w.segs)))
+	if oldSnap != 0 && oldSnap != gen {
+		os.Remove(filepath.Join(w.opts.Dir, snapName(oldSnap)))
+	}
+	w.compactions.Add(1)
+	return nil
+}

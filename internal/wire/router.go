@@ -16,6 +16,12 @@ package wire
 // it sheds because no replica could serve them; see Response.ErrKind.
 const ErrKindUnavailable = "unavailable"
 
+// ErrKindReadOnly is the ErrKind a replica router sets on write-path
+// streams (/v1/mutate, /v1/subscribe) it refuses because it has no
+// writer upstream configured: the tier is read-only, and the refusal is
+// explicit — per-line acks and a summary — instead of a silent 404.
+const ErrKindReadOnly = "read_only"
+
 // RouterStats is a replica router's /v1/stats snapshot: per-replica
 // health and breaker state plus stream-level routing counters.
 type RouterStats struct {
@@ -43,6 +49,16 @@ type RouterStats struct {
 	BudgetDenied  uint64 `json:"budget_denied"`
 
 	ParseErrors uint64 `json:"parse_errors"`
+
+	// Write-path routing. A replica router is read-only unless
+	// configured with a writer upstream: WriteForwarded counts
+	// /v1/mutate and /v1/subscribe streams proxied to it, WriteRejected
+	// those refused with error_kind "read_only" because none is
+	// configured, and WriteErrors forwarded streams that failed in
+	// transit (writer unreachable or mid-stream disconnect).
+	WriteForwarded uint64 `json:"write_forwarded"`
+	WriteRejected  uint64 `json:"write_rejected"`
+	WriteErrors    uint64 `json:"write_errors"`
 }
 
 // ReplicaStats is one backend's row in RouterStats.

@@ -194,6 +194,10 @@ type Delta struct {
 	Removed []MatchEdge `json:"removed,omitempty"`
 
 	Err string `json:"error,omitempty"`
+
+	// ErrKind classifies Err like Response.ErrKind: "read_only" when a
+	// routing tier with no writer upstream refused the subscription.
+	ErrKind string `json:"error_kind,omitempty"`
 }
 
 // DeltaEdges converts per-edge pair sets (indexed like q's edges, as

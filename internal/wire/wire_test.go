@@ -86,16 +86,19 @@ func goldenRouterStats() RouterStats {
 			{URL: "http://replica-2:8081", State: "half-open", Ready: true,
 				Requests: 41, Failures: 3, BreakerOpens: 1, BreakerCloses: 0},
 		},
-		Draining:      false,
-		StreamsActive: 2,
-		StreamsTotal:  17,
-		Requests:      180,
-		Retries:       12,
-		Hedges:        5,
-		DupSuppressed: 4,
-		Unavailable:   3,
-		BudgetDenied:  2,
-		ParseErrors:   1,
+		Draining:       false,
+		StreamsActive:  2,
+		StreamsTotal:   17,
+		Requests:       180,
+		Retries:        12,
+		Hedges:         5,
+		DupSuppressed:  4,
+		Unavailable:    3,
+		BudgetDenied:   2,
+		ParseErrors:    1,
+		WriteForwarded: 6,
+		WriteRejected:  2,
+		WriteErrors:    1,
 	}
 }
 
